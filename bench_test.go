@@ -1,0 +1,246 @@
+// Repository-level benchmarks: one per table and figure of the FastCap
+// paper's evaluation (§IV), plus the algorithm-overhead measurements.
+// Each figure bench runs its experiment end-to-end at reduced fidelity
+// (fewer cores/epochs than cmd/fastcap-tables) so the whole suite
+// completes in minutes; cmd/fastcap-tables regenerates the full-size
+// outputs recorded in EXPERIMENTS.md.
+package fastcap
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/policy"
+	"repro/internal/runner"
+	"repro/internal/workload"
+)
+
+// benchLab builds a small-fidelity Lab for figure benchmarks.
+func benchLab() *experiments.Lab {
+	return experiments.NewLab(experiments.Options{
+		Cores: 4, Epochs: 4, EpochNs: 5e5, MixesPerClass: 1,
+	})
+}
+
+// --- Table I: complexity comparison -----------------------------------
+
+func BenchmarkTable1_FastCap16(b *testing.B)   { benchPolicyDecision(b, 16, policy.NewFastCap()) }
+func BenchmarkTable1_FastCap64(b *testing.B)   { benchPolicyDecision(b, 64, policy.NewFastCap()) }
+func BenchmarkTable1_FastCap256(b *testing.B)  { benchPolicyDecision(b, 256, policy.NewFastCap()) }
+func BenchmarkTable1_EqlFreq64(b *testing.B)   { benchPolicyDecision(b, 64, policy.NewEqlFreq()) }
+func BenchmarkTable1_EqlPwr64(b *testing.B)    { benchPolicyDecision(b, 64, policy.NewEqlPwr()) }
+func BenchmarkTable1_Exhaustive2(b *testing.B) { benchPolicyDecision(b, 2, policy.NewMaxBIPS()) }
+func BenchmarkTable1_Exhaustive4(b *testing.B) { benchPolicyDecision(b, 4, policy.NewMaxBIPS()) }
+
+func benchPolicyDecision(b *testing.B, n int, pol policy.Policy) {
+	s := experiments.SyntheticSnapshot(n, 0.6)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pol.Decide(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- §IV-B algorithm overhead: 33.5/64.9/133.5 µs at 16/32/64 cores ---
+
+func BenchmarkAlgorithmOverhead16(b *testing.B) { benchPolicyDecision(b, 16, policy.NewFastCap()) }
+func BenchmarkAlgorithmOverhead32(b *testing.B) { benchPolicyDecision(b, 32, policy.NewFastCap()) }
+func BenchmarkAlgorithmOverhead64(b *testing.B) { benchPolicyDecision(b, 64, policy.NewFastCap()) }
+
+// --- Tables II & III: configuration and workload construction ---------
+
+func BenchmarkTable2_SystemConstruction(b *testing.B) {
+	mix, err := workload.MixByName("MIX1")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		wl, err := workload.Instantiate(mix, 16)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = wl
+	}
+}
+
+func BenchmarkTable3_WorkloadInstantiation(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for _, mix := range workload.TableIII {
+			if _, err := workload.Instantiate(mix, 16); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// --- Figures: end-to-end experiment regeneration ----------------------
+
+func BenchmarkFig3_AvgPower(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := benchLab().Fig3(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig4_PowerBreakdownSeries(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := benchLab().Fig4(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig5_BudgetTracking(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := benchLab().Fig5(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig6_ClassPerformance(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := benchLab().Fig6(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig7_CoreFrequencySeries(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := benchLab().Fig7(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig8_MemFrequencySeries(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := benchLab().Fig8(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig9_PolicyComparison(b *testing.B) {
+	// Restrict to one mix per class to keep the bench minutes-scale.
+	lab := benchLab()
+	mixes := []workload.MixSpec{}
+	for _, cl := range []workload.Class{workload.ClassILP, workload.ClassMID, workload.ClassMEM, workload.ClassMIX} {
+		mixes = append(mixes, workload.MixesByClass(cl)[0])
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := lab.ComparePolicies(mixes, 4, 0.60,
+			[]string{"FastCap", "CPU-only", "Freq-Par", "Eql-Pwr"}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig10_EqlFreq64Cores(b *testing.B) {
+	lab := benchLab()
+	mixes := workload.MixesByClass(workload.ClassMIX)[:1]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := lab.ComparePolicies(mixes, 64, 0.60,
+			[]string{"FastCap", "Eql-Freq"}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig11_MaxBIPS4Cores(b *testing.B) {
+	lab := benchLab()
+	mixes := workload.MixesByClass(workload.ClassMIX)[:1]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := lab.ComparePolicies(mixes, 4, 0.60,
+			[]string{"FastCap", "MaxBIPS"}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig12And13_Configurations(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := benchLab().Fig12And13(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEpochLengthStudy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		lab := experiments.NewLab(experiments.Options{
+			Cores: 4, Epochs: 4, EpochNs: 1e6, MixesPerClass: 1,
+		})
+		if _, err := lab.EpochLengthStudy(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablations: design choices called out in DESIGN.md ----------------
+
+// Binary search vs exhaustive scan over the M memory frequencies.
+func BenchmarkAblation_BinarySearch(b *testing.B) {
+	benchPolicyDecision(b, 64, policy.NewFastCap())
+}
+
+func BenchmarkAblation_ExhaustiveSb(b *testing.B) {
+	benchPolicyDecision(b, 64, &policy.FastCap{Guard: true, Exhaustive: true})
+}
+
+// Quantization guard on vs off.
+func BenchmarkAblation_GuardOn(b *testing.B) {
+	benchPolicyDecision(b, 64, &policy.FastCap{Guard: true})
+}
+
+func BenchmarkAblation_GuardOff(b *testing.B) {
+	benchPolicyDecision(b, 64, &policy.FastCap{Guard: false})
+}
+
+// Table I "Numeric Opt" row: the interior-point reference solver.
+func BenchmarkTable1_NumericOpt16(b *testing.B) {
+	in := experiments.SyntheticSnapshotInputs(16, 0.6)
+	opt := core.DefaultNumericOptions()
+	for i := 0; i < b.N; i++ {
+		if _, err := in.SolveNumeric(opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Shared-L2 contention equilibrium (workload-calibration validation).
+func BenchmarkCacheContention(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.CacheContention(nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// End-to-end epoch cost: one full simulate-profile-decide-apply cycle.
+func BenchmarkEndToEndEpoch(b *testing.B) {
+	mix, err := workload.MixByName("MIX3")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := experiments.Options{Cores: 16, Epochs: 1, EpochNs: 1e6}.SimConfig(16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := runner.Run(runner.Config{
+			Sim: cfg, Mix: mix, BudgetFrac: 0.6, Epochs: 1, Policy: policy.NewFastCap(),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,54 @@
+// fastcap-overhead measures the FastCap algorithm's per-invocation
+// latency across core counts (the paper reports 33.5/64.9/133.5 µs at
+// 16/32/64 cores) and the Table I complexity separation against the
+// exhaustive and grid-search baselines.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+	"repro/internal/report"
+)
+
+func main() {
+	iters := flag.Int("iters", 5000, "iterations per measurement")
+	t1iters := flag.Int("table1-iters", 200, "iterations for the Table I comparison")
+	flag.Parse()
+
+	rows, err := experiments.Overhead(*iters)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fastcap-overhead:", err)
+		os.Exit(1)
+	}
+	tbl := &report.Table{
+		Title:   "FastCap algorithm overhead (paper: 33.5/64.9/133.5 µs)",
+		Headers: []string{"cores", "mean µs", "% of 5 ms epoch"},
+	}
+	for _, r := range rows {
+		tbl.AddRow(fmt.Sprint(r.Cores), report.F(r.MeanUs, 1), report.F(r.PctOfEpoch, 2))
+	}
+	if err := tbl.Render(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "fastcap-overhead:", err)
+		os.Exit(1)
+	}
+
+	t1, err := experiments.Table1(*t1iters)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fastcap-overhead:", err)
+		os.Exit(1)
+	}
+	tbl2 := &report.Table{
+		Title:   "Table I — measured decision latency",
+		Headers: []string{"method", "cores", "mean µs", "complexity"},
+	}
+	for _, r := range t1 {
+		tbl2.AddRow(r.Method, fmt.Sprint(r.Cores), report.F(r.MeanUs, 1), r.Note)
+	}
+	if err := tbl2.Render(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "fastcap-overhead:", err)
+		os.Exit(1)
+	}
+}

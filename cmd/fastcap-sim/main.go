@@ -1,0 +1,183 @@
+// fastcap-sim runs one Table III workload under one capping policy on
+// the simulated many-core server and prints the per-epoch power/DVFS
+// series plus a performance summary against the all-max baseline.
+//
+// Example:
+//
+//	fastcap-sim -mix MIX3 -policy FastCap -budget 0.6 -cores 16 -epochs 40
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/policy"
+	"repro/internal/report"
+	"repro/internal/runner"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		mixName   = flag.String("mix", "MIX3", "Table III workload name (ILP1..MIX4)")
+		polName   = flag.String("policy", "FastCap", "policy: FastCap|CPU-only|Freq-Par|Eql-Pwr|Eql-Freq|MaxBIPS|Greedy|baseline")
+		budget    = flag.Float64("budget", 0.60, "power budget as a fraction of peak")
+		cores     = flag.Int("cores", 16, "number of cores (multiple of 4)")
+		epochs    = flag.Int("epochs", 40, "epochs to simulate")
+		epochMs   = flag.Float64("epoch-ms", 1.0, "epoch length in milliseconds (paper: 5)")
+		ooo       = flag.Bool("ooo", false, "idealized out-of-order cores")
+		ctls      = flag.Int("controllers", 1, "memory controllers")
+		skew      = flag.Bool("skew", false, "skewed controller access distribution")
+		seed      = flag.Int64("seed", 1, "simulation seed")
+		perEpoch  = flag.Bool("series", true, "print the per-epoch series")
+		noBaselin = flag.Bool("no-baseline", false, "skip the baseline run (no normalized perf)")
+		jsonPath  = flag.String("json", "", "also write the full result record as JSON to this file ('-' = stdout)")
+	)
+	flag.Parse()
+	if err := run(*mixName, *polName, *budget, *cores, *epochs, *epochMs, *ooo, *ctls, *skew, *seed, *perEpoch, *noBaselin, *jsonPath); err != nil {
+		fmt.Fprintln(os.Stderr, "fastcap-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func pickPolicy(name string) (policy.Policy, error) {
+	switch name {
+	case "FastCap":
+		return policy.NewFastCap(), nil
+	case "CPU-only":
+		return policy.NewCPUOnly(), nil
+	case "Freq-Par":
+		return policy.NewFreqPar(), nil
+	case "Eql-Pwr":
+		return policy.NewEqlPwr(), nil
+	case "Eql-Freq":
+		return policy.NewEqlFreq(), nil
+	case "MaxBIPS":
+		return policy.NewMaxBIPS(), nil
+	case "Greedy":
+		return policy.NewGreedy(), nil
+	case "baseline":
+		return nil, nil
+	default:
+		return nil, fmt.Errorf("unknown policy %q", name)
+	}
+}
+
+func run(mixName, polName string, budget float64, cores, epochs int, epochMs float64, ooo bool, ctls int, skew bool, seed int64, series, noBaseline bool, jsonPath string) error {
+	mix, err := workload.MixByName(mixName)
+	if err != nil {
+		return err
+	}
+	pol, err := pickPolicy(polName)
+	if err != nil {
+		return err
+	}
+	sc := sim.DefaultConfig(cores)
+	sc.EpochNs = epochMs * 1e6
+	sc.ProfileNs = sc.EpochNs / 10
+	if sc.ProfileNs > 3e5 {
+		sc.ProfileNs = 3e5 // paper's 300 µs profiling phase
+	}
+	sc.OoO = ooo
+	sc.Seed = seed
+	if ctls > 1 {
+		sc.Controllers = ctls
+		sc.BanksPerController = sc.BanksPerController / ctls
+		sc.SkewedAccess = skew
+	}
+	cfg := runner.Config{Sim: sc, Mix: mix, BudgetFrac: budget, Epochs: epochs, Policy: pol}
+
+	res, err := runner.Run(cfg)
+	if err != nil {
+		return err
+	}
+	if jsonPath != "" {
+		if err := writeJSON(jsonPath, res); err != nil {
+			return err
+		}
+	}
+
+	fmt.Printf("workload %s on %d cores (%s), policy %s, budget %.0f%% of %.0f W peak\n\n",
+		mix.Name, cores, mode(ooo), res.PolicyName, budget*100, res.PeakW)
+
+	if series {
+		tbl := &report.Table{
+			Title:   "Per-epoch series",
+			Headers: []string{"epoch", "power W", "power/peak", "cores W", "mem W", "mem MHz"},
+		}
+		for _, e := range res.Epochs {
+			tbl.AddRow(
+				fmt.Sprint(e.Epoch),
+				report.F(e.AvgPowerW, 1),
+				report.F(e.AvgPowerW/res.PeakW, 3),
+				report.F(e.CoresW, 1),
+				report.F(e.MemW, 1),
+				report.F(sc.MemLadder.Freq(e.MemStep)*1000, 0),
+			)
+		}
+		if err := tbl.Render(os.Stdout); err != nil {
+			return err
+		}
+	}
+
+	fmt.Printf("run-average power: %.1f W (%.1f%% of peak; budget %.1f W)\n",
+		res.AvgPowerW(), res.AvgPowerW()/res.PeakW*100, res.BudgetW)
+	fmt.Printf("max epoch power:   %.1f W (%.1f%% of peak)\n",
+		res.MaxEpochPowerW(), res.MaxEpochPowerW()/res.PeakW*100)
+
+	if pol == nil || noBaseline {
+		return nil
+	}
+	bcfg := cfg
+	bcfg.Policy = nil
+	base, err := runner.Run(bcfg)
+	if err != nil {
+		return err
+	}
+	norm, err := res.NormalizedPerf(base)
+	if err != nil {
+		return err
+	}
+	s := stats.SummarizePerf(norm)
+	fmt.Printf("\nnormalized performance vs all-max baseline (1.0 = no loss):\n")
+	fmt.Printf("  average %.3f   worst %.3f   Jain fairness %.3f\n", s.Avg, s.Worst, s.Jain)
+	wl, err := workload.Instantiate(mix, cores)
+	if err != nil {
+		return err
+	}
+	tbl := &report.Table{Headers: []string{"core", "app", "norm perf"}}
+	for i, v := range norm {
+		tbl.AddRow(fmt.Sprint(i), wl.Apps[i].Name, report.F(v, 3))
+	}
+	fmt.Println()
+	return tbl.Render(os.Stdout)
+}
+
+// writeJSON serializes the run record for downstream tooling (plots,
+// regression tracking).
+func writeJSON(path string, res *runner.Result) error {
+	var w io.Writer = os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(res)
+}
+
+func mode(ooo bool) string {
+	if ooo {
+		return "out-of-order"
+	}
+	return "in-order"
+}

@@ -1,0 +1,469 @@
+// fastcap-tables regenerates every table and figure of the FastCap
+// paper's evaluation section as text tables (and CSV series for the
+// time-series figures). See DESIGN.md for the experiment index and
+// EXPERIMENTS.md for recorded paper-vs-measured comparisons.
+//
+// Examples:
+//
+//	fastcap-tables -fig 3           # just Figure 3
+//	fastcap-tables -all             # everything (several minutes)
+//	fastcap-tables -all -epochs 40 -epoch-ms 5 -out results/  # high fidelity
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/experiments"
+	"repro/internal/memsim"
+	"repro/internal/report"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		all      = flag.Bool("all", false, "regenerate every table and figure")
+		figs     = flag.String("fig", "", "comma-separated figure list, e.g. 3,5,9 (12 implies 13)")
+		tables   = flag.String("table", "", "comma-separated table list: 1,2,3")
+		epochStu = flag.Bool("epochs-study", false, "epoch-length sensitivity study")
+		overhead = flag.Bool("overhead", false, "algorithm overhead measurement")
+		validate = flag.Bool("validate", false, "model-accuracy validation (power <10%, Eq.1 response)")
+		ablation = flag.Bool("ablation", false, "quantization-guard ablation")
+		cacheCmp = flag.Bool("cache", false, "shared-L2 contention model vs Table III calibration")
+		cores    = flag.Int("cores", 16, "default core count")
+		epochs   = flag.Int("epochs", 20, "epochs per run")
+		epochMs  = flag.Float64("epoch-ms", 1.0, "epoch length in ms (paper: 5)")
+		mixesPC  = flag.Int("mixes-per-class", 2, "Table III mixes per class in Fig 12/13")
+		outDir   = flag.String("out", "", "also write CSV outputs to this directory")
+		quiet    = flag.Bool("q", false, "suppress progress lines")
+		seed     = flag.Int64("seed", 1, "simulation seed")
+	)
+	flag.Parse()
+
+	opt := experiments.Options{
+		Cores:         *cores,
+		Epochs:        *epochs,
+		EpochNs:       *epochMs * 1e6,
+		MixesPerClass: *mixesPC,
+		Seed:          *seed,
+	}
+	lab := experiments.NewLab(opt)
+	if !*quiet {
+		lab.Progress = func(msg string) { fmt.Fprintln(os.Stderr, "  "+msg) }
+	}
+
+	want := map[string]bool{}
+	for _, f := range strings.Split(*figs, ",") {
+		if f != "" {
+			want["fig"+f] = true
+		}
+	}
+	for _, tb := range strings.Split(*tables, ",") {
+		if tb != "" {
+			want["table"+tb] = true
+		}
+	}
+	if *all {
+		for _, k := range []string{"table1", "table2", "table3", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "overhead", "epochs-study", "validate", "ablation", "cache"} {
+			want[k] = true
+		}
+	}
+	if *overhead {
+		want["overhead"] = true
+	}
+	if *validate {
+		want["validate"] = true
+	}
+	if *ablation {
+		want["ablation"] = true
+	}
+	if *cacheCmp {
+		want["cache"] = true
+	}
+	if *epochStu {
+		want["epochs-study"] = true
+	}
+	if len(want) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	g := &generator{lab: lab, outDir: *outDir}
+	steps := []struct {
+		key string
+		fn  func() error
+	}{
+		{"table1", g.table1},
+		{"table2", g.table2},
+		{"table3", g.table3},
+		{"fig3", g.fig3},
+		{"fig4", g.fig4},
+		{"fig5", g.fig5},
+		{"fig6", g.fig6},
+		{"fig7", g.fig7},
+		{"fig8", g.fig8},
+		{"fig9", g.fig9},
+		{"fig10", g.fig10},
+		{"fig11", g.fig11},
+		{"fig12", g.fig1213},
+		{"fig13", g.fig1213},
+		{"overhead", g.overhead},
+		{"epochs-study", g.epochStudy},
+		{"validate", g.validate},
+		{"ablation", g.ablation},
+		{"cache", g.cacheContention},
+	}
+	done := map[string]bool{}
+	for _, s := range steps {
+		if !want[s.key] || done[s.key] {
+			continue
+		}
+		if s.key == "fig12" || s.key == "fig13" {
+			done["fig12"], done["fig13"] = true, true
+		}
+		if err := s.fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "fastcap-tables: %s: %v\n", s.key, err)
+			os.Exit(1)
+		}
+	}
+}
+
+type generator struct {
+	lab    *experiments.Lab
+	outDir string
+}
+
+// writeCSV saves rows under the output directory if one was requested.
+func (g *generator) writeCSV(name string, headers []string, rows [][]string) error {
+	if g.outDir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(g.outDir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(g.outDir, name))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return report.WriteCSV(f, headers, rows)
+}
+
+func (g *generator) seriesTable(title string, series []experiments.Series, yFmt int) *report.Table {
+	headers := []string{"epoch"}
+	for _, s := range series {
+		headers = append(headers, s.Name)
+	}
+	tbl := &report.Table{Title: title, Headers: headers}
+	if len(series) == 0 {
+		return tbl
+	}
+	for i := range series[0].X {
+		row := []string{report.F(series[0].X[i], 0)}
+		for _, s := range series {
+			if i < len(s.Y) {
+				row = append(row, report.F(s.Y[i], yFmt))
+			} else {
+				row = append(row, "")
+			}
+		}
+		tbl.AddRow(row...)
+	}
+	return tbl
+}
+
+func (g *generator) emitSeries(name, title string, series []experiments.Series, yFmt int) error {
+	if err := g.seriesTable(title, series, yFmt).Render(os.Stdout); err != nil {
+		return err
+	}
+	if g.outDir == "" {
+		return nil
+	}
+	var rows [][]string
+	for i := range series[0].X {
+		row := []string{report.F(series[0].X[i], 0)}
+		for _, s := range series {
+			if i < len(s.Y) {
+				row = append(row, report.F(s.Y[i], 5))
+			} else {
+				row = append(row, "")
+			}
+		}
+		rows = append(rows, row)
+	}
+	headers := []string{"epoch"}
+	for _, s := range series {
+		headers = append(headers, s.Name)
+	}
+	return g.writeCSV(name, headers, rows)
+}
+
+func (g *generator) table1() error {
+	rows, err := experiments.Table1(200)
+	if err != nil {
+		return err
+	}
+	tbl := &report.Table{
+		Title:   "Table I — measured decision latency (complexity comparison)",
+		Headers: []string{"method", "cores", "mean µs", "complexity"},
+	}
+	for _, r := range rows {
+		tbl.AddRow(r.Method, fmt.Sprint(r.Cores), report.F(r.MeanUs, 1), r.Note)
+	}
+	return tbl.Render(os.Stdout)
+}
+
+func (g *generator) table2() error {
+	t := memsim.DDR3()
+	tbl := &report.Table{
+		Title:   "Table II — main system settings (encoded configuration)",
+		Headers: []string{"feature", "value"},
+	}
+	tbl.AddRow("CPU cores", "N in-order (or idealized OoO), 2.2–4.0 GHz, 10 steps")
+	tbl.AddRow("Core voltage", "0.65–1.2 V, proportional to frequency")
+	tbl.AddRow("L2 (shared)", "30 CPU-cycle hit = 7.5 ns, fixed domain")
+	tbl.AddRow("Memory bus", "200–800 MHz in 66 MHz steps")
+	tbl.AddRow("tRCD/tRP/tCL", fmt.Sprintf("%.0f/%.0f/%.0f ns", t.TRCD, t.TRP, t.TCL))
+	tbl.AddRow("Transfer", fmt.Sprintf("%.0f bus cycles per 64 B line", t.BusCycles))
+	tbl.AddRow("Channels", "4 (≤32 cores) / 8 (64 cores), 8 banks each")
+	tbl.AddRow("Other power", "10 W frequency-independent (Ps)")
+	return tbl.Render(os.Stdout)
+}
+
+func (g *generator) table3() error {
+	tbl := &report.Table{
+		Title:   "Table III — workloads (instantiated at N=16)",
+		Headers: []string{"name", "MPKI", "WPKI", "applications"},
+	}
+	var rows [][]string
+	for _, mix := range workload.TableIII {
+		wl, err := workload.Instantiate(mix, 16)
+		if err != nil {
+			return err
+		}
+		apps := strings.Join([]string{mix.Apps[0], mix.Apps[1], mix.Apps[2], mix.Apps[3]}, " ")
+		tbl.AddRow(mix.Name, report.F(wl.MeanMPKI(), 2), report.F(wl.MeanWPKI(), 2), apps)
+		rows = append(rows, []string{mix.Name, report.F(wl.MeanMPKI(), 2), report.F(wl.MeanWPKI(), 2), apps})
+	}
+	if err := tbl.Render(os.Stdout); err != nil {
+		return err
+	}
+	return g.writeCSV("table3.csv", []string{"name", "mpki", "wpki", "apps"}, rows)
+}
+
+func (g *generator) fig3() error {
+	bars, err := g.lab.Fig3()
+	if err != nil {
+		return err
+	}
+	tbl := &report.Table{
+		Title:   "Fig. 3 — FastCap average power / peak, budget 60%",
+		Headers: []string{"workload", "power/peak"},
+	}
+	var rows [][]string
+	for _, b := range bars {
+		tbl.AddRow(b.Mix, report.F(b.AvgNorm, 3))
+		rows = append(rows, []string{b.Mix, report.F(b.AvgNorm, 5)})
+	}
+	if err := tbl.Render(os.Stdout); err != nil {
+		return err
+	}
+	return g.writeCSV("fig3.csv", []string{"workload", "power_over_peak"}, rows)
+}
+
+func (g *generator) fig4() error {
+	series, err := g.lab.Fig4()
+	if err != nil {
+		return err
+	}
+	return g.emitSeries("fig4.csv", "Fig. 4 — core/memory power split over time, MIX3 @ 60%", series, 3)
+}
+
+func (g *generator) fig5() error {
+	series, err := g.lab.Fig5()
+	if err != nil {
+		return err
+	}
+	return g.emitSeries("fig5.csv", "Fig. 5 — normalized power over time, MEM3, three budgets", series, 3)
+}
+
+func (g *generator) fig6() error {
+	rows, err := g.lab.Fig6()
+	if err != nil {
+		return err
+	}
+	tbl := &report.Table{
+		Title:   "Fig. 6 — normalized performance per class and budget (1.0 = no loss)",
+		Headers: []string{"class", "budget", "avg", "worst", "Jain"},
+	}
+	var csv [][]string
+	for _, r := range rows {
+		tbl.AddRow(r.Class, report.Pct(r.Budget), report.F(r.Avg, 3), report.F(r.Worst, 3), report.F(r.Jain, 3))
+		csv = append(csv, []string{r.Class, report.F(r.Budget, 2), report.F(r.Avg, 5), report.F(r.Worst, 5), report.F(r.Jain, 5)})
+	}
+	if err := tbl.Render(os.Stdout); err != nil {
+		return err
+	}
+	return g.writeCSV("fig6.csv", []string{"class", "budget", "avg", "worst", "jain"}, csv)
+}
+
+func (g *generator) fig7() error {
+	series, err := g.lab.Fig7()
+	if err != nil {
+		return err
+	}
+	return g.emitSeries("fig7.csv", "Fig. 7 — core frequency (GHz) over time, budget 80%", series, 2)
+}
+
+func (g *generator) fig8() error {
+	series, err := g.lab.Fig8()
+	if err != nil {
+		return err
+	}
+	return g.emitSeries("fig8.csv", "Fig. 8 — memory frequency (MHz) over time, budget 80%", series, 0)
+}
+
+func (g *generator) policyTable(title, csvName string, rows []experiments.PolicyPerf) error {
+	tbl := &report.Table{
+		Title:   title,
+		Headers: []string{"workload", "policy", "avg", "worst", "Jain"},
+	}
+	var csvRows [][]string
+	for _, r := range rows {
+		tbl.AddRow(r.Workload, r.Policy, report.F(r.Avg, 3), report.F(r.Worst, 3), report.F(r.Jain, 3))
+		csvRows = append(csvRows, []string{r.Workload, r.Policy, report.F(r.Avg, 5), report.F(r.Worst, 5), report.F(r.Jain, 5)})
+	}
+	if err := tbl.Render(os.Stdout); err != nil {
+		return err
+	}
+	return g.writeCSV(csvName, []string{"workload", "policy", "avg", "worst", "jain"}, csvRows)
+}
+
+func (g *generator) fig9() error {
+	rows, err := g.lab.Fig9()
+	if err != nil {
+		return err
+	}
+	return g.policyTable("Fig. 9 — FastCap vs CPU-only* vs Freq-Par* vs Eql-Pwr, budget 60%", "fig9.csv", rows)
+}
+
+func (g *generator) fig10() error {
+	rows, err := g.lab.Fig10()
+	if err != nil {
+		return err
+	}
+	return g.policyTable("Fig. 10 — FastCap vs Eql-Freq, MIX on 64 cores, budget 60%", "fig10.csv", rows)
+}
+
+func (g *generator) fig11() error {
+	rows, err := g.lab.Fig11()
+	if err != nil {
+		return err
+	}
+	return g.policyTable("Fig. 11 — FastCap vs MaxBIPS, MIX on 4 cores, budget 60%", "fig11.csv", rows)
+}
+
+func (g *generator) fig1213() error {
+	rows, err := g.lab.Fig12And13()
+	if err != nil {
+		return err
+	}
+	tbl := &report.Table{
+		Title:   "Figs. 12 & 13 — FastCap across configurations, budget 60%",
+		Headers: []string{"config", "class", "avg pwr/peak", "max pwr/peak", "avg perf", "worst perf"},
+	}
+	var csvRows [][]string
+	for _, r := range rows {
+		tbl.AddRow(r.Config, r.Class,
+			report.F(r.AvgPowerNorm, 3), report.F(r.MaxPowerNorm, 3),
+			report.F(r.AvgPerf, 3), report.F(r.WorstPerf, 3))
+		csvRows = append(csvRows, []string{r.Config, r.Class,
+			report.F(r.AvgPowerNorm, 5), report.F(r.MaxPowerNorm, 5),
+			report.F(r.AvgPerf, 5), report.F(r.WorstPerf, 5)})
+	}
+	if err := tbl.Render(os.Stdout); err != nil {
+		return err
+	}
+	return g.writeCSV("fig12_13.csv",
+		[]string{"config", "class", "avg_pwr", "max_pwr", "avg_perf", "worst_perf"}, csvRows)
+}
+
+func (g *generator) overhead() error {
+	rows, err := experiments.Overhead(2000)
+	if err != nil {
+		return err
+	}
+	tbl := &report.Table{
+		Title:   "Algorithm overhead (paper §IV-B: 33.5/64.9/133.5 µs at 16/32/64 cores)",
+		Headers: []string{"cores", "mean µs", "% of 5 ms epoch"},
+	}
+	for _, r := range rows {
+		tbl.AddRow(fmt.Sprint(r.Cores), report.F(r.MeanUs, 1), report.F(r.PctOfEpoch, 2))
+	}
+	return tbl.Render(os.Stdout)
+}
+
+func (g *generator) validate() error {
+	rows, err := g.lab.ValidateModels()
+	if err != nil {
+		return err
+	}
+	tbl := &report.Table{
+		Title:   "Model validation (paper §III-A: power model error < 10%)",
+		Headers: []string{"mix", "mean pwr err %", "max pwr err %", "mean Eq.1 resp err %"},
+	}
+	for _, r := range rows {
+		tbl.AddRow(r.Mix, report.F(r.MeanPowerErrPct, 1), report.F(r.MaxPowerErrPct, 1), report.F(r.MeanRespErrPct, 1))
+	}
+	return tbl.Render(os.Stdout)
+}
+
+func (g *generator) cacheContention() error {
+	rows, err := experiments.CacheContention(nil)
+	if err != nil {
+		return err
+	}
+	tbl := &report.Table{
+		Title:   "Shared-L2 contention model vs Table III calibration (applu story)",
+		Headers: []string{"mix", "app", "L2 share", "model MPKI", "calibrated MPKI"},
+	}
+	for _, r := range rows {
+		tbl.AddRow(r.Mix, r.App, report.F(r.ShareFrac, 3), report.F(r.ModelMPKI, 2), report.F(r.CalibratedMPKI, 2))
+	}
+	return tbl.Render(os.Stdout)
+}
+
+func (g *generator) ablation() error {
+	rows, err := g.lab.AblationGuard()
+	if err != nil {
+		return err
+	}
+	tbl := &report.Table{
+		Title:   "Ablation — post-quantization budget guard, budget 60%",
+		Headers: []string{"mix", "variant", "avg pwr/peak", "max pwr/peak", "over-budget epochs %", "avg perf", "worst perf"},
+	}
+	for _, r := range rows {
+		tbl.AddRow(r.Mix, r.Variant, report.F(r.AvgPowerNorm, 3), report.F(r.MaxPowerNorm, 3),
+			report.F(r.OverBudgetEpochsPct, 0), report.F(r.AvgPerf, 3), report.F(r.WorstPerf, 3))
+	}
+	return tbl.Render(os.Stdout)
+}
+
+func (g *generator) epochStudy() error {
+	rows, err := g.lab.EpochLengthStudy()
+	if err != nil {
+		return err
+	}
+	tbl := &report.Table{
+		Title:   "Epoch length study (paper §IV-B: 5/10/20 ms are equivalent)",
+		Headers: []string{"epoch ms", "mix", "power/peak", "avg perf", "worst perf"},
+	}
+	for _, r := range rows {
+		tbl.AddRow(report.F(r.EpochMs, 0), r.Mix, report.F(r.AvgPowerNorm, 3),
+			report.F(r.AvgPerf, 3), report.F(r.WorstPerf, 3))
+	}
+	return tbl.Render(os.Stdout)
+}

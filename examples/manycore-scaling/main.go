@@ -1,0 +1,77 @@
+// manycore-scaling demonstrates the paper's scalability claims: FastCap
+// holds the cap and stays fair from 4 to 64 cores while its decision
+// latency grows only linearly (paper Figs. 12–13 and the §IV-B overhead
+// study).
+//
+//	go run ./examples/manycore-scaling
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro"
+	"repro/internal/experiments"
+	"repro/internal/report"
+	"repro/internal/stats"
+)
+
+func main() {
+	mix, err := fastcap.WorkloadByName("MIX2")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	tbl := &report.Table{
+		Title:   "FastCap scaling on MIX2, budget 60%",
+		Headers: []string{"cores", "peak W", "avg W", "pwr/peak", "avg perf", "worst perf", "Jain"},
+	}
+	for _, n := range []int{4, 16, 32, 64} {
+		cfg := fastcap.ExperimentConfig{
+			Sim:        fastcap.DefaultSystemConfig(n),
+			Mix:        mix,
+			BudgetFrac: 0.60,
+			Epochs:     10,
+			Policy:     fastcap.NewFastCapPolicy(),
+		}
+		cfg.Sim.EpochNs = 1e6
+		cfg.Sim.ProfileNs = 1e5
+		res, base, err := fastcap.RunExperimentPair(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		norm, err := res.NormalizedPerf(base)
+		if err != nil {
+			log.Fatal(err)
+		}
+		s := stats.SummarizePerf(norm)
+		tbl.AddRow(
+			fmt.Sprint(n),
+			report.F(res.PeakW, 0),
+			report.F(res.AvgPowerW(), 1),
+			report.F(res.AvgPowerW()/res.PeakW, 3),
+			report.F(s.Avg, 3),
+			report.F(s.Worst, 3),
+			report.F(s.Jain, 3),
+		)
+	}
+	if err := tbl.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	rows, err := experiments.Overhead(1000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tbl2 := &report.Table{
+		Title:   "Decision latency (linear in N — paper: 33.5/64.9/133.5 µs)",
+		Headers: []string{"cores", "mean µs", "% of 5 ms epoch"},
+	}
+	for _, r := range rows {
+		tbl2.AddRow(fmt.Sprint(r.Cores), report.F(r.MeanUs, 1), report.F(r.PctOfEpoch, 2))
+	}
+	if err := tbl2.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,91 @@
+// policy-compare runs all six capping policies on the same workload and
+// budget, reproducing the comparisons of the paper's Figs. 9–11 on one
+// mix: who holds the cap, who is fast on average, and who creates
+// performance outliers.
+//
+//	go run ./examples/policy-compare [-mix MIX4] [-budget 0.6] [-cores 4]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro"
+	"repro/internal/report"
+	"repro/internal/stats"
+)
+
+func main() {
+	mixName := flag.String("mix", "MIX4", "Table III workload")
+	budget := flag.Float64("budget", 0.60, "budget fraction of peak")
+	cores := flag.Int("cores", 4, "cores (multiple of 4; MaxBIPS needs ≤4)")
+	epochs := flag.Int("epochs", 15, "epochs per run")
+	flag.Parse()
+
+	mix, err := fastcap.WorkloadByName(*mixName)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	policies := []fastcap.Policy{
+		fastcap.NewFastCapPolicy(),
+		fastcap.NewCPUOnlyPolicy(),
+		fastcap.NewFreqParPolicy(),
+		fastcap.NewEqlPwrPolicy(),
+		fastcap.NewEqlFreqPolicy(),
+		fastcap.NewGreedyPolicy(),
+	}
+	if *cores <= 4 {
+		policies = append(policies, fastcap.NewMaxBIPSPolicy())
+	}
+
+	tbl := &report.Table{
+		Title: fmt.Sprintf("%s on %d cores, budget %.0f%%: policy comparison",
+			mix.Name, *cores, *budget*100),
+		Headers: []string{"policy", "avg W", "max W", "avg perf", "worst perf", "Jain"},
+	}
+
+	var baseline *fastcap.ExperimentResult
+	for _, pol := range policies {
+		cfg := fastcap.ExperimentConfig{
+			Sim:        fastcap.DefaultSystemConfig(*cores),
+			Mix:        mix,
+			BudgetFrac: *budget,
+			Epochs:     *epochs,
+			Policy:     pol,
+		}
+		cfg.Sim.EpochNs = 1e6
+		cfg.Sim.ProfileNs = 1e5
+
+		res, err := fastcap.RunExperiment(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if baseline == nil {
+			bcfg := cfg
+			bcfg.Policy = nil
+			if baseline, err = fastcap.RunExperiment(bcfg); err != nil {
+				log.Fatal(err)
+			}
+		}
+		norm, err := res.NormalizedPerf(baseline)
+		if err != nil {
+			log.Fatal(err)
+		}
+		s := stats.SummarizePerf(norm)
+		tbl.AddRow(pol.Name(),
+			report.F(res.AvgPowerW(), 1),
+			report.F(res.MaxEpochPowerW(), 1),
+			report.F(s.Avg, 3),
+			report.F(s.Worst, 3),
+			report.F(s.Jain, 3))
+	}
+	fmt.Printf("budget: %.1f W of %.1f W peak\n\n", *budget*baseline.PeakW, baseline.PeakW)
+	if err := tbl.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("reading the table: lower avg/worst perf is better (1.0 = uncapped speed);")
+	fmt.Println("a wide gap between avg and worst marks unfair policies (Eql-Pwr, MaxBIPS).")
+}

@@ -1,0 +1,183 @@
+// Package fastcap is the public API of this FastCap reproduction — an
+// implementation of "FastCap: An Efficient and Fair Algorithm for Power
+// Capping in Many-Core Systems" (Liu, Cox, Deng, Draper, Bianchini —
+// ISPASS 2016), together with the simulated many-core platform, the
+// baseline policies, and the experiment harness of the paper's
+// evaluation.
+//
+// The heavy lifting lives in internal packages; this package re-exports
+// the stable surface:
+//
+//   - the FastCap optimizer (Algorithm 1) and its inputs: Inputs, Solve;
+//   - capping policies behind the Policy interface: NewFastCapPolicy,
+//     NewCPUOnlyPolicy, NewFreqParPolicy, NewEqlPwrPolicy,
+//     NewEqlFreqPolicy, NewMaxBIPSPolicy;
+//   - the simulated platform and epoch runner: DefaultSystemConfig,
+//     RunExperiment, RunExperimentPair;
+//   - Table III workloads: Workloads, WorkloadByName;
+//   - the figure-level experiment harness: NewLab.
+//
+// Quick start:
+//
+//	mix, _ := fastcap.WorkloadByName("MIX3")
+//	cfg := fastcap.ExperimentConfig{
+//		Sim:        fastcap.DefaultSystemConfig(16),
+//		Mix:        mix,
+//		BudgetFrac: 0.6,
+//		Epochs:     40,
+//		Policy:     fastcap.NewFastCapPolicy(),
+//	}
+//	res, base, _ := fastcap.RunExperimentPair(cfg)
+//	norm, _ := res.NormalizedPerf(base)
+package fastcap
+
+import (
+	"repro/internal/core"
+	"repro/internal/dvfs"
+	"repro/internal/experiments"
+	"repro/internal/policy"
+	"repro/internal/runner"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Optimizer surface (paper §III-B, Algorithm 1).
+type (
+	// Inputs are the FastCap optimizer inputs: think times, cache times,
+	// fitted power models, queue statistics, budget.
+	Inputs = core.Inputs
+	// Result is the continuous optimizer solution (objective D, think
+	// times, bus transfer time) before DVFS-ladder quantization.
+	Result = core.Result
+	// Assignment is the quantized ladder assignment.
+	Assignment = core.Assignment
+	// ResponseFunc evaluates the per-core memory response time R_i(s_b).
+	ResponseFunc = core.ResponseFunc
+)
+
+// SbCandidatesFromLadder derives the optimizer's M candidate bus
+// transfer times from a memory DVFS ladder.
+func SbCandidatesFromLadder(sbBar float64, memLadder *Ladder) []float64 {
+	return core.SbCandidatesFromLadder(sbBar, memLadder)
+}
+
+// DVFS ladders (paper §IV-A).
+type Ladder = dvfs.Ladder
+
+// DefaultCoreLadder returns 10 steps spanning 2.2–4.0 GHz at 0.65–1.2 V.
+func DefaultCoreLadder() *Ladder { return dvfs.DefaultCoreLadder() }
+
+// DefaultMemLadder returns 200–800 MHz in 66 MHz steps.
+func DefaultMemLadder() *Ladder { return dvfs.DefaultMemLadder() }
+
+// Policies (paper §IV-B).
+type (
+	// Policy is one capping algorithm: Snapshot in, Decision out.
+	Policy = policy.Policy
+	// Snapshot is the per-epoch controller input.
+	Snapshot = policy.Snapshot
+	// Decision is a full per-core + memory DVFS assignment.
+	Decision = policy.Decision
+)
+
+// NewFastCapPolicy returns the paper's algorithm (guarded quantization,
+// binary search over memory frequencies).
+func NewFastCapPolicy() Policy { return policy.NewFastCap() }
+
+// NewCPUOnlyPolicy returns FastCap restricted to core DVFS with memory
+// pinned at maximum frequency.
+func NewCPUOnlyPolicy() Policy { return policy.NewCPUOnly() }
+
+// NewFreqParPolicy returns the linear-feedback frequency-quota policy
+// of Ma et al. [22].
+func NewFreqParPolicy() Policy { return policy.NewFreqPar() }
+
+// NewEqlPwrPolicy returns the equal-power-share policy of Sharkey et
+// al. [16], extended with memory DVFS.
+func NewEqlPwrPolicy() Policy { return policy.NewEqlPwr() }
+
+// NewEqlFreqPolicy returns the uniform-frequency policy of Herbert and
+// Marculescu [42], extended with memory DVFS.
+func NewEqlFreqPolicy() Policy { return policy.NewEqlFreq() }
+
+// NewMaxBIPSPolicy returns the exhaustive throughput-maximizing policy
+// of Isci et al. [14]; it refuses core counts where O(F^N) explodes.
+func NewMaxBIPSPolicy() Policy { return policy.NewMaxBIPS() }
+
+// NewGreedyPolicy returns the heap-based greedy heuristic of Meng et
+// al. [18] / Winter et al. [19]: near-MaxBIPS throughput at
+// O(M·F·N·log N) cost, with the same fairness blind spot.
+func NewGreedyPolicy() Policy { return policy.NewGreedy() }
+
+// BudgetGroup caps the joint power of a set of cores (a socket or
+// voltage island) — the paper's §III-B per-processor extension.
+type BudgetGroup = core.BudgetGroup
+
+// NewGroupedFastCapPolicy returns FastCap with additional per-group
+// power budgets on top of the global cap.
+func NewGroupedFastCapPolicy(groups []BudgetGroup) Policy {
+	return policy.NewGroupedFastCap(groups)
+}
+
+// Simulated platform (paper §IV-A, Table II).
+type (
+	// SystemConfig describes the simulated machine.
+	SystemConfig = sim.Config
+	// System is an instantiated machine bound to a workload.
+	System = sim.System
+)
+
+// DefaultSystemConfig mirrors the paper's evaluation platform for n
+// cores (n a positive multiple of 4).
+func DefaultSystemConfig(n int) SystemConfig { return sim.DefaultConfig(n) }
+
+// NewSystem builds a simulated machine running the given workload.
+func NewSystem(cfg SystemConfig, wl *Workload) (*System, error) { return sim.New(cfg, wl) }
+
+// Workloads (paper Table III).
+type (
+	// WorkloadSpec is one Table III row.
+	WorkloadSpec = workload.MixSpec
+	// Workload is an instantiated mix: one application per core.
+	Workload = workload.Workload
+)
+
+// Workloads returns all 16 Table III mixes.
+func Workloads() []WorkloadSpec { return workload.TableIII }
+
+// WorkloadByName returns a Table III mix by name (e.g. "MEM1").
+func WorkloadByName(name string) (WorkloadSpec, error) { return workload.MixByName(name) }
+
+// InstantiateWorkload builds the per-core application instances of a
+// mix for an n-core machine.
+func InstantiateWorkload(spec WorkloadSpec, n int) (*Workload, error) {
+	return workload.Instantiate(spec, n)
+}
+
+// Experiment runner (paper §III-C epoch protocol).
+type (
+	// ExperimentConfig describes one capping run.
+	ExperimentConfig = runner.Config
+	// ExperimentResult carries per-epoch power series and per-core
+	// performance.
+	ExperimentResult = runner.Result
+)
+
+// RunExperiment executes one run (Policy nil = all-max baseline).
+func RunExperiment(cfg ExperimentConfig) (*ExperimentResult, error) { return runner.Run(cfg) }
+
+// RunExperimentPair executes a policy run and its matching baseline.
+func RunExperimentPair(cfg ExperimentConfig) (pol, base *ExperimentResult, err error) {
+	return runner.RunPair(cfg)
+}
+
+// Figure-level harness (paper §IV).
+type (
+	// LabOptions control experiment fidelity.
+	LabOptions = experiments.Options
+	// Lab caches baselines and reproduces each figure.
+	Lab = experiments.Lab
+)
+
+// NewLab builds an experiment harness; see the Lab's Fig* methods.
+func NewLab(o LabOptions) *Lab { return experiments.NewLab(o) }

@@ -1,0 +1,131 @@
+package fastcap
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// The facade integration test: exercise the public API end to end the
+// way the README quick start does.
+func TestPublicAPIQuickstart(t *testing.T) {
+	mix, err := WorkloadByName("MIX3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := ExperimentConfig{
+		Sim:        DefaultSystemConfig(8),
+		Mix:        mix,
+		BudgetFrac: 0.60,
+		Epochs:     8,
+		Policy:     NewFastCapPolicy(),
+	}
+	cfg.Sim.EpochNs = 1e6
+	cfg.Sim.ProfileNs = 1e5
+	res, base, err := RunExperimentPair(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AvgPowerW() > res.BudgetW*1.05 {
+		t.Errorf("average power %g W above budget %g W", res.AvgPowerW(), res.BudgetW)
+	}
+	norm, err := res.NormalizedPerf(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := stats.SummarizePerf(norm)
+	if s.Worst > s.Avg*1.3 {
+		t.Errorf("fairness gap: worst %g vs avg %g", s.Worst, s.Avg)
+	}
+}
+
+func TestPublicAPILadders(t *testing.T) {
+	core, mem := DefaultCoreLadder(), DefaultMemLadder()
+	if core.Len() != 10 || mem.Len() != 10 {
+		t.Errorf("ladders: %d core, %d mem steps", core.Len(), mem.Len())
+	}
+	sb := SbCandidatesFromLadder(5.0, mem)
+	if len(sb) != 10 || math.Abs(sb[0]-5.0) > 1e-9 {
+		t.Errorf("candidates: %v", sb)
+	}
+}
+
+func TestPublicAPIWorkloads(t *testing.T) {
+	if got := len(Workloads()); got != 16 {
+		t.Fatalf("got %d workloads", got)
+	}
+	spec, err := WorkloadByName("MEM1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl, err := InstantiateWorkload(spec, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(wl.MeanMPKI()-18.22) > 1e-9 {
+		t.Errorf("MEM1 MPKI = %g", wl.MeanMPKI())
+	}
+	if _, err := WorkloadByName("bogus"); err == nil {
+		t.Error("bogus workload accepted")
+	}
+}
+
+func TestPublicAPIAllPolicyConstructors(t *testing.T) {
+	pols := []Policy{
+		NewFastCapPolicy(),
+		NewCPUOnlyPolicy(),
+		NewFreqParPolicy(),
+		NewEqlPwrPolicy(),
+		NewEqlFreqPolicy(),
+		NewMaxBIPSPolicy(),
+		NewGreedyPolicy(),
+	}
+	names := map[string]bool{}
+	for _, p := range pols {
+		if p == nil || p.Name() == "" {
+			t.Fatalf("bad policy %v", p)
+		}
+		if names[p.Name()] {
+			t.Errorf("duplicate policy name %q", p.Name())
+		}
+		names[p.Name()] = true
+	}
+}
+
+func TestPublicAPISystem(t *testing.T) {
+	spec, err := WorkloadByName("ILP2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl, err := InstantiateWorkload(spec, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultSystemConfig(4)
+	cfg.EpochNs = 5e5
+	cfg.ProfileNs = 5e4
+	sys, err := NewSystem(cfg, wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.PeakPowerW() <= 0 {
+		t.Error("no peak power")
+	}
+	sys.Start()
+	prof := sys.RunProfile()
+	if len(prof.Cores) != 4 {
+		t.Errorf("profile has %d cores", len(prof.Cores))
+	}
+}
+
+func TestPublicAPILab(t *testing.T) {
+	lab := NewLab(LabOptions{Cores: 4, Epochs: 3, EpochNs: 2e5, MixesPerClass: 1})
+	bars, err := lab.Fig3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bars) != 16 {
+		t.Errorf("Fig3 returned %d bars", len(bars))
+	}
+}

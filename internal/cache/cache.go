@@ -1,0 +1,151 @@
+// Package cache models the shared last-level cache (the paper's 16 MB
+// L2, Table II) analytically: per-application miss-ratio curves plus the
+// LRU occupancy equilibrium that arises when applications share the
+// cache. It explains — and is used to validate — the central workload-
+// calibration fact of this reproduction: the *same* application exhibits
+// very different effective MPKI in different Table III mixes (applu is
+// 4× more miss-intensive co-run with three other streaming codes in MEM1
+// than next to low-footprint codes in MIX1), because co-runners change
+// how much cache each application holds.
+//
+// Model:
+//
+//   - Each application has a power-law miss-ratio curve
+//     MPKI(c) = max(Floor, Base·(Ref/c)^Theta) for cache share c (MB) —
+//     the standard concave MRC shape; streaming codes have Theta ≈ 0
+//     (cache-insensitive), cache-friendly codes larger Theta.
+//   - Under LRU, steady-state occupancy is proportional to each
+//     application's *insertion* (miss) bandwidth: share_i ∝
+//     IPS_i·MPKI_i(share_i·C). The equilibrium is the fixed point of
+//     that proportionality, found by damped iteration.
+package cache
+
+import (
+	"fmt"
+	"math"
+)
+
+// MRC is a power-law miss-ratio curve.
+type MRC struct {
+	// BaseMPKI is the L2 misses per kilo-instruction when the app holds
+	// RefMB of cache.
+	BaseMPKI float64
+	RefMB    float64
+	// Theta is the capacity sensitivity: 0 = pure streaming (no reuse),
+	// ~0.5–1.5 typical for cache-friendly codes.
+	Theta float64
+	// FloorMPKI bounds the curve below (compulsory misses).
+	FloorMPKI float64
+}
+
+// MPKIAt evaluates the curve at a cache share of c MB.
+func (m MRC) MPKIAt(c float64) float64 {
+	if c <= 0 {
+		// No cache at all: cap at the full working-set miss rate (4× base
+		// keeps the model bounded).
+		return m.BaseMPKI * 4
+	}
+	v := m.BaseMPKI * math.Pow(m.RefMB/c, m.Theta)
+	if max := m.BaseMPKI * 4; v > max {
+		v = max
+	}
+	if v < m.FloorMPKI {
+		v = m.FloorMPKI
+	}
+	return v
+}
+
+// Valid reports whether the curve parameters are physical.
+func (m MRC) Valid() bool {
+	return m.BaseMPKI > 0 && m.RefMB > 0 && m.Theta >= 0 && m.FloorMPKI >= 0 &&
+		m.FloorMPKI <= m.BaseMPKI*4
+}
+
+// Sharer is one application competing for the shared cache.
+type Sharer struct {
+	Name string
+	MRC  MRC
+	// IPS is the relative instruction rate (copies of the same app on
+	// multiple cores can be folded in here).
+	IPS float64
+}
+
+func validate(sharers []Sharer, totalMB float64) error {
+	if len(sharers) == 0 {
+		return fmt.Errorf("cache: no sharers")
+	}
+	if totalMB <= 0 {
+		return fmt.Errorf("cache: non-positive capacity %g", totalMB)
+	}
+	for i, s := range sharers {
+		if !s.MRC.Valid() {
+			return fmt.Errorf("cache: sharer %d (%s) has invalid MRC", i, s.Name)
+		}
+		if s.IPS <= 0 {
+			return fmt.Errorf("cache: sharer %d (%s) has non-positive IPS", i, s.Name)
+		}
+	}
+	return nil
+}
+
+// solveShares runs the damped fixed-point iteration on the occupancy
+// simplex. It converges because the update is a continuous map from the
+// simplex into itself with damping 0.5.
+func solveShares(sharers []Sharer, totalMB float64, iters int) []float64 {
+	if iters <= 0 {
+		iters = 200
+	}
+	n := len(sharers)
+	share := make([]float64, n)
+	for i := range share {
+		share[i] = 1.0 / float64(n)
+	}
+	next := make([]float64, n)
+	const damp = 0.5
+	for it := 0; it < iters; it++ {
+		sum := 0.0
+		for i, s := range sharers {
+			// Insertion bandwidth at the current allocation.
+			next[i] = s.IPS * s.MRC.MPKIAt(share[i]*totalMB)
+			sum += next[i]
+		}
+		if sum <= 0 {
+			break
+		}
+		delta := 0.0
+		for i := range next {
+			target := next[i] / sum
+			nv := share[i] + damp*(target-share[i])
+			delta += math.Abs(nv - share[i])
+			share[i] = nv
+		}
+		if delta < 1e-12 {
+			break
+		}
+	}
+	return share
+}
+
+// Equilibrium computes the LRU occupancy fixed point for the sharers in
+// a cache of totalMB and returns each sharer's effective MPKI at its
+// equilibrium share.
+func Equilibrium(sharers []Sharer, totalMB float64, iters int) ([]float64, error) {
+	if err := validate(sharers, totalMB); err != nil {
+		return nil, err
+	}
+	share := solveShares(sharers, totalMB, iters)
+	out := make([]float64, len(sharers))
+	for i, s := range sharers {
+		out[i] = s.MRC.MPKIAt(share[i] * totalMB)
+	}
+	return out, nil
+}
+
+// Shares returns the equilibrium occupancy fractions rather than the
+// miss rates; useful for reporting.
+func Shares(sharers []Sharer, totalMB float64, iters int) ([]float64, error) {
+	if err := validate(sharers, totalMB); err != nil {
+		return nil, err
+	}
+	return solveShares(sharers, totalMB, iters), nil
+}

@@ -1,0 +1,421 @@
+// Package core implements the FastCap optimizer (paper §III-B): the
+// convex program of Eqs. 4–7 solved online in O(N·log M) by Algorithm 1.
+//
+// For a fixed memory bus transfer time s_b, Theorem 1 makes both
+// constraints tight, so every core's think time follows from Eq. 8,
+//
+//	z_i = (z̄_i + c_i + R_i(s̄_b))/D − c_i − R_i(s_b),
+//
+// and the budget equality determines the single unknown D, found here by
+// bisection on the monotone power-versus-D curve. A binary search over
+// the M candidate bus times (D is unimodal in s_b for the convex
+// program) yields the full solution.
+//
+// Times are nanoseconds, powers are watts, frequencies appear only as
+// normalized scaling factors.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dvfs"
+	"repro/internal/power"
+)
+
+// ResponseFunc returns the mean memory response time (ns) experienced by
+// a given core at bus transfer time sb. With a single controller the
+// response is the same for every core (Eq. 1); with multiple controllers
+// it is the access-weighted mixture (§IV-B).
+type ResponseFunc func(core int, sb float64) float64
+
+// Inputs carries everything Algorithm 1 consumes for one invocation.
+// Slices indexed by core must all have the same length N.
+type Inputs struct {
+	// ZBar[i] is core i's minimum think time (ns) at maximum frequency,
+	// estimated from counters via Eq. 9.
+	ZBar []float64
+	// C[i] is core i's average L2 cache time per memory access (ns); the
+	// L2 sits in a fixed voltage domain and does not scale (§III-A).
+	C []float64
+	// Power holds the fitted per-core and memory power models and the
+	// frequency-independent system power P_s.
+	Power power.System
+	// Response evaluates R_i(s_b). It must be nondecreasing in sb.
+	Response ResponseFunc
+	// SbBar is the minimum bus transfer time (ns) at maximum memory
+	// frequency; SbCandidates are the M selectable transfer times in
+	// ascending order (highest frequency first). SbCandidates[0] is
+	// normally SbBar itself.
+	SbBar        float64
+	SbCandidates []float64
+	// Budget is the full-system cap in watts: B · P̄.
+	Budget float64
+	// MaxZRatio bounds think-time dilation: z_i ≤ z̄_i·MaxZRatio, i.e.
+	// f_max/f_min of the core ladder. Must be ≥ 1.
+	MaxZRatio float64
+}
+
+// Validate reports the first structural problem with the inputs, or nil.
+func (in *Inputs) Validate() error {
+	n := len(in.ZBar)
+	if n == 0 {
+		return fmt.Errorf("fastcap: no cores")
+	}
+	if len(in.C) != n {
+		return fmt.Errorf("fastcap: len(C)=%d, want %d", len(in.C), n)
+	}
+	if len(in.Power.Cores) != n {
+		return fmt.Errorf("fastcap: %d core power models, want %d", len(in.Power.Cores), n)
+	}
+	for i := 0; i < n; i++ {
+		if in.ZBar[i] <= 0 {
+			return fmt.Errorf("fastcap: core %d has non-positive think time %g", i, in.ZBar[i])
+		}
+		if in.C[i] < 0 {
+			return fmt.Errorf("fastcap: core %d has negative cache time", i)
+		}
+	}
+	if in.SbBar <= 0 {
+		return fmt.Errorf("fastcap: non-positive SbBar")
+	}
+	if len(in.SbCandidates) == 0 {
+		return fmt.Errorf("fastcap: no bus time candidates")
+	}
+	for i, sb := range in.SbCandidates {
+		if sb < in.SbBar-1e-9 {
+			return fmt.Errorf("fastcap: candidate %d (%g) below SbBar %g", i, sb, in.SbBar)
+		}
+		if i > 0 && sb <= in.SbCandidates[i-1] {
+			return fmt.Errorf("fastcap: candidates not strictly ascending at %d", i)
+		}
+	}
+	if in.MaxZRatio < 1 {
+		return fmt.Errorf("fastcap: MaxZRatio %g < 1", in.MaxZRatio)
+	}
+	if in.Budget <= 0 {
+		return fmt.Errorf("fastcap: non-positive budget")
+	}
+	if in.Response == nil {
+		return fmt.Errorf("fastcap: nil Response")
+	}
+	return nil
+}
+
+// Result is the continuous solution of the FastCap program, before
+// quantization onto the hardware DVFS ladders.
+type Result struct {
+	// D is the achieved objective: every application runs at fraction D
+	// of its best-case performance (1/D is the common slowdown bound).
+	D float64
+	// Z[i] is core i's selected think time (ns); the normalized core
+	// frequency is ZBar[i]/Z[i].
+	Z []float64
+	// Sb is the selected bus transfer time and SbIndex its position in
+	// SbCandidates; the normalized memory frequency is SbBar/Sb.
+	Sb      float64
+	SbIndex int
+	// PredictedPower is the model-predicted full-system power at the
+	// solution; by Theorem 1 it equals the budget whenever the budget
+	// binds and the solution is interior.
+	PredictedPower float64
+	// Feasible is false when even the lowest frequencies exceed the
+	// budget; the result then carries the minimum-power configuration.
+	Feasible bool
+	// Evals counts inner D-solves performed, exposed so complexity tests
+	// can verify the O(log M) outer search.
+	Evals int
+}
+
+// dSolution is the inner solve for one candidate sb.
+type dSolution struct {
+	d        float64
+	z        []float64
+	pw       float64
+	feasible bool
+}
+
+const (
+	dRootIters = 48    // max root-find steps for the budget equality
+	budgetTol  = 1e-9  // watts tolerance on budget equality
+	dFloor     = 1e-12 // numeric floor for the objective
+)
+
+// zOfD evaluates Eq. 8 with clamping to the realizable think-time range.
+func zOfD(zBar, c, rMin, r, d, maxZRatio float64) float64 {
+	z := (zBar+c+rMin)/d - c - r
+	if z < zBar {
+		return zBar
+	}
+	if zMax := zBar * maxZRatio; z > zMax {
+		return zMax
+	}
+	return z
+}
+
+// solveForSb computes the optimal D and think times for one fixed sb via
+// bisection on the budget equality (Theorem 1). It runs in O(N) per
+// bisection step.
+func (in *Inputs) solveForSb(sbIdx int) dSolution {
+	sb := in.SbCandidates[sbIdx]
+	n := len(in.ZBar)
+	r := make([]float64, n)
+	rMin := make([]float64, n)
+	for i := 0; i < n; i++ {
+		r[i] = in.Response(i, sb)
+		rMin[i] = in.Response(i, in.SbBar)
+	}
+	xm := in.SbBar / sb
+
+	// Allocation-free power evaluation: power is all the root finder needs;
+	// think times are materialized once at the end.
+	powerOnly := func(d float64) float64 {
+		p := in.Power.Ps + in.Power.Mem.At(xm)
+		for i := 0; i < n; i++ {
+			z := zOfD(in.ZBar[i], in.C[i], rMin[i], r[i], d, in.MaxZRatio)
+			p += in.Power.Cores[i].At(in.ZBar[i] / z)
+		}
+		return p
+	}
+	thinkTimes := func(d float64) []float64 {
+		z := make([]float64, n)
+		for i := 0; i < n; i++ {
+			z[i] = zOfD(in.ZBar[i], in.C[i], rMin[i], r[i], d, in.MaxZRatio)
+		}
+		return z
+	}
+
+	// dHi: the largest meaningful D — every core at maximum frequency
+	// (z_i = z̄_i). dLo: every core clamped at minimum frequency.
+	dHi, dLo := math.Inf(1), math.Inf(1)
+	for i := 0; i < n; i++ {
+		tMin := in.ZBar[i] + in.C[i] + rMin[i]
+		dHi = math.Min(dHi, tMin/(in.ZBar[i]+in.C[i]+r[i]))
+		dLo = math.Min(dLo, tMin/(in.ZBar[i]*in.MaxZRatio+in.C[i]+r[i]))
+	}
+	if dLo < dFloor {
+		dLo = dFloor
+	}
+
+	if pHi := powerOnly(dHi); pHi <= in.Budget+budgetTol {
+		// Budget does not bind: run everything at maximum frequency.
+		return dSolution{d: dHi, z: thinkTimes(dHi), pw: pHi, feasible: true}
+	}
+	pLo := powerOnly(dLo)
+	if pLo > in.Budget+budgetTol {
+		// Even minimum frequencies blow the budget at this sb.
+		return dSolution{d: dLo, z: thinkTimes(dLo), pw: pLo, feasible: false}
+	}
+
+	// Solve power(D) = Budget on [dLo, dHi]. power is monotone
+	// nondecreasing in D (possibly flat where clamps bind), so a
+	// bracketed secant (Illinois) step alternated with bisection
+	// converges superlinearly while never leaving the bracket.
+	lo, hi := dLo, dHi
+	gLo := pLo - in.Budget // ≤ 0
+	gHi := powerOnly(dHi) - in.Budget
+	for it := 0; it < dRootIters && hi-lo > 1e-13*hi; it++ {
+		var mid float64
+		if it%2 == 0 && gHi-gLo > budgetTol {
+			mid = lo - gLo*(hi-lo)/(gHi-gLo) // secant through the bracket
+			if mid <= lo || mid >= hi {
+				mid = 0.5 * (lo + hi)
+			}
+		} else {
+			mid = 0.5 * (lo + hi)
+		}
+		g := powerOnly(mid) - in.Budget
+		if g > 0 {
+			hi, gHi = mid, g
+		} else {
+			lo, gLo = mid, g
+			if g > -budgetTol {
+				break // budget equality hit from below
+			}
+		}
+	}
+	return dSolution{d: lo, z: thinkTimes(lo), pw: gLo + in.Budget, feasible: true}
+}
+
+// Solve runs Algorithm 1: binary search over the M bus-time candidates,
+// each probe solving D in O(N). The search key is the full betterThan
+// order rather than D alone: infeasible candidates (memory frequency so
+// high that even minimum core frequencies bust the budget) form a prefix
+// of the candidate array over which predicted power decreases, so the
+// combined order stays unimodal over the index. The deviation from the
+// paper's literal pseudocode — comparing adjacent candidates and
+// shrinking [l, r] rather than the three-way probe — is the standard
+// unimodal-maximum bisection and avoids the non-progress corner case in
+// the published listing; both perform O(log M) probes.
+func (in *Inputs) Solve() (Result, error) {
+	if err := in.Validate(); err != nil {
+		return Result{}, err
+	}
+	evals := 0
+	memo := make(map[int]dSolution, len(in.SbCandidates))
+	probe := func(i int) dSolution {
+		if s, ok := memo[i]; ok {
+			return s
+		}
+		s := in.solveForSb(i)
+		memo[i] = s
+		evals++
+		return s
+	}
+
+	lo, hi := 0, len(in.SbCandidates)-1
+	for hi-lo > 2 {
+		m := (lo + hi) / 2
+		if betterThan(probe(m+1), probe(m)) {
+			lo = m + 1
+		} else {
+			hi = m
+		}
+	}
+	best, bestIdx := probe(lo), lo
+	for i := lo + 1; i <= hi; i++ {
+		if s := probe(i); betterThan(s, best) {
+			best, bestIdx = s, i
+		}
+	}
+	return Result{
+		D:              best.d,
+		Z:              best.z,
+		Sb:             in.SbCandidates[bestIdx],
+		SbIndex:        bestIdx,
+		PredictedPower: best.pw,
+		Feasible:       best.feasible,
+		Evals:          evals,
+	}, nil
+}
+
+// SolveExhaustive scans all M candidates. It is the reference the binary
+// search is validated against and the building block for the CPU-only
+// policy (single candidate) and for policies that must probe every
+// memory frequency.
+func (in *Inputs) SolveExhaustive() (Result, error) {
+	if err := in.Validate(); err != nil {
+		return Result{}, err
+	}
+	var best dSolution
+	bestIdx := -1
+	evals := 0
+	for i := range in.SbCandidates {
+		s := in.solveForSb(i)
+		evals++
+		if bestIdx < 0 || betterThan(s, best) {
+			best, bestIdx = s, i
+		}
+	}
+	return Result{
+		D:              best.d,
+		Z:              best.z,
+		Sb:             in.SbCandidates[bestIdx],
+		SbIndex:        bestIdx,
+		PredictedPower: best.pw,
+		Feasible:       best.feasible,
+		Evals:          evals,
+	}, nil
+}
+
+// betterThan orders candidate solutions: feasible beats infeasible; among
+// infeasible, lower predicted power wins (closest budget violation);
+// among feasible, larger D wins with ties broken toward lower power.
+// Because infeasible candidates occupy a prefix of the (ascending)
+// bus-time array over which minimum power strictly decreases, this order
+// is unimodal in the candidate index, which is what Solve's bisection
+// requires.
+func betterThan(a, b dSolution) bool {
+	if a.feasible != b.feasible {
+		return a.feasible
+	}
+	if !a.feasible {
+		return a.pw < b.pw
+	}
+	if a.d != b.d {
+		return a.d > b.d
+	}
+	return a.pw < b.pw
+}
+
+// Assignment is the quantized outcome mapped onto hardware ladders.
+type Assignment struct {
+	CoreSteps []int // ladder step per core
+	MemStep   int   // memory ladder step
+	// PredictedPower re-evaluates the power models at the quantized
+	// frequencies.
+	PredictedPower float64
+}
+
+// Quantize maps a continuous Result onto the DVFS ladders, rounding each
+// normalized frequency to the nearest step (paper §III-B: "the closest
+// to z_i/z̄_i after normalization").
+//
+// When guard is true and nearest-step rounding lands the predicted power
+// above the budget, cores are stepped down one ladder notch at a time —
+// always the core currently closest to its best-case performance, which
+// preserves FastCap's fairness ordering — until the model predicts the
+// budget is met (memory is stepped down only after every core reaches
+// its floor).
+func (in *Inputs) Quantize(res Result, coreL, memL *dvfs.Ladder, guard bool) Assignment {
+	n := len(res.Z)
+	steps := make([]int, n)
+	for i := 0; i < n; i++ {
+		steps[i] = coreL.NearestNorm(in.ZBar[i] / res.Z[i])
+	}
+	memStep := memL.NearestNorm(in.SbBar / res.Sb)
+
+	predict := func() float64 {
+		p := in.Power.Ps + in.Power.Mem.At(memL.NormFreq(memStep))
+		for i := 0; i < n; i++ {
+			p += in.Power.Cores[i].At(coreL.NormFreq(steps[i]))
+		}
+		return p
+	}
+	pw := predict()
+	if !guard || pw <= in.Budget {
+		return Assignment{CoreSteps: steps, MemStep: memStep, PredictedPower: pw}
+	}
+
+	// Performance ratio of core i at its current step: D_i = T_min/T(step).
+	ratio := func(i int) float64 {
+		rMin := in.Response(i, in.SbBar)
+		r := in.Response(i, in.SbCandidates[res.SbIndex])
+		z := in.ZBar[i] * coreL.Max() / coreL.Freq(steps[i])
+		return (in.ZBar[i] + in.C[i] + rMin) / (z + in.C[i] + r)
+	}
+	for pw > in.Budget {
+		best, bestRatio := -1, -1.0
+		for i := 0; i < n; i++ {
+			if steps[i] == 0 {
+				continue
+			}
+			if rr := ratio(i); rr > bestRatio {
+				best, bestRatio = i, rr
+			}
+		}
+		if best < 0 {
+			if memStep > 0 {
+				memStep--
+				pw = predict()
+				continue
+			}
+			break // everything at the floor; nothing more to shed
+		}
+		steps[best]--
+		pw = predict()
+	}
+	return Assignment{CoreSteps: steps, MemStep: memStep, PredictedPower: pw}
+}
+
+// SbCandidatesFromLadder derives the M candidate bus transfer times from
+// a memory ladder: sbBar·(f_max/f_m), returned ascending in time
+// (descending in frequency) as Inputs.SbCandidates expects.
+func SbCandidatesFromLadder(sbBar float64, memL *dvfs.Ladder) []float64 {
+	m := memL.Len()
+	out := make([]float64, m)
+	for i := 0; i < m; i++ {
+		out[i] = sbBar * memL.Max() / memL.Freq(m-1-i)
+	}
+	return out
+}

@@ -1,0 +1,173 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// BudgetGroup is a per-processor (socket/voltage-island) power budget:
+// the cores in Cores may jointly draw at most Budget watts. The paper's
+// §III-B notes the optimization "can be extended to capture
+// per-processor power budgets by adding a constraint similar to
+// constraint 6 for each processor"; this implements that extension.
+type BudgetGroup struct {
+	Cores  []int
+	Budget float64
+}
+
+// validateGroups checks group shape against the core count.
+func validateGroups(groups []BudgetGroup, n int) error {
+	seen := make([]bool, n)
+	for gi, g := range groups {
+		if len(g.Cores) == 0 {
+			return fmt.Errorf("fastcap: group %d has no cores", gi)
+		}
+		if g.Budget <= 0 {
+			return fmt.Errorf("fastcap: group %d has non-positive budget", gi)
+		}
+		for _, c := range g.Cores {
+			if c < 0 || c >= n {
+				return fmt.Errorf("fastcap: group %d references core %d of %d", gi, c, n)
+			}
+			if seen[c] {
+				return fmt.Errorf("fastcap: core %d appears in multiple groups", c)
+			}
+			seen[c] = true
+		}
+	}
+	return nil
+}
+
+// GroupedInputs extends Inputs with per-processor budgets. The global
+// budget (Inputs.Budget) still applies to the whole system; each group
+// constraint additionally caps the summed core power of its members.
+type GroupedInputs struct {
+	Inputs
+	Groups []BudgetGroup
+}
+
+// Validate extends Inputs.Validate with group checks.
+func (in *GroupedInputs) Validate() error {
+	if err := in.Inputs.Validate(); err != nil {
+		return err
+	}
+	return validateGroups(in.Groups, len(in.ZBar))
+}
+
+// Solve runs Algorithm 1 under the additional per-group constraints.
+//
+// For a fixed s_b every constraint's left-hand side is monotone
+// nondecreasing in D (larger D → faster cores → more power), so the
+// feasible objective is D* = min(D_global, min_g D_g) where each D_c
+// solves its own budget equality; the group solves reuse the same
+// bracketed bisection as the global one, keeping the per-candidate cost
+// O((G+1)·N) and the whole algorithm O((G+1)·N·log M).
+func (in *GroupedInputs) Solve() (Result, error) {
+	if err := in.Validate(); err != nil {
+		return Result{}, err
+	}
+	if len(in.Groups) == 0 {
+		return in.Inputs.Solve()
+	}
+	evals := 0
+	probe := func(idx int) dSolution {
+		evals++
+		return in.solveGroupedForSb(idx)
+	}
+	// The same unimodal bisection as the ungrouped Solve; the candidate
+	// count M is small so we simply scan — group constraints can flatten
+	// the objective and plain scanning is robust to ties.
+	best := probe(0)
+	bestIdx := 0
+	for i := 1; i < len(in.SbCandidates); i++ {
+		if s := probe(i); betterThan(s, best) {
+			best, bestIdx = s, i
+		}
+	}
+	return Result{
+		D:              best.d,
+		Z:              best.z,
+		Sb:             in.SbCandidates[bestIdx],
+		SbIndex:        bestIdx,
+		PredictedPower: best.pw,
+		Feasible:       best.feasible,
+		Evals:          evals,
+	}, nil
+}
+
+// solveGroupedForSb solves the D maximization at one bus time under the
+// global and all group constraints.
+func (in *GroupedInputs) solveGroupedForSb(sbIdx int) dSolution {
+	sb := in.SbCandidates[sbIdx]
+	n := len(in.ZBar)
+	r := make([]float64, n)
+	rMin := make([]float64, n)
+	for i := 0; i < n; i++ {
+		r[i] = in.Response(i, sb)
+		rMin[i] = in.Response(i, in.SbBar)
+	}
+	xm := in.SbBar / sb
+
+	zAt := func(i int, d float64) float64 {
+		return zOfD(in.ZBar[i], in.C[i], rMin[i], r[i], d, in.MaxZRatio)
+	}
+	globalPower := func(d float64) float64 {
+		p := in.Power.Ps + in.Power.Mem.At(xm)
+		for i := 0; i < n; i++ {
+			p += in.Power.Cores[i].At(in.ZBar[i] / zAt(i, d))
+		}
+		return p
+	}
+	groupPower := func(g BudgetGroup, d float64) float64 {
+		p := 0.0
+		for _, i := range g.Cores {
+			p += in.Power.Cores[i].At(in.ZBar[i] / zAt(i, d))
+		}
+		return p
+	}
+
+	dHi, dLo := math.Inf(1), math.Inf(1)
+	for i := 0; i < n; i++ {
+		tMin := in.ZBar[i] + in.C[i] + rMin[i]
+		dHi = math.Min(dHi, tMin/(in.ZBar[i]+in.C[i]+r[i]))
+		dLo = math.Min(dLo, tMin/(in.ZBar[i]*in.MaxZRatio+in.C[i]+r[i]))
+	}
+	if dLo < dFloor {
+		dLo = dFloor
+	}
+
+	// solveConstraint returns the largest D ∈ [dLo, dHi] with
+	// power(D) ≤ budget, and whether even dLo violates the budget.
+	solveConstraint := func(power func(float64) float64, budget float64) (float64, bool) {
+		if power(dHi) <= budget+budgetTol {
+			return dHi, true
+		}
+		if power(dLo) > budget+budgetTol {
+			return dLo, false
+		}
+		lo, hi := dLo, dHi
+		for it := 0; it < dRootIters && hi-lo > 1e-13*hi; it++ {
+			mid := 0.5 * (lo + hi)
+			if power(mid) > budget {
+				hi = mid
+			} else {
+				lo = mid
+			}
+		}
+		return lo, true
+	}
+
+	d, feasible := solveConstraint(globalPower, in.Budget)
+	for _, g := range in.Groups {
+		dg, ok := solveConstraint(func(dd float64) float64 { return groupPower(g, dd) }, g.Budget)
+		if dg < d {
+			d = dg
+		}
+		feasible = feasible && ok
+	}
+	z := make([]float64, n)
+	for i := 0; i < n; i++ {
+		z[i] = zAt(i, d)
+	}
+	return dSolution{d: d, z: z, pw: globalPower(d), feasible: feasible}
+}

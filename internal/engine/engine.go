@@ -1,0 +1,121 @@
+// Package engine provides the discrete-event scheduler underlying the
+// many-core system simulator. Time is a float64 in nanoseconds. Events
+// scheduled for the same instant fire in FIFO order, which keeps the
+// simulation deterministic for a fixed seed.
+package engine
+
+import "math"
+
+// event is a scheduled callback.
+type event struct {
+	at  float64
+	seq uint64
+	fn  func()
+}
+
+// Engine is a single-threaded discrete-event simulator loop.
+type Engine struct {
+	now  float64
+	seq  uint64
+	heap []event
+}
+
+// New returns an engine positioned at time zero.
+func New() *Engine { return &Engine{} }
+
+// Now returns the current simulation time in nanoseconds.
+func (e *Engine) Now() float64 { return e.now }
+
+// Pending returns the number of scheduled events not yet fired.
+func (e *Engine) Pending() int { return len(e.heap) }
+
+// Schedule enqueues fn to run delay nanoseconds from now. Negative or
+// NaN delays are treated as zero (fire at the current time, after any
+// already-queued events for this instant).
+func (e *Engine) Schedule(delay float64, fn func()) {
+	if !(delay > 0) { // catches negative, zero and NaN
+		delay = 0
+	}
+	e.push(event{at: e.now + delay, seq: e.seq, fn: fn})
+	e.seq++
+}
+
+// At enqueues fn at absolute time t, clamped to never fire in the past.
+func (e *Engine) At(t float64, fn func()) {
+	if t < e.now {
+		t = e.now
+	}
+	e.push(event{at: t, seq: e.seq, fn: fn})
+	e.seq++
+}
+
+// RunUntil fires every event scheduled at or before t in timestamp order
+// and then advances the clock to exactly t. Events created while running
+// are honoured if they fall within the horizon.
+func (e *Engine) RunUntil(t float64) {
+	if math.IsNaN(t) || t < e.now {
+		return
+	}
+	for len(e.heap) > 0 && e.heap[0].at <= t {
+		ev := e.pop()
+		e.now = ev.at
+		ev.fn()
+	}
+	e.now = t
+}
+
+// Step fires the single earliest event, returning false if none remain.
+func (e *Engine) Step() bool {
+	if len(e.heap) == 0 {
+		return false
+	}
+	ev := e.pop()
+	e.now = ev.at
+	ev.fn()
+	return true
+}
+
+// less orders events by time, then insertion sequence.
+func (e *Engine) less(i, j int) bool {
+	if e.heap[i].at != e.heap[j].at {
+		return e.heap[i].at < e.heap[j].at
+	}
+	return e.heap[i].seq < e.heap[j].seq
+}
+
+func (e *Engine) push(ev event) {
+	e.heap = append(e.heap, ev)
+	i := len(e.heap) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !e.less(i, parent) {
+			break
+		}
+		e.heap[i], e.heap[parent] = e.heap[parent], e.heap[i]
+		i = parent
+	}
+}
+
+func (e *Engine) pop() event {
+	top := e.heap[0]
+	last := len(e.heap) - 1
+	e.heap[0] = e.heap[last]
+	e.heap = e.heap[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < last && e.less(l, smallest) {
+			smallest = l
+		}
+		if r < last && e.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		e.heap[i], e.heap[smallest] = e.heap[smallest], e.heap[i]
+		i = smallest
+	}
+	return top
+}

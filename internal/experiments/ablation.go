@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"repro/internal/policy"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// AblationRow compares two FastCap variants on one workload.
+type AblationRow struct {
+	Mix     string
+	Variant string
+	// AvgPowerNorm and MaxPowerNorm are run-average and worst-epoch
+	// power over peak; OverBudgetEpochsPct is the fraction of epochs
+	// whose average power exceeded the cap by more than 1%.
+	AvgPowerNorm        float64
+	MaxPowerNorm        float64
+	OverBudgetEpochsPct float64
+	AvgPerf             float64
+	WorstPerf           float64
+}
+
+// AblationGuard quantifies the post-quantization budget guard called out
+// in DESIGN.md: with the guard off, nearest-step rounding can land above
+// the cap; with it on, predicted compliance is restored at a small
+// performance cost. Run on one mix per class at a 60% budget.
+func (l *Lab) AblationGuard() ([]AblationRow, error) {
+	cfg := l.Opt.SimConfig(l.Opt.Cores)
+	variants := []struct {
+		name string
+		mk   func() policy.Policy
+	}{
+		{"guard-on", func() policy.Policy { return &policy.FastCap{Guard: true} }},
+		{"guard-off", func() policy.Policy { return &policy.FastCap{Guard: false} }},
+	}
+	var out []AblationRow
+	for _, mixName := range []string{"ILP1", "MID2", "MEM2", "MIX3"} {
+		mix, err := workload.MixByName(mixName)
+		if err != nil {
+			return nil, err
+		}
+		for _, v := range variants {
+			res, base, err := l.runPair(mix, cfg, 0.60, v.mk())
+			if err != nil {
+				return nil, err
+			}
+			row := AblationRow{Mix: mixName, Variant: v.name}
+			row.AvgPowerNorm = res.AvgPowerW() / res.PeakW
+			row.MaxPowerNorm = res.MaxEpochPowerW() / res.PeakW
+			over := 0
+			for _, e := range res.Epochs {
+				if e.AvgPowerW > e.BudgetW*1.01 {
+					over++
+				}
+			}
+			row.OverBudgetEpochsPct = float64(over) / float64(len(res.Epochs)) * 100
+			norm, err := res.NormalizedPerf(base)
+			if err != nil {
+				return nil, err
+			}
+			s := stats.SummarizePerf(norm)
+			row.AvgPerf, row.WorstPerf = s.Avg, s.Worst
+			out = append(out, row)
+		}
+	}
+	return out, nil
+}

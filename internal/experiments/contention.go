@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"repro/internal/cache"
+	"repro/internal/workload"
+)
+
+// ContentionRow reports one application's shared-L2 contention outcome
+// within one mix: equilibrium occupancy and effective miss rate from the
+// analytic cache model, next to the Table III-normalized value the
+// workload package assigns.
+type ContentionRow struct {
+	Mix            string
+	App            string
+	ShareFrac      float64
+	ModelMPKI      float64
+	CalibratedMPKI float64
+}
+
+// mrcFromProfile derives a miss-ratio curve from an application profile:
+// MemWeight approximates the standalone intensity at a fair (4 MB of
+// 16 MB) share; row-locality-heavy streaming codes are capacity-
+// insensitive (low theta).
+func mrcFromProfile(p workload.AppProfile) cache.MRC {
+	theta := 1.2 - p.RowLocality
+	if theta < 0.1 {
+		theta = 0.1
+	}
+	return cache.MRC{BaseMPKI: p.MemWeight, RefMB: 4, Theta: theta, FloorMPKI: p.MemWeight / 8}
+}
+
+// CacheContention evaluates the shared-L2 equilibrium for the given
+// mixes (default: MEM1 and MIX1, the pair sharing applu that motivates
+// the mix-dependent calibration) and returns per-app rows.
+func CacheContention(mixNames []string) ([]ContentionRow, error) {
+	if len(mixNames) == 0 {
+		mixNames = []string{"MEM1", "MIX1"}
+	}
+	const l2MB = 16.0
+	var out []ContentionRow
+	for _, name := range mixNames {
+		mix, err := workload.MixByName(name)
+		if err != nil {
+			return nil, err
+		}
+		wl, err := workload.Instantiate(mix, 4)
+		if err != nil {
+			return nil, err
+		}
+		var sharers []cache.Sharer
+		for _, appName := range mix.Apps {
+			p, err := workload.Lookup(appName)
+			if err != nil {
+				return nil, err
+			}
+			sharers = append(sharers, cache.Sharer{Name: appName, MRC: mrcFromProfile(p), IPS: 1})
+		}
+		shares, err := cache.Shares(sharers, l2MB, 0)
+		if err != nil {
+			return nil, err
+		}
+		mpki, err := cache.Equilibrium(sharers, l2MB, 0)
+		if err != nil {
+			return nil, err
+		}
+		for i, appName := range mix.Apps {
+			out = append(out, ContentionRow{
+				Mix:            name,
+				App:            appName,
+				ShareFrac:      shares[i],
+				ModelMPKI:      mpki[i],
+				CalibratedMPKI: wl.Apps[i].MPKI,
+			})
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// ClassPerf is one pair of bars in Fig. 6: average and worst normalized
+// application performance for a workload class under one budget.
+type ClassPerf struct {
+	Class  string
+	Budget float64
+	Avg    float64
+	Worst  float64
+	Jain   float64
+}
+
+// Fig6 reproduces Figure 6: average and worst application performance
+// per class under 50%, 60% and 80% budgets. Expected shape: worst only
+// slightly above average (fairness); MEM classes degrade less than ILP
+// under the same budget; tighter budgets degrade more.
+func (l *Lab) Fig6() ([]ClassPerf, error) {
+	cfg := l.Opt.SimConfig(l.Opt.Cores)
+	classes := []workload.Class{workload.ClassILP, workload.ClassMID, workload.ClassMEM, workload.ClassMIX}
+	var out []ClassPerf
+	for _, frac := range []float64{0.50, 0.60, 0.80} {
+		for _, cl := range classes {
+			var norm []float64
+			for _, mix := range workload.MixesByClass(cl) {
+				pol, err := newPolicy("FastCap")
+				if err != nil {
+					return nil, err
+				}
+				res, base, err := l.runPair(mix, cfg, frac, pol)
+				if err != nil {
+					return nil, err
+				}
+				n, err := res.NormalizedPerf(base)
+				if err != nil {
+					return nil, err
+				}
+				norm = append(norm, n...)
+			}
+			s := stats.SummarizePerf(norm)
+			out = append(out, ClassPerf{
+				Class: cl.String(), Budget: frac,
+				Avg: s.Avg, Worst: s.Worst, Jain: s.Jain,
+			})
+		}
+	}
+	return out, nil
+}
+
+// PolicyPerf is one group of bars in Figs. 9–11: per-workload,
+// per-policy normalized performance.
+type PolicyPerf struct {
+	Workload string
+	Policy   string
+	Avg      float64
+	Worst    float64
+	Jain     float64
+}
+
+// ComparePolicies runs the named policies on the given mixes and
+// summarizes normalized performance per (workload, policy).
+func (l *Lab) ComparePolicies(mixes []workload.MixSpec, cores int, frac float64, policyNames []string) ([]PolicyPerf, error) {
+	cfg := l.Opt.SimConfig(cores)
+	var out []PolicyPerf
+	for _, mix := range mixes {
+		for _, pname := range policyNames {
+			pol, err := newPolicy(pname)
+			if err != nil {
+				return nil, err
+			}
+			res, base, err := l.runPair(mix, cfg, frac, pol)
+			if err != nil {
+				return nil, err
+			}
+			norm, err := res.NormalizedPerf(base)
+			if err != nil {
+				return nil, err
+			}
+			s := stats.SummarizePerf(norm)
+			out = append(out, PolicyPerf{
+				Workload: mix.Name, Policy: pname,
+				Avg: s.Avg, Worst: s.Worst, Jain: s.Jain,
+			})
+		}
+	}
+	return out, nil
+}
+
+// Fig9 reproduces Figure 9: FastCap vs CPU-only* vs Freq-Par* vs
+// Eql-Pwr on all 16 workloads at a 60% budget ("*" = memory pinned at
+// maximum frequency). Expected shape: FastCap's worst-case bars are the
+// lowest or tied; Freq-Par shows the largest average-to-worst gaps;
+// Eql-Pwr's worst case blows up on heterogeneous (MIX) workloads.
+func (l *Lab) Fig9() ([]PolicyPerf, error) {
+	return l.ComparePolicies(workload.TableIII, l.Opt.Cores, 0.60,
+		[]string{"FastCap", "CPU-only", "Freq-Par", "Eql-Pwr"})
+}
+
+// Fig10 reproduces Figure 10: FastCap vs Eql-Freq on the MIX workloads
+// on a 64-core system at a 60% budget. Expected shape: Eql-Freq is
+// conservative — it cannot harvest the budget, so both its average and
+// worst performance trail FastCap's.
+func (l *Lab) Fig10() ([]PolicyPerf, error) {
+	return l.ComparePolicies(workload.MixesByClass(workload.ClassMIX), 64, 0.60,
+		[]string{"FastCap", "Eql-Freq"})
+}
+
+// Fig11 reproduces Figure 11: FastCap vs MaxBIPS on the MIX workloads
+// on a 4-core system (exhaustive search is intractable beyond that) at
+// a 60% budget. Expected shape: MaxBIPS wins slightly on average but
+// loses clearly on worst-case performance — the fairness trade.
+func (l *Lab) Fig11() ([]PolicyPerf, error) {
+	return l.ComparePolicies(workload.MixesByClass(workload.ClassMIX), 4, 0.60,
+		[]string{"FastCap", "MaxBIPS"})
+}

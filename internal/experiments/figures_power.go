@@ -1,0 +1,195 @@
+package experiments
+
+import (
+	"repro/internal/workload"
+)
+
+// PowerBar is one bar of Fig. 3: run-average power normalized to peak.
+type PowerBar struct {
+	Mix     string
+	AvgNorm float64
+}
+
+// Fig3 reproduces Figure 3: FastCap average power normalized to the
+// peak for all 16 workloads under a 60% budget on the default system.
+// Expected shape: every bar at or just under 0.60 (memory-light
+// workloads may sit below — they cannot consume the budget).
+func (l *Lab) Fig3() ([]PowerBar, error) {
+	cfg := l.Opt.SimConfig(l.Opt.Cores)
+	var out []PowerBar
+	for _, mix := range workload.TableIII {
+		pol, err := newPolicy("FastCap")
+		if err != nil {
+			return nil, err
+		}
+		res, err := l.run(mix, cfg, 0.60, pol)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, PowerBar{Mix: mix.Name, AvgNorm: res.AvgPowerW() / res.PeakW})
+	}
+	return out, nil
+}
+
+// Series is a named time series over epochs.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Fig4 reproduces Figure 4: the split of the 60% budget between cores
+// and memory while running MIX3, per epoch, normalized to peak power.
+// Expected shape: the two shares move in opposite directions as the
+// workload changes phase, summing (with Ps) to just under the cap.
+func (l *Lab) Fig4() ([]Series, error) {
+	mix, err := workload.MixByName("MIX3")
+	if err != nil {
+		return nil, err
+	}
+	pol, err := newPolicy("FastCap")
+	if err != nil {
+		return nil, err
+	}
+	cfg := l.Opt.SimConfig(l.Opt.Cores)
+	res, err := l.run(mix, cfg, 0.60, pol)
+	if err != nil {
+		return nil, err
+	}
+	cores := Series{Name: "cores"}
+	mem := Series{Name: "memory"}
+	total := Series{Name: "total"}
+	for _, e := range res.Epochs {
+		x := float64(e.Epoch)
+		cores.X = append(cores.X, x)
+		cores.Y = append(cores.Y, e.CoresW/res.PeakW)
+		mem.X = append(mem.X, x)
+		mem.Y = append(mem.Y, e.MemW/res.PeakW)
+		total.X = append(total.X, x)
+		total.Y = append(total.Y, e.AvgPowerW/res.PeakW)
+	}
+	return []Series{cores, mem, total}, nil
+}
+
+// Fig5 reproduces Figure 5: normalized power over time for MEM3 under
+// 50%, 60% and 80% budgets. Expected shape: power tracks each cap
+// closely; at 80% the workload cannot reach the cap and sits below it.
+func (l *Lab) Fig5() ([]Series, error) {
+	mix, err := workload.MixByName("MEM3")
+	if err != nil {
+		return nil, err
+	}
+	cfg := l.Opt.SimConfig(l.Opt.Cores)
+	var out []Series
+	for _, frac := range []float64{0.50, 0.60, 0.80} {
+		pol, err := newPolicy("FastCap")
+		if err != nil {
+			return nil, err
+		}
+		res, err := l.run(mix, cfg, frac, pol)
+		if err != nil {
+			return nil, err
+		}
+		s := Series{Name: seriesName("B", frac)}
+		for _, e := range res.Epochs {
+			s.X = append(s.X, float64(e.Epoch))
+			s.Y = append(s.Y, e.AvgPowerW/res.PeakW)
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+func seriesName(prefix string, frac float64) string {
+	switch frac {
+	case 0.5:
+		return prefix + "=50%"
+	case 0.6:
+		return prefix + "=60%"
+	case 0.8:
+		return prefix + "=80%"
+	default:
+		return prefix
+	}
+}
+
+// Fig7 reproduces Figure 7: per-epoch core frequency (GHz) chosen by
+// FastCap for the core running vortex in ILP1, swim in MEM1, and swim
+// in MIX4, under an 80% budget. Expected shape: vortex (CPU-bound mix)
+// runs near the top of the range; swim in MEM1 runs low; swim in MIX4
+// runs *higher* than in MEM1 because MIX4's memory is less busy and the
+// core must compensate for the slower memory it chose.
+func (l *Lab) Fig7() ([]Series, error) {
+	cases := []struct{ mix, app string }{
+		{"ILP1", "vortex"},
+		{"MEM1", "swim"},
+		{"MIX4", "swim"},
+	}
+	cfg := l.Opt.SimConfig(l.Opt.Cores)
+	var out []Series
+	for _, c := range cases {
+		mix, err := workload.MixByName(c.mix)
+		if err != nil {
+			return nil, err
+		}
+		pol, err := newPolicy("FastCap")
+		if err != nil {
+			return nil, err
+		}
+		res, err := l.run(mix, cfg, 0.80, pol)
+		if err != nil {
+			return nil, err
+		}
+		// First core running the named app.
+		wl, err := workload.Instantiate(mix, cfg.Cores)
+		if err != nil {
+			return nil, err
+		}
+		coreIdx := -1
+		for i, a := range wl.Apps {
+			if a.Name == c.app {
+				coreIdx = i
+				break
+			}
+		}
+		s := Series{Name: c.app + "@" + c.mix}
+		for _, e := range res.Epochs {
+			if e.CoreSteps == nil {
+				continue
+			}
+			s.X = append(s.X, float64(e.Epoch))
+			s.Y = append(s.Y, cfg.CoreLadder.Freq(e.CoreSteps[coreIdx]))
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// Fig8 reproduces Figure 8: per-epoch memory frequency (MHz) for ILP1,
+// MEM1 and MIX4 under an 80% budget. Expected shape: ILP1 drives the
+// memory low, MEM1 keeps it at or near the top, MIX4 sits in between.
+func (l *Lab) Fig8() ([]Series, error) {
+	cfg := l.Opt.SimConfig(l.Opt.Cores)
+	var out []Series
+	for _, name := range []string{"ILP1", "MEM1", "MIX4"} {
+		mix, err := workload.MixByName(name)
+		if err != nil {
+			return nil, err
+		}
+		pol, err := newPolicy("FastCap")
+		if err != nil {
+			return nil, err
+		}
+		res, err := l.run(mix, cfg, 0.80, pol)
+		if err != nil {
+			return nil, err
+		}
+		s := Series{Name: name}
+		for _, e := range res.Epochs {
+			s.X = append(s.X, float64(e.Epoch))
+			s.Y = append(s.Y, cfg.MemLadder.Freq(e.MemStep)*1000) // MHz
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}

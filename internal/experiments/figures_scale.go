@@ -1,0 +1,155 @@
+package experiments
+
+import (
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// MachineConfig names one column group of Figs. 12–13.
+type MachineConfig struct {
+	Name string
+	// Build customizes the simulator config for this machine.
+	Build func(o Options) sim.Config
+}
+
+// standardConfigs are the paper's Fig. 12/13 configurations: 16, 32 and
+// 64 cores in-order, 16 cores out-of-order, and 16 cores with four
+// memory controllers under a highly skewed access distribution.
+func standardConfigs() []MachineConfig {
+	return []MachineConfig{
+		{"16", func(o Options) sim.Config { return o.SimConfig(16) }},
+		{"32", func(o Options) sim.Config { return o.SimConfig(32) }},
+		{"64", func(o Options) sim.Config { return o.SimConfig(64) }},
+		{"OoO-16", func(o Options) sim.Config {
+			c := o.SimConfig(16)
+			c.OoO = true
+			return c
+		}},
+		{"skew-16", func(o Options) sim.Config {
+			c := o.SimConfig(16)
+			c.Controllers = 4
+			c.BanksPerController = 8
+			c.SkewedAccess = true
+			return c
+		}},
+	}
+}
+
+// ScaleRow is one (configuration, class) cell shared by Figs. 12 and 13.
+type ScaleRow struct {
+	Config string
+	Class  string
+	// Fig. 12: run-average power of the workload with the highest
+	// average power, and the maximum single-epoch average power of any
+	// workload — both normalized to peak.
+	AvgPowerNorm float64
+	MaxPowerNorm float64
+	// Fig. 13: average and worst normalized application performance
+	// across the class's workloads.
+	AvgPerf   float64
+	WorstPerf float64
+}
+
+// Fig12And13 reproduces Figures 12 and 13 in one pass: FastCap at a 60%
+// budget across machine configurations and workload classes. Expected
+// shapes: every average-power bar at or under 0.60 with max-epoch bars
+// only slightly higher (Fig. 12); worst perf only slightly above average
+// perf everywhere, including OoO and skewed configs (Fig. 13).
+func (l *Lab) Fig12And13() ([]ScaleRow, error) {
+	classes := []workload.Class{workload.ClassILP, workload.ClassMID, workload.ClassMEM, workload.ClassMIX}
+	var out []ScaleRow
+	for _, mc := range standardConfigs() {
+		cfg := mc.Build(l.Opt)
+		for _, cl := range classes {
+			mixes := workload.MixesByClass(cl)
+			if len(mixes) > l.Opt.MixesPerClass {
+				mixes = mixes[:l.Opt.MixesPerClass]
+			}
+			row := ScaleRow{Config: mc.Name, Class: cl.String()}
+			var classNorm []float64
+			bestAvg := 0.0
+			for _, mix := range mixes {
+				pol, err := newPolicy("FastCap")
+				if err != nil {
+					return nil, err
+				}
+				res, base, err := l.runPair(mix, cfg, 0.60, pol)
+				if err != nil {
+					return nil, err
+				}
+				if avg := res.AvgPowerW() / res.PeakW; avg > bestAvg {
+					bestAvg = avg
+				}
+				if m := res.MaxEpochPowerW() / res.PeakW; m > row.MaxPowerNorm {
+					row.MaxPowerNorm = m
+				}
+				norm, err := res.NormalizedPerf(base)
+				if err != nil {
+					return nil, err
+				}
+				classNorm = append(classNorm, norm...)
+			}
+			row.AvgPowerNorm = bestAvg
+			s := stats.SummarizePerf(classNorm)
+			row.AvgPerf, row.WorstPerf = s.Avg, s.Worst
+			out = append(out, row)
+		}
+	}
+	return out, nil
+}
+
+// EpochLengthRow is one row of the epoch-length study (§IV-B): FastCap
+// behaviour at 5, 10 and 20 ms epochs.
+type EpochLengthRow struct {
+	EpochMs      float64
+	Mix          string
+	AvgPowerNorm float64
+	AvgPerf      float64
+	WorstPerf    float64
+}
+
+// EpochLengthStudy reproduces the paper's epoch-length sensitivity
+// check on the MIX workloads. Expected shape: power control and
+// performance are essentially unchanged across epoch lengths.
+func (l *Lab) EpochLengthStudy() ([]EpochLengthRow, error) {
+	var out []EpochLengthRow
+	for _, ms := range []float64{5, 10, 20} {
+		o := l.Opt
+		o.EpochNs = ms * 1e6
+		o.ProfileNs = 3e5 // paper's fixed 300 µs profiling phase
+		// Hold total simulated time roughly constant.
+		o.Epochs = l.Opt.Epochs * int(l.Opt.EpochNs/1e6*5) / int(ms)
+		if o.Epochs < 4 {
+			o.Epochs = 4
+		}
+		sub := NewLab(o)
+		sub.Progress = l.Progress
+		cfg := o.SimConfig(o.Cores)
+		for _, mixName := range []string{"MIX1", "MIX3"} {
+			mix, err := workload.MixByName(mixName)
+			if err != nil {
+				return nil, err
+			}
+			pol, err := newPolicy("FastCap")
+			if err != nil {
+				return nil, err
+			}
+			res, base, err := sub.runPair(mix, cfg, 0.60, pol)
+			if err != nil {
+				return nil, err
+			}
+			norm, err := res.NormalizedPerf(base)
+			if err != nil {
+				return nil, err
+			}
+			s := stats.SummarizePerf(norm)
+			out = append(out, EpochLengthRow{
+				EpochMs: ms, Mix: mixName,
+				AvgPowerNorm: res.AvgPowerW() / res.PeakW,
+				AvgPerf:      s.Avg, WorstPerf: s.Worst,
+			})
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"math"
+
+	"repro/internal/workload"
+)
+
+// ValidationRow records the online-model accuracy for one workload: the
+// paper claims the power model's error stays under 10% (§III-A) and
+// that Eq. 1 is "a good approximation" to the true memory response time
+// (citing CoScale's validation).
+type ValidationRow struct {
+	Mix string
+	// MeanPowerErrPct is the mean relative error between the fitted
+	// model's power prediction at the applied operating point and the
+	// measured power over the post-decision window.
+	MeanPowerErrPct float64
+	MaxPowerErrPct  float64
+	// MeanRespErrPct compares the Eq. 1 response prediction (from
+	// profiling-phase counters) with the measured mean response in the
+	// same epoch's post-decision window.
+	MeanRespErrPct float64
+}
+
+// ValidateModels runs FastCap on one representative mix per class and
+// reports prediction-vs-measurement errors. The first two epochs are
+// skipped: the fitters have not yet seen two distinct frequencies.
+func (l *Lab) ValidateModels() ([]ValidationRow, error) {
+	var out []ValidationRow
+	cfg := l.Opt.SimConfig(l.Opt.Cores)
+	for _, mixName := range []string{"ILP1", "MID2", "MEM2", "MIX3"} {
+		mix, err := workload.MixByName(mixName)
+		if err != nil {
+			return nil, err
+		}
+		pol, err := newPolicy("FastCap")
+		if err != nil {
+			return nil, err
+		}
+		res, err := l.run(mix, cfg, 0.60, pol)
+		if err != nil {
+			return nil, err
+		}
+		row := ValidationRow{Mix: mixName}
+		var pwErrs, respErrs []float64
+		for _, e := range res.Epochs[2:] {
+			if e.RestPowerW > 0 && e.PredictedPowerW > 0 {
+				pwErrs = append(pwErrs, math.Abs(e.PredictedPowerW-e.RestPowerW)/e.RestPowerW)
+			}
+			if e.MeasuredRespNs > 0 && e.PredictedRespNs > 0 {
+				respErrs = append(respErrs, math.Abs(e.PredictedRespNs-e.MeasuredRespNs)/e.MeasuredRespNs)
+			}
+		}
+		for _, v := range pwErrs {
+			row.MeanPowerErrPct += v
+			if v*100 > row.MaxPowerErrPct {
+				row.MaxPowerErrPct = v * 100
+			}
+		}
+		if len(pwErrs) > 0 {
+			row.MeanPowerErrPct = row.MeanPowerErrPct / float64(len(pwErrs)) * 100
+		}
+		for _, v := range respErrs {
+			row.MeanRespErrPct += v
+		}
+		if len(respErrs) > 0 {
+			row.MeanRespErrPct = row.MeanRespErrPct / float64(len(respErrs)) * 100
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}

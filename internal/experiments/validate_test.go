@@ -1,0 +1,69 @@
+package experiments
+
+import "testing"
+
+func TestValidateModels(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	l := NewLab(Options{Cores: 4, Epochs: 10, EpochNs: 1e6, MixesPerClass: 1})
+	rows, err := l.ValidateModels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		// The paper claims <10% power-model error; allow margin for the
+		// short, low-fidelity test runs.
+		if r.MeanPowerErrPct > 12 {
+			t.Errorf("%s: mean power error %.1f%% exceeds 12%%", r.Mix, r.MeanPowerErrPct)
+		}
+		if r.MeanPowerErrPct < 0 || r.MaxPowerErrPct < r.MeanPowerErrPct {
+			t.Errorf("%s: inconsistent error stats %+v", r.Mix, r)
+		}
+		// Eq. 1 is an approximation; it should be the right order of
+		// magnitude (the paper cites ~good agreement, we accept 50% here).
+		if r.MeanRespErrPct > 50 {
+			t.Errorf("%s: Eq.1 response error %.1f%% too large", r.Mix, r.MeanRespErrPct)
+		}
+	}
+}
+
+func TestCacheContentionRows(t *testing.T) {
+	rows, err := CacheContention(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 { // 2 mixes × 4 apps
+		t.Fatalf("got %d rows", len(rows))
+	}
+	var apMem, apMix ContentionRow
+	for _, r := range rows {
+		if r.ShareFrac <= 0 || r.ShareFrac >= 1 {
+			t.Errorf("%s/%s: share %g", r.Mix, r.App, r.ShareFrac)
+		}
+		if r.ModelMPKI <= 0 || r.CalibratedMPKI <= 0 {
+			t.Errorf("%s/%s: non-positive MPKI", r.Mix, r.App)
+		}
+		if r.App == "applu" {
+			if r.Mix == "MEM1" {
+				apMem = r
+			} else {
+				apMix = r
+			}
+		}
+	}
+	// The model and the calibration must agree on the direction: applu
+	// misses more in MEM1 than in MIX1.
+	if apMem.ModelMPKI <= apMix.ModelMPKI {
+		t.Errorf("model: applu %g (MEM1) not above %g (MIX1)", apMem.ModelMPKI, apMix.ModelMPKI)
+	}
+	if apMem.CalibratedMPKI <= apMix.CalibratedMPKI {
+		t.Errorf("calibration: applu %g (MEM1) not above %g (MIX1)", apMem.CalibratedMPKI, apMix.CalibratedMPKI)
+	}
+	if _, err := CacheContention([]string{"NOPE"}); err == nil {
+		t.Error("unknown mix accepted")
+	}
+}

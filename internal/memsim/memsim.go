@@ -1,0 +1,336 @@
+// Package memsim is the event-driven DDR3 memory-subsystem model the
+// FastCap paper evaluates against (§III-A, Fig. 1, Table II): per-
+// controller banks with open-row management, a common FCFS data bus, and
+// the *transfer blocking* property — after a bank finishes an access it
+// stays blocked until the retrieved line has crossed the bus, so queueing
+// at the bus back-pressures the banks exactly as in the paper's closed
+// queuing network.
+//
+// The memory bus (and DIMM clock) is frequency-scaled: a 64-byte line
+// occupies the bus for BusCycles/f_bus nanoseconds. DRAM core timing
+// (tRCD/tRP/tCL) is in nanoseconds and does not scale, matching the
+// MemScale-style mechanism the paper adopts where bus/DIMM frequency
+// scales but cell timing is fixed.
+//
+// The package also measures the counters FastCap consumes (Q, U, s_m —
+// paper Eq. 1 and §III-C) and activity-based memory power.
+package memsim
+
+import (
+	"fmt"
+
+	"repro/internal/engine"
+	"repro/internal/qmodel"
+)
+
+// Timing carries the DDR3 device timing of the paper's Table II.
+type Timing struct {
+	TRCD float64 // row-to-column delay, ns
+	TRP  float64 // row precharge, ns
+	TCL  float64 // CAS latency, ns
+	// BusCycles is the number of bus clock cycles one 64-byte line
+	// occupies on the data bus (8 beats at DDR = 4 clocks).
+	BusCycles float64
+}
+
+// DDR3 returns the Table II timing: tRCD = tRP = tCL = 15 ns, 4 bus
+// clocks per cache-line transfer.
+func DDR3() Timing { return Timing{TRCD: 15, TRP: 15, TCL: 15, BusCycles: 4} }
+
+// PowerConfig calibrates the activity-based memory power model. All
+// dynamic terms scale linearly with the normalized bus frequency, which
+// is what makes the paper's fitted exponent β ≈ 1.
+type PowerConfig struct {
+	StaticW   float64 // refresh + standby floor, frequency-independent
+	ClockW    float64 // PLL/controller/DIMM clock tree at full frequency
+	TransferW float64 // incremental power at 100% bus utilization, full frequency
+}
+
+// DefaultPower calibrates a 4-channel DDR3 subsystem to the paper's
+// breakdown: ~36 W peak (30% of the 120 W 16-core system), 10 W static.
+func DefaultPower() PowerConfig {
+	return PowerConfig{StaticW: 10, ClockW: 6, TransferW: 20}
+}
+
+// Request is one memory transaction: a demand read (LLC miss) or a
+// writeback. Done, if non-nil, fires when the bus transfer completes —
+// i.e. when the requesting core receives its data.
+type Request struct {
+	Core      int
+	Bank      int
+	Row       int32
+	Writeback bool
+	Done      func()
+
+	arriveNs float64 // set by Submit; feeds the response-time counters
+}
+
+// bank states; a bank is blocked from serving its queue while its
+// finished request waits for (or occupies) the bus.
+const (
+	bankIdle = iota
+	bankServing
+	bankBlocked
+)
+
+type bank struct {
+	queue   []*Request
+	openRow int32
+	hasOpen bool
+	state   int
+}
+
+// Counters accumulate monotonically; callers snapshot and diff to get
+// per-window statistics.
+type Counters struct {
+	Arrivals   int64   // requests enqueued at banks
+	SumQ       float64 // Σ bank queue length at arrival (incl. arriving)
+	Departures int64   // requests finishing bank service
+	SumU       float64 // Σ bus backlog at departure (incl. departing)
+	SvcSum     float64 // Σ bank service times, ns
+	SvcCount   int64
+	Reads      int64
+	Writebacks int64
+	RowHits    int64
+	BankBusyNs float64 // Σ over banks of service time
+	BusBusyNs  float64 // bus transfer time
+	RespSumNs  float64 // Σ request response times (Submit → transfer done)
+	RespCount  int64
+}
+
+// Sub returns c - prev, the window delta.
+func (c Counters) Sub(prev Counters) Counters {
+	return Counters{
+		Arrivals:   c.Arrivals - prev.Arrivals,
+		SumQ:       c.SumQ - prev.SumQ,
+		Departures: c.Departures - prev.Departures,
+		SumU:       c.SumU - prev.SumU,
+		SvcSum:     c.SvcSum - prev.SvcSum,
+		SvcCount:   c.SvcCount - prev.SvcCount,
+		Reads:      c.Reads - prev.Reads,
+		Writebacks: c.Writebacks - prev.Writebacks,
+		RowHits:    c.RowHits - prev.RowHits,
+		BankBusyNs: c.BankBusyNs - prev.BankBusyNs,
+		BusBusyNs:  c.BusBusyNs - prev.BusBusyNs,
+		RespSumNs:  c.RespSumNs - prev.RespSumNs,
+		RespCount:  c.RespCount - prev.RespCount,
+	}
+}
+
+// MemStats converts a window delta into the Eq. 1 inputs, falling back
+// to light-load defaults (Q = U = 1, s_m = tCL) when the window saw no
+// traffic.
+func (c Counters) MemStats(t Timing) qmodel.MemStats {
+	s := qmodel.MemStats{Q: 1, U: 1, Sm: t.TCL}
+	if c.Arrivals > 0 {
+		s.Q = c.SumQ / float64(c.Arrivals)
+	}
+	if c.Departures > 0 {
+		s.U = c.SumU / float64(c.Departures)
+	}
+	if c.SvcCount > 0 {
+		s.Sm = c.SvcSum / float64(c.SvcCount)
+	}
+	return s.Clamp(t.TCL)
+}
+
+// MeasuredResponseNs is the window's true mean response time (Submit to
+// completed bus transfer), or 0 for an idle window. Validation
+// experiments compare it against the Eq. 1 approximation.
+func (c Counters) MeasuredResponseNs() float64 {
+	if c.RespCount == 0 {
+		return 0
+	}
+	return c.RespSumNs / float64(c.RespCount)
+}
+
+// Controller is one memory controller: a set of banks sharing one data
+// bus, as in the paper's Fig. 1.
+type Controller struct {
+	eng    *engine.Engine
+	timing Timing
+	power  PowerConfig
+
+	busFreq    float64 // GHz
+	busFreqMax float64
+
+	banks   []bank
+	busQ    []*Request
+	busBusy bool
+
+	ctr Counters
+}
+
+// NewController builds a controller with nBanks banks, bus frequency
+// initially at busFreqMax (GHz).
+func NewController(eng *engine.Engine, nBanks int, timing Timing, pcfg PowerConfig, busFreqMax float64) (*Controller, error) {
+	if nBanks <= 0 {
+		return nil, fmt.Errorf("memsim: need at least one bank, got %d", nBanks)
+	}
+	if busFreqMax <= 0 {
+		return nil, fmt.Errorf("memsim: non-positive bus frequency %g", busFreqMax)
+	}
+	return &Controller{
+		eng:        eng,
+		timing:     timing,
+		power:      pcfg,
+		busFreq:    busFreqMax,
+		busFreqMax: busFreqMax,
+		banks:      make([]bank, nBanks),
+	}, nil
+}
+
+// Banks returns the number of banks behind this controller.
+func (c *Controller) Banks() int { return len(c.banks) }
+
+// BusFreq returns the current bus frequency in GHz.
+func (c *Controller) BusFreq() float64 { return c.busFreq }
+
+// SetBusFreq retargets the bus (and DIMM) clock. The transfer time of
+// requests already on the bus is unaffected; queued requests see the new
+// rate. The paper's PLL/DLL re-sync halt is tens of microseconds per
+// multi-millisecond epoch and is accounted as negligible (§III-C).
+func (c *Controller) SetBusFreq(ghz float64) {
+	if ghz <= 0 {
+		return
+	}
+	c.busFreq = ghz
+}
+
+// TransferTime returns the current per-line bus occupancy s_b in ns.
+func (c *Controller) TransferTime() float64 { return c.timing.BusCycles / c.busFreq }
+
+// MinTransferTime returns s̄_b, the transfer time at maximum frequency.
+func (c *Controller) MinTransferTime() float64 { return c.timing.BusCycles / c.busFreqMax }
+
+// Counters returns a snapshot of the monotone counters.
+func (c *Controller) Counters() Counters { return c.ctr }
+
+// Submit enqueues a request at its bank. Request.Bank is reduced modulo
+// the bank count so callers can use free-running bank cursors.
+func (c *Controller) Submit(r *Request) {
+	r.Bank %= len(c.banks)
+	if r.Bank < 0 {
+		r.Bank += len(c.banks)
+	}
+	b := &c.banks[r.Bank]
+	r.arriveNs = c.eng.Now()
+	b.queue = append(b.queue, r)
+	c.ctr.Arrivals++
+	c.ctr.SumQ += float64(len(b.queue)) // includes the arriving request
+	if r.Writeback {
+		c.ctr.Writebacks++
+	} else {
+		c.ctr.Reads++
+	}
+	if b.state == bankIdle {
+		c.startService(r.Bank)
+	}
+}
+
+// startService begins the bank access for the head of the bank queue.
+func (c *Controller) startService(bi int) {
+	b := &c.banks[bi]
+	b.state = bankServing
+	r := b.queue[0]
+	var svc float64
+	switch {
+	case b.hasOpen && b.openRow == r.Row:
+		svc = c.timing.TCL // row-buffer hit
+		c.ctr.RowHits++
+	case b.hasOpen:
+		svc = c.timing.TRP + c.timing.TRCD + c.timing.TCL // conflict
+	default:
+		svc = c.timing.TRCD + c.timing.TCL // empty row buffer
+	}
+	b.openRow, b.hasOpen = r.Row, true
+	c.ctr.SvcSum += svc
+	c.ctr.SvcCount++
+	c.ctr.BankBusyNs += svc
+	c.eng.Schedule(svc, func() { c.serviceDone(bi) })
+}
+
+// serviceDone moves the finished request to the bus queue; the bank
+// stays blocked until the transfer completes (transfer blocking).
+func (c *Controller) serviceDone(bi int) {
+	b := &c.banks[bi]
+	b.state = bankBlocked
+	r := b.queue[0]
+	c.ctr.Departures++
+	// Bus backlog seen by the departing request: waiters ahead of it,
+	// any transfer in flight, and itself.
+	u := float64(len(c.busQ)) + 1
+	if c.busBusy {
+		u++
+	}
+	c.ctr.SumU += u
+	c.busQ = append(c.busQ, r)
+	c.tryStartBus()
+}
+
+func (c *Controller) tryStartBus() {
+	if c.busBusy || len(c.busQ) == 0 {
+		return
+	}
+	r := c.busQ[0]
+	c.busQ = c.busQ[1:]
+	c.busBusy = true
+	sb := c.TransferTime()
+	c.ctr.BusBusyNs += sb
+	c.eng.Schedule(sb, func() { c.transferDone(r) })
+}
+
+// transferDone releases the bus, unblocks the request's bank, and
+// notifies the requesting core.
+func (c *Controller) transferDone(r *Request) {
+	c.busBusy = false
+	c.ctr.RespSumNs += c.eng.Now() - r.arriveNs
+	c.ctr.RespCount++
+	b := &c.banks[r.Bank]
+	b.queue = b.queue[1:]
+	b.state = bankIdle
+	if len(b.queue) > 0 {
+		c.startService(r.Bank)
+	}
+	if r.Done != nil {
+		r.Done()
+	}
+	c.tryStartBus()
+}
+
+// Power evaluates the measured memory power (W) over a window of length
+// windowNs given the window's counter delta: static floor plus
+// frequency-proportional clock-tree and transfer-activity terms.
+func (c *Controller) Power(delta Counters, windowNs float64) float64 {
+	if windowNs <= 0 {
+		return c.power.StaticW
+	}
+	fNorm := c.busFreq / c.busFreqMax
+	busUtil := delta.BusBusyNs / windowNs
+	if busUtil > 1 {
+		busUtil = 1
+	}
+	return c.power.StaticW + fNorm*(c.power.ClockW+c.power.TransferW*busUtil)
+}
+
+// PeakPower is the controller's maximum power draw: full frequency,
+// saturated bus.
+func (c *Controller) PeakPower() float64 {
+	return c.power.StaticW + c.power.ClockW + c.power.TransferW
+}
+
+// StaticPower exposes the frequency-independent floor for the fitters.
+func (c *Controller) StaticPower() float64 { return c.power.StaticW }
+
+// QueuedRequests reports the total number of requests resident in the
+// controller. A request stays in its bank queue from Submit until its
+// bus transfer completes (the bus queue holds aliases, not extra
+// requests), so the bank queues alone are the full population; used by
+// tests to check request conservation.
+func (c *Controller) QueuedRequests() int {
+	n := 0
+	for i := range c.banks {
+		n += len(c.banks[i].queue)
+	}
+	return n
+}

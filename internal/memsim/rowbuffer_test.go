@@ -1,0 +1,130 @@
+package memsim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/engine"
+)
+
+// Row-locality streams should see mostly row hits; random streams mostly
+// conflicts — and the hit fraction shows up in the mean service time.
+func TestRowLocalityChangesServiceTime(t *testing.T) {
+	run := func(local bool) (hitFrac, meanSvc float64) {
+		eng := engine.New()
+		c := newTestController(t, eng, 8)
+		rng := rand.New(rand.NewSource(21))
+		lastBank, lastRow := 0, int32(0)
+		var issue func(n int)
+		issue = func(n int) {
+			if n == 0 {
+				return
+			}
+			bank, row := lastBank, lastRow
+			if !local || rng.Float64() > 0.85 {
+				bank = rng.Intn(8)
+				row = int32(rng.Intn(4096))
+				lastBank, lastRow = bank, row
+			}
+			r := &Request{Bank: bank, Row: row}
+			r.Done = func() { issue(n - 1) }
+			c.Submit(r)
+		}
+		issue(4000)
+		eng.RunUntil(5e8)
+		ctr := c.Counters()
+		return float64(ctr.RowHits) / float64(ctr.SvcCount), ctr.SvcSum / float64(ctr.SvcCount)
+	}
+	hitLocal, svcLocal := run(true)
+	hitRand, svcRand := run(false)
+	if hitLocal < 0.7 {
+		t.Errorf("local stream hit fraction %g, want ≥0.7", hitLocal)
+	}
+	if hitRand > 0.2 {
+		t.Errorf("random stream hit fraction %g, want ≤0.2", hitRand)
+	}
+	if svcLocal >= svcRand {
+		t.Errorf("local service %g ns not below random %g ns", svcLocal, svcRand)
+	}
+	// Bounds: pure hits = tCL (15), pure conflicts = 45.
+	if svcLocal < 15 || svcRand > 45 {
+		t.Errorf("service times outside DDR3 envelope: %g, %g", svcLocal, svcRand)
+	}
+}
+
+// Banks serve in parallel: K banks with independent streams should
+// complete ~K× the work of one bank over the same horizon (bus not
+// saturated).
+func TestBankLevelParallelism(t *testing.T) {
+	run := func(banks int) int64 {
+		eng := engine.New()
+		c := newTestController(t, eng, banks)
+		for b := 0; b < banks; b++ {
+			b := b
+			var issue func()
+			issue = func() {
+				r := &Request{Bank: b, Row: 1} // same row: pure hits
+				r.Done = func() { issue() }
+				c.Submit(r)
+			}
+			issue()
+		}
+		eng.RunUntil(1e6)
+		return c.Counters().Departures
+	}
+	one := run(1)
+	four := run(4)
+	ratio := float64(four) / float64(one)
+	if ratio < 3.0 {
+		t.Errorf("4-bank throughput only %.2f× of 1-bank", ratio)
+	}
+}
+
+// Slowing the bus by 4× must slow a bus-bound workload by ~4×.
+func TestBusFrequencyThroughputScaling(t *testing.T) {
+	run := func(freq float64) int64 {
+		eng := engine.New()
+		c, err := NewController(eng, 32, DDR3(), DefaultPower(), 0.8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.SetBusFreq(freq)
+		rng := rand.New(rand.NewSource(5))
+		// Many concurrent streams saturate the bus.
+		for k := 0; k < 64; k++ {
+			var issue func()
+			issue = func() {
+				r := &Request{Bank: rng.Intn(32), Row: int32(rng.Intn(64))}
+				r.Done = func() { issue() }
+				c.Submit(r)
+			}
+			issue()
+		}
+		eng.RunUntil(2e6)
+		return c.Counters().Departures
+	}
+	fast := run(0.8)
+	slow := run(0.2)
+	ratio := float64(fast) / float64(slow)
+	if math.Abs(ratio-4) > 0.8 {
+		t.Errorf("bus 4× frequency gave %.2f× throughput, want ≈4×", ratio)
+	}
+}
+
+// The measured mean response equals RespSum/RespCount and is consistent
+// with per-request accounting.
+func TestMeasuredResponse(t *testing.T) {
+	eng := engine.New()
+	c := newTestController(t, eng, 4)
+	c.Submit(&Request{Bank: 0, Row: 1})
+	eng.RunUntil(1000)
+	delta := c.Counters()
+	// One request: activate+read 30 + transfer 5 = 35 ns.
+	if got := delta.MeasuredResponseNs(); math.Abs(got-35) > 1e-9 {
+		t.Errorf("measured response %g, want 35", got)
+	}
+	if (Counters{}).MeasuredResponseNs() != 0 {
+		t.Error("idle window response not 0")
+	}
+}

@@ -1,0 +1,108 @@
+package policy
+
+import "math"
+
+// EqlPwr assigns every core an equal share of the core power budget, as
+// proposed by Sharkey et al. [16], extended (as in the paper) with
+// FastCap's memory DVFS: for each memory frequency the per-core share is
+// (budget − memory − Ps)/N, each core runs as fast as its share allows,
+// and the memory frequency with the best fairness objective D wins.
+//
+// Equal shares ignore application heterogeneity: light (memory-bound)
+// apps cannot spend their share while power-hungry apps starve — the
+// outlier mechanism visible in the paper's Fig. 9.
+type EqlPwr struct{}
+
+// NewEqlPwr returns the policy.
+func NewEqlPwr() *EqlPwr { return &EqlPwr{} }
+
+// Name implements Policy.
+func (EqlPwr) Name() string { return "Eql-Pwr" }
+
+// Decide implements Policy.
+func (EqlPwr) Decide(s *Snapshot) (Decision, error) {
+	if err := s.Validate(); err != nil {
+		return Decision{}, err
+	}
+	n := s.N()
+	mc := s.multi()
+	bestD := math.Inf(-1)
+	var best Decision
+	for m := 0; m < s.MemLadder.Len(); m++ {
+		share := (s.BudgetW - s.Power.Mem.At(s.MemLadder.NormFreq(m)) - s.Power.Ps) / float64(n)
+		steps := make([]int, n)
+		for i := 0; i < n; i++ {
+			// Highest step whose predicted power fits the share.
+			st := 0
+			for k := s.CoreLadder.MaxStep(); k >= 0; k-- {
+				if s.Power.Cores[i].At(s.CoreLadder.NormFreq(k)) <= share {
+					st = k
+					break
+				}
+			}
+			steps[i] = st
+		}
+		if s.PredictPower(steps, m) > s.BudgetW {
+			continue // even floored cores cannot fit with this memory freq
+		}
+		if d := s.objectiveD(steps, m, mc); d > bestD {
+			bestD = d
+			best = Decision{CoreSteps: steps, MemStep: m}
+		}
+	}
+	if best.CoreSteps == nil {
+		// No feasible point: floor everything.
+		best = Decision{CoreSteps: make([]int, n), MemStep: 0}
+	}
+	return best, nil
+}
+
+// EqlFreq locks all cores to one common frequency, as analyzed by
+// Herbert and Marculescu [42], again extended with memory DVFS: the
+// (core frequency, memory frequency) pair with the best objective D
+// that fits the budget wins. With heterogeneous workloads the common
+// frequency is pinned by the hungriest core, leaving budget unharvested
+// (paper Fig. 10).
+type EqlFreq struct{}
+
+// NewEqlFreq returns the policy.
+func NewEqlFreq() *EqlFreq { return &EqlFreq{} }
+
+// Name implements Policy.
+func (EqlFreq) Name() string { return "Eql-Freq" }
+
+// Decide implements Policy.
+func (EqlFreq) Decide(s *Snapshot) (Decision, error) {
+	if err := s.Validate(); err != nil {
+		return Decision{}, err
+	}
+	n := s.N()
+	mc := s.multi()
+	bestD := math.Inf(-1)
+	bestF, bestM := 0, 0
+	found := false
+	for m := 0; m < s.MemLadder.Len(); m++ {
+		for f := 0; f < s.CoreLadder.Len(); f++ {
+			steps := uniformSteps(n, f)
+			if s.PredictPower(steps, m) > s.BudgetW {
+				continue
+			}
+			if d := s.objectiveD(steps, m, mc); d > bestD {
+				bestD, bestF, bestM = d, f, m
+				found = true
+			}
+		}
+	}
+	if !found {
+		return Decision{CoreSteps: make([]int, n), MemStep: 0}, nil
+	}
+	return Decision{CoreSteps: uniformSteps(n, bestF), MemStep: bestM}, nil
+}
+
+func uniformSteps(n, step int) []int {
+	steps := make([]int, n)
+	for i := range steps {
+		steps[i] = step
+	}
+	return steps
+}

@@ -1,0 +1,80 @@
+package policy
+
+import (
+	"repro/internal/core"
+)
+
+// FastCap is the paper's algorithm: the O(N·log M) joint core/memory
+// optimizer of §III-B followed by ladder quantization.
+type FastCap struct {
+	// Guard enables the post-quantization budget guard: if nearest-step
+	// rounding predicts over-budget, cores step down (best-performing
+	// first) until the model predicts compliance.
+	Guard bool
+	// Exhaustive switches the outer s_b search from Algorithm 1's binary
+	// search to a full scan over all M candidates (ablation).
+	Exhaustive bool
+}
+
+// NewFastCap returns the default configuration (guarded, binary search).
+func NewFastCap() *FastCap { return &FastCap{Guard: true} }
+
+// Name implements Policy.
+func (f *FastCap) Name() string {
+	if f.Exhaustive {
+		return "FastCap-Exhaustive"
+	}
+	return "FastCap"
+}
+
+// Decide implements Policy.
+func (f *FastCap) Decide(s *Snapshot) (Decision, error) {
+	if err := s.Validate(); err != nil {
+		return Decision{}, err
+	}
+	in := s.inputs(core.SbCandidatesFromLadder(s.SbBar, s.MemLadder))
+	var (
+		res core.Result
+		err error
+	)
+	if f.Exhaustive {
+		res, err = in.SolveExhaustive()
+	} else {
+		res, err = in.Solve()
+	}
+	if err != nil {
+		return Decision{}, err
+	}
+	a := in.Quantize(res, s.CoreLadder, s.MemLadder, f.Guard)
+	// Candidate index i corresponds to memory ladder step M-1-i; the
+	// quantizer already produced the ladder step directly.
+	return Decision{CoreSteps: a.CoreSteps, MemStep: a.MemStep}, nil
+}
+
+// CPUOnly runs the FastCap core optimization with the memory pinned at
+// maximum frequency — the paper's "CPU-only" comparison isolating the
+// value of memory DVFS. All earlier capping policies share this
+// limitation.
+type CPUOnly struct {
+	Guard bool
+}
+
+// NewCPUOnly returns the guarded CPU-only policy.
+func NewCPUOnly() *CPUOnly { return &CPUOnly{Guard: true} }
+
+// Name implements Policy.
+func (p *CPUOnly) Name() string { return "CPU-only" }
+
+// Decide implements Policy.
+func (p *CPUOnly) Decide(s *Snapshot) (Decision, error) {
+	if err := s.Validate(); err != nil {
+		return Decision{}, err
+	}
+	in := s.inputs([]float64{s.SbBar}) // single candidate: memory at max
+	res, err := in.SolveExhaustive()
+	if err != nil {
+		return Decision{}, err
+	}
+	a := in.Quantize(res, s.CoreLadder, s.MemLadder, p.Guard)
+	return Decision{CoreSteps: a.CoreSteps, MemStep: s.MemLadder.MaxStep()}, nil
+}

@@ -1,0 +1,115 @@
+package policy
+
+import (
+	"container/heap"
+	"math"
+)
+
+// Greedy reimplements the heap-based greedy heuristic family of Meng et
+// al. [18] and Winter et al. [19] (the paper's Table I "Heuristics"
+// row), extended with memory DVFS like the other baselines: for each
+// memory frequency, cores start at their lowest step and repeatedly take
+// the single upgrade with the best predicted Δthroughput/Δpower that
+// still fits the budget, using a max-heap — O(M·F·N·log N) overall.
+//
+// Like MaxBIPS it optimizes raw throughput, so it inherits the fairness
+// blind spot; unlike MaxBIPS it scales to large N.
+type Greedy struct{}
+
+// NewGreedy returns the policy.
+func NewGreedy() *Greedy { return &Greedy{} }
+
+// Name implements Policy.
+func (Greedy) Name() string { return "Greedy" }
+
+// upgrade is a candidate one-step frequency increase for a core.
+type upgrade struct {
+	core  int
+	ratio float64 // Δthroughput / Δpower
+	dPw   float64
+	dBips float64
+}
+
+type upgradeHeap []upgrade
+
+func (h upgradeHeap) Len() int           { return len(h) }
+func (h upgradeHeap) Less(i, j int) bool { return h[i].ratio > h[j].ratio } // max-heap
+func (h upgradeHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *upgradeHeap) Push(x any)        { *h = append(*h, x.(upgrade)) }
+func (h *upgradeHeap) Pop() any          { old := *h; n := len(old); it := old[n-1]; *h = old[:n-1]; return it }
+
+// Decide implements Policy.
+func (p *Greedy) Decide(s *Snapshot) (Decision, error) {
+	if err := s.Validate(); err != nil {
+		return Decision{}, err
+	}
+	n := s.N()
+	mc := s.multi()
+
+	bestBips := math.Inf(-1)
+	var best Decision
+	for m := 0; m < s.MemLadder.Len(); m++ {
+		sb := s.sbForMemStep(m)
+		resp := make([]float64, n)
+		for i := 0; i < n; i++ {
+			resp[i] = mc.CoreResponse(i, sb)
+		}
+		bips := func(i, step int) float64 {
+			z := s.ZBar[i] * s.CoreLadder.Max() / s.CoreLadder.Freq(step)
+			return s.IPA[i] / (z + s.C[i] + resp[i])
+		}
+		pw := func(i, step int) float64 {
+			return s.Power.Cores[i].At(s.CoreLadder.NormFreq(step))
+		}
+
+		steps := make([]int, n)
+		budget := s.BudgetW - s.Power.Ps - s.Power.Mem.At(s.MemLadder.NormFreq(m))
+		used := 0.0
+		total := 0.0
+		for i := 0; i < n; i++ {
+			used += pw(i, 0)
+			total += bips(i, 0)
+		}
+		if used > budget {
+			continue // even the floor violates this memory frequency
+		}
+
+		h := &upgradeHeap{}
+		mk := func(i int) (upgrade, bool) {
+			if steps[i] >= s.CoreLadder.MaxStep() {
+				return upgrade{}, false
+			}
+			dPw := pw(i, steps[i]+1) - pw(i, steps[i])
+			dBips := bips(i, steps[i]+1) - bips(i, steps[i])
+			if dPw <= 0 {
+				dPw = 1e-12
+			}
+			return upgrade{core: i, ratio: dBips / dPw, dPw: dPw, dBips: dBips}, true
+		}
+		for i := 0; i < n; i++ {
+			if u, ok := mk(i); ok {
+				heap.Push(h, u)
+			}
+		}
+		for h.Len() > 0 {
+			u := heap.Pop(h).(upgrade)
+			if used+u.dPw > budget {
+				continue // this upgrade no longer fits; try others
+			}
+			steps[u.core]++
+			used += u.dPw
+			total += u.dBips
+			if nu, ok := mk(u.core); ok {
+				heap.Push(h, nu)
+			}
+		}
+		if total > bestBips {
+			bestBips = total
+			best = Decision{CoreSteps: steps, MemStep: m}
+		}
+	}
+	if best.CoreSteps == nil {
+		return Decision{CoreSteps: make([]int, n), MemStep: 0}, nil
+	}
+	return best, nil
+}

@@ -1,0 +1,111 @@
+package policy
+
+import (
+	"testing"
+)
+
+func TestGreedyValidDecision(t *testing.T) {
+	// 50% is the tightest feasible budget for this snapshot (the all-
+	// minimum-frequency floor sits near 42% of peak).
+	for _, frac := range []float64{0.5, 0.6, 0.8, 1.0} {
+		s := snap(16, frac)
+		d, err := NewGreedy().Decide(s)
+		if err != nil {
+			t.Fatalf("budget %g: %v", frac, err)
+		}
+		checkDecision(t, s, d)
+		if got := s.PredictPower(d.CoreSteps, d.MemStep); got > s.BudgetW+1e-9 {
+			t.Errorf("budget %.0f%%: predicted %g W > %g W", frac*100, got, s.BudgetW)
+		}
+	}
+}
+
+func TestGreedyGenerousBudgetRunsMax(t *testing.T) {
+	s := snap(8, 1.0)
+	d, err := NewGreedy().Decide(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, st := range d.CoreSteps {
+		if st != s.CoreLadder.MaxStep() {
+			t.Errorf("core %d at step %d under 100%% budget", i, st)
+		}
+	}
+}
+
+func TestGreedyInfeasibleFloors(t *testing.T) {
+	s := snap(8, 0.6)
+	s.BudgetW = 1
+	d, err := NewGreedy().Decide(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range d.CoreSteps {
+		if st != 0 {
+			t.Fatalf("steps %v under impossible budget", d.CoreSteps)
+		}
+	}
+}
+
+func TestGreedyMatchesMaxBIPSThroughputClosely(t *testing.T) {
+	// On a small instance the greedy heuristic should land within a few
+	// percent of the exhaustive throughput optimum — the Table I trade:
+	// near-optimal quality at a fraction of the cost.
+	s := snap(4, 0.6)
+	mc := s.multi()
+	dG, err := NewGreedy().Decide(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dM, err := NewMaxBIPS().Decide(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bG := s.predictBIPS(dG.CoreSteps, dG.MemStep, mc)
+	bM := s.predictBIPS(dM.CoreSteps, dM.MemStep, mc)
+	if bG < bM*0.93 {
+		t.Errorf("greedy throughput %g more than 7%% below exhaustive %g", bG, bM)
+	}
+	if bG > bM+1e-9 {
+		t.Errorf("greedy throughput %g exceeds exhaustive optimum %g", bG, bM)
+	}
+}
+
+func TestGreedyPrefersEfficientCores(t *testing.T) {
+	// One power-hungry core among efficient ones: under a tight budget the
+	// throughput-greedy allocation should upgrade the efficient cores
+	// further than the hungry one (same IPA/turnaround profile).
+	s := snap(8, 0.5)
+	for i := range s.Power.Cores {
+		s.Power.Cores[i].Scale = 2.0
+		s.ZBar[i] = 1000
+		s.IPA[i] = 2000
+	}
+	s.Power.Cores[0].Scale = 9.0 // hungry
+	d, err := NewGreedy().Decide(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.CoreSteps[0] >= d.CoreSteps[3] {
+		t.Errorf("hungry core step %d not below efficient core %d: %v",
+			d.CoreSteps[0], d.CoreSteps[3], d.CoreSteps)
+	}
+}
+
+func TestGreedyRejectsBadSnapshot(t *testing.T) {
+	s := snap(4, 0.6)
+	s.IPA = s.IPA[:1]
+	if _, err := NewGreedy().Decide(s); err == nil {
+		t.Error("corrupt snapshot accepted")
+	}
+}
+
+func TestGreedyScalesToManyCores(t *testing.T) {
+	// Unlike MaxBIPS, greedy must handle large N without complaint.
+	s := snap(64, 0.6)
+	d, err := NewGreedy().Decide(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkDecision(t, s, d)
+}

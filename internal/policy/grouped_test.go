@@ -1,0 +1,90 @@
+package policy
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestGroupedFastCapValidDecision(t *testing.T) {
+	s := snap(8, 0.7)
+	p := NewGroupedFastCap([]core.BudgetGroup{
+		{Cores: []int{0, 1, 2, 3}, Budget: 12},
+	})
+	d, err := p.Decide(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkDecision(t, s, d)
+	// Group power at the decision respects the group cap.
+	gp := 0.0
+	for _, i := range []int{0, 1, 2, 3} {
+		gp += s.Power.Cores[i].At(s.CoreLadder.NormFreq(d.CoreSteps[i]))
+	}
+	if gp > 12+1e-9 {
+		t.Errorf("group draws %g W over its 12 W cap", gp)
+	}
+	// Global budget also holds.
+	if got := s.PredictPower(d.CoreSteps, d.MemStep); got > s.BudgetW+1e-9 {
+		t.Errorf("global %g W over %g W", got, s.BudgetW)
+	}
+}
+
+func TestGroupedFastCapNoGroupsMatchesPlain(t *testing.T) {
+	s := snap(8, 0.6)
+	dg, err := NewGroupedFastCap(nil).Decide(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dp, err := NewFastCap().Decide(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range dg.CoreSteps {
+		if dg.CoreSteps[i] != dp.CoreSteps[i] {
+			t.Fatalf("steps differ without groups: %v vs %v", dg.CoreSteps, dp.CoreSteps)
+		}
+	}
+	if dg.MemStep != dp.MemStep {
+		t.Errorf("mem step differs: %d vs %d", dg.MemStep, dp.MemStep)
+	}
+}
+
+func TestGroupedFastCapTightGroupSlowsMembers(t *testing.T) {
+	s := snap(8, 0.9) // generous global budget
+	p := NewGroupedFastCap([]core.BudgetGroup{
+		{Cores: []int{0, 1}, Budget: 3.0}, // very tight for two ~4.7 W cores
+	})
+	d, err := p.Decide(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Constrained cores sit below the unconstrained ones' steps.
+	if d.CoreSteps[0] >= d.CoreSteps[4] && d.CoreSteps[1] >= d.CoreSteps[5] {
+		t.Errorf("capped cores not throttled: %v", d.CoreSteps)
+	}
+	gp := s.Power.Cores[0].At(s.CoreLadder.NormFreq(d.CoreSteps[0])) +
+		s.Power.Cores[1].At(s.CoreLadder.NormFreq(d.CoreSteps[1]))
+	if gp > 3.0+1e-9 {
+		t.Errorf("group power %g W over 3 W", gp)
+	}
+}
+
+func TestGroupedFastCapRejectsBadGroups(t *testing.T) {
+	s := snap(8, 0.6)
+	p := NewGroupedFastCap([]core.BudgetGroup{{Cores: []int{99}, Budget: 5}})
+	if _, err := p.Decide(s); err == nil {
+		t.Error("out-of-range group accepted")
+	}
+	p2 := NewGroupedFastCap([]core.BudgetGroup{{Cores: []int{0}, Budget: -1}})
+	if _, err := p2.Decide(s); err == nil {
+		t.Error("negative group budget accepted")
+	}
+}
+
+func TestGroupedFastCapName(t *testing.T) {
+	p := NewGroupedFastCap([]core.BudgetGroup{{Cores: []int{0}, Budget: 5}})
+	if p.Name() != "FastCap-1groups" {
+		t.Errorf("name = %q", p.Name())
+	}
+}

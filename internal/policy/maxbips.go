@@ -1,0 +1,99 @@
+package policy
+
+import (
+	"fmt"
+	"math"
+)
+
+// MaxBIPS reimplements the global power-management policy of Isci et
+// al. [14]: exhaustively evaluate every combination of per-core DVFS
+// levels (here extended, as in the paper, with every memory frequency)
+// and pick the feasible combination with the highest predicted total
+// instruction throughput.
+//
+// Complexity is O(M·F^N) — the paper's Table I exponential row — so the
+// policy refuses to run beyond MaxCores (the paper's own evaluation
+// stops at 4 cores for the same reason). Throughput is maximized with no
+// fairness term, which is exactly the outlier mechanism Fig. 11 shows.
+type MaxBIPS struct {
+	// MaxCores bounds N to keep the search tractable.
+	MaxCores int
+}
+
+// NewMaxBIPS returns the policy with the paper's 4-core practicality
+// bound (slightly relaxed to 6 for experimentation).
+func NewMaxBIPS() *MaxBIPS { return &MaxBIPS{MaxCores: 6} }
+
+// Name implements Policy.
+func (MaxBIPS) Name() string { return "MaxBIPS" }
+
+// Decide implements Policy.
+func (p *MaxBIPS) Decide(s *Snapshot) (Decision, error) {
+	if err := s.Validate(); err != nil {
+		return Decision{}, err
+	}
+	n := s.N()
+	if n > p.MaxCores {
+		return Decision{}, fmt.Errorf("maxbips: %d cores exceeds exhaustive-search bound %d (O(F^N))", n, p.MaxCores)
+	}
+	f := s.CoreLadder.Len()
+	mc := s.multi()
+
+	// Precompute per-core power and per-(core, memstep) turn-around
+	// denominators so the inner loop is cheap.
+	pw := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		pw[i] = make([]float64, f)
+		for k := 0; k < f; k++ {
+			pw[i][k] = s.Power.Cores[i].At(s.CoreLadder.NormFreq(k))
+		}
+	}
+
+	bestBIPS := math.Inf(-1)
+	var bestSteps []int
+	bestMem := 0
+	steps := make([]int, n)
+	for m := 0; m < s.MemLadder.Len(); m++ {
+		sb := s.sbForMemStep(m)
+		memPower := s.Power.Mem.At(s.MemLadder.NormFreq(m)) + s.Power.Ps
+		// Per-core response is independent of core steps; cache it.
+		resp := make([]float64, n)
+		for i := 0; i < n; i++ {
+			resp[i] = mc.CoreResponse(i, sb)
+		}
+		for i := range steps {
+			steps[i] = 0
+		}
+		for {
+			total := memPower
+			bips := 0.0
+			for i := 0; i < n; i++ {
+				total += pw[i][steps[i]]
+				z := s.ZBar[i] * s.CoreLadder.Max() / s.CoreLadder.Freq(steps[i])
+				bips += s.IPA[i] / (z + s.C[i] + resp[i])
+			}
+			if total <= s.BudgetW && bips > bestBIPS {
+				bestBIPS = bips
+				bestSteps = append(bestSteps[:0], steps...)
+				bestMem = m
+			}
+			// Odometer increment over the F^N space.
+			j := 0
+			for ; j < n; j++ {
+				steps[j]++
+				if steps[j] < f {
+					break
+				}
+				steps[j] = 0
+			}
+			if j == n {
+				break
+			}
+		}
+	}
+	if bestSteps == nil {
+		// Nothing feasible: floor everything.
+		return Decision{CoreSteps: make([]int, n), MemStep: 0}, nil
+	}
+	return Decision{CoreSteps: bestSteps, MemStep: bestMem}, nil
+}

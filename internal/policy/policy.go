@@ -1,0 +1,167 @@
+// Package policy implements the power-capping policies compared in the
+// FastCap paper's evaluation (§IV-B): FastCap itself plus CPU-only,
+// Freq-Par (control-theoretic, [22]), Eql-Pwr (equal power shares, [16]),
+// Eql-Freq (uniform frequency, [42]), and MaxBIPS (exhaustive throughput
+// maximization, [14]) — the latter three extended, as in the paper, with
+// FastCap's ability to manage memory DVFS.
+//
+// Every policy consumes the same per-epoch Snapshot of counters and
+// fitted power models and returns DVFS ladder steps for all cores and
+// the memory subsystem.
+package policy
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/dvfs"
+	"repro/internal/power"
+	"repro/internal/qmodel"
+)
+
+// Snapshot is the per-epoch controller input, assembled by the runner
+// from profiling-phase counters and online model fitting.
+type Snapshot struct {
+	// ZBar[i] is core i's minimum think time estimate (Eq. 9), ns.
+	ZBar []float64
+	// C[i] is the L2 time per access, ns.
+	C []float64
+	// IPA[i] is instructions per memory access (throughput prediction).
+	IPA []float64
+	// Power carries the fitted per-core/memory models and Ps.
+	Power power.System
+	// MemStats holds per-controller Eq. 1 queue statistics.
+	MemStats []qmodel.MemStats
+	// AccessProb[i][k] is core i's probability of using controller k.
+	AccessProb [][]float64
+	// SbBar is the minimum bus transfer time, ns.
+	SbBar float64
+	// Ladders.
+	CoreLadder *dvfs.Ladder
+	MemLadder  *dvfs.Ladder
+	// BudgetW is the full-system cap in watts.
+	BudgetW float64
+	// Measured powers from the profiling window (feedback policies).
+	MeasuredCoreW []float64
+	MeasuredMemW  float64
+	// Current operating point.
+	CurCoreSteps []int
+	CurMemStep   int
+}
+
+// N returns the core count.
+func (s *Snapshot) N() int { return len(s.ZBar) }
+
+// Validate reports structural problems.
+func (s *Snapshot) Validate() error {
+	n := s.N()
+	if n == 0 {
+		return fmt.Errorf("policy: empty snapshot")
+	}
+	for _, l := range []int{len(s.C), len(s.IPA), len(s.Power.Cores), len(s.AccessProb), len(s.MeasuredCoreW), len(s.CurCoreSteps)} {
+		if l != n {
+			return fmt.Errorf("policy: inconsistent snapshot slice lengths")
+		}
+	}
+	if len(s.MemStats) == 0 {
+		return fmt.Errorf("policy: no controller stats")
+	}
+	if s.CoreLadder == nil || s.MemLadder == nil {
+		return fmt.Errorf("policy: missing ladders")
+	}
+	if s.SbBar <= 0 || s.BudgetW <= 0 {
+		return fmt.Errorf("policy: non-positive SbBar or budget")
+	}
+	return nil
+}
+
+// Decision is a full DVFS assignment.
+type Decision struct {
+	CoreSteps []int
+	MemStep   int
+}
+
+// Policy is one capping algorithm.
+type Policy interface {
+	Name() string
+	Decide(s *Snapshot) (Decision, error)
+}
+
+// multi builds the weighted response model from the snapshot.
+func (s *Snapshot) multi() *qmodel.Multi {
+	return &qmodel.Multi{Stats: s.MemStats, Access: s.AccessProb}
+}
+
+// response returns the per-core response function R_i(s_b).
+func (s *Snapshot) response() core.ResponseFunc {
+	mc := s.multi()
+	return func(i int, sb float64) float64 { return mc.CoreResponse(i, sb) }
+}
+
+// inputs assembles the FastCap optimizer inputs; sbCandidates may be
+// restricted (CPU-only passes just {SbBar}).
+func (s *Snapshot) inputs(sbCandidates []float64) *core.Inputs {
+	return &core.Inputs{
+		ZBar:         s.ZBar,
+		C:            s.C,
+		Power:        s.Power,
+		Response:     s.response(),
+		SbBar:        s.SbBar,
+		SbCandidates: sbCandidates,
+		Budget:       s.BudgetW,
+		MaxZRatio:    s.CoreLadder.StepRange(),
+	}
+}
+
+// sbForMemStep converts a memory ladder step to its bus transfer time.
+func (s *Snapshot) sbForMemStep(step int) float64 {
+	return s.SbBar * s.MemLadder.Max() / s.MemLadder.Freq(step)
+}
+
+// turnaround returns core i's mean turn-around time at a core ladder
+// step and bus transfer time sb.
+func (s *Snapshot) turnaround(i, coreStep int, sb float64, mc *qmodel.Multi) float64 {
+	z := s.ZBar[i] * s.CoreLadder.Max() / s.CoreLadder.Freq(coreStep)
+	return z + s.C[i] + mc.CoreResponse(i, sb)
+}
+
+// minTurnaround is core i's best-case (all-max) turn-around time.
+func (s *Snapshot) minTurnaround(i int, mc *qmodel.Multi) float64 {
+	return s.ZBar[i] + s.C[i] + mc.CoreResponse(i, s.SbBar)
+}
+
+// PredictPower evaluates the fitted models at a full assignment.
+func (s *Snapshot) PredictPower(coreSteps []int, memStep int) float64 {
+	p := s.Power.Ps + s.Power.Mem.At(s.MemLadder.NormFreq(memStep))
+	for i, st := range coreSteps {
+		p += s.Power.Cores[i].At(s.CoreLadder.NormFreq(st))
+	}
+	return p
+}
+
+// objectiveD computes the fairness objective of an assignment: the worst
+// (smallest) per-core ratio of best-case to achieved turn-around time.
+func (s *Snapshot) objectiveD(coreSteps []int, memStep int, mc *qmodel.Multi) float64 {
+	sb := s.sbForMemStep(memStep)
+	d := math.Inf(1)
+	for i := range coreSteps {
+		ratio := s.minTurnaround(i, mc) / s.turnaround(i, coreSteps[i], sb, mc)
+		if ratio < d {
+			d = ratio
+		}
+	}
+	return d
+}
+
+// predictBIPS estimates aggregate instruction throughput (instructions
+// per ns) for an assignment, using the queuing model: each core retires
+// IPA instructions per turn-around time.
+func (s *Snapshot) predictBIPS(coreSteps []int, memStep int, mc *qmodel.Multi) float64 {
+	sb := s.sbForMemStep(memStep)
+	total := 0.0
+	for i := range coreSteps {
+		total += s.IPA[i] / s.turnaround(i, coreSteps[i], sb, mc)
+	}
+	return total
+}

@@ -1,0 +1,118 @@
+// Package report renders experiment results as aligned text tables and
+// CSV files — the textual equivalents of the paper's figures.
+package report
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Table is a titled grid of cells.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends a row of already-formatted cells.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Render writes the table with aligned columns.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = runeLen(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && runeLen(c) > widths[i] {
+				widths[i] = runeLen(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+		b.WriteString(strings.Repeat("=", len(t.Title)))
+		b.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(pad(c, widths[i]))
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	b.WriteByte('\n')
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func pad(s string, w int) string {
+	if n := runeLen(s); n < w {
+		return s + strings.Repeat(" ", w-n)
+	}
+	return s
+}
+
+// runeLen counts characters, not bytes, so headers like "mean µs" align.
+func runeLen(s string) int { return len([]rune(s)) }
+
+// F formats a float with the given number of decimals.
+func F(v float64, prec int) string { return strconv.FormatFloat(v, 'f', prec, 64) }
+
+// Pct formats a fraction as a percentage with one decimal.
+func Pct(v float64) string { return fmt.Sprintf("%.1f%%", v*100) }
+
+// WriteCSV emits a header row plus data rows.
+func WriteCSV(w io.Writer, headers []string, rows [][]string) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(headers); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := cw.Write(r); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// SeriesCSV writes aligned time series: the first column is x (assumed
+// shared), then one column per named series. Series shorter than the
+// longest leave blanks.
+func SeriesCSV(w io.Writer, xName string, names []string, xs []float64, ys [][]float64) error {
+	if len(names) != len(ys) {
+		return fmt.Errorf("report: %d names for %d series", len(names), len(ys))
+	}
+	headers := append([]string{xName}, names...)
+	var rows [][]string
+	for i, x := range xs {
+		row := []string{F(x, 0)}
+		for _, y := range ys {
+			if i < len(y) {
+				row = append(row, F(y[i], 5))
+			} else {
+				row = append(row, "")
+			}
+		}
+		rows = append(rows, row)
+	}
+	return WriteCSV(w, headers, rows)
+}

@@ -1,0 +1,349 @@
+// Package runner drives the closed loop of the FastCap paper's §III-C:
+// per epoch, run the 300 µs profiling phase, refresh the online power
+// model fits, hand the policy a Snapshot, apply its DVFS decision, and
+// finish the epoch — collecting the power and performance series every
+// figure of the evaluation is built from.
+package runner
+
+import (
+	"fmt"
+
+	"repro/internal/cpusim"
+	"repro/internal/policy"
+	"repro/internal/power"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Config describes one experiment run.
+type Config struct {
+	Sim        sim.Config
+	Mix        workload.MixSpec
+	BudgetFrac float64
+	Epochs     int
+	// Policy decides DVFS settings; nil runs the all-max baseline the
+	// paper normalizes against.
+	Policy policy.Policy
+	// BudgetSchedule, if non-nil, overrides BudgetFrac per epoch
+	// (dynamic budget experiments).
+	BudgetSchedule func(epoch int) float64
+}
+
+// EpochRecord is one epoch's outcome.
+type EpochRecord struct {
+	Epoch int
+	// AvgPowerW is the whole-epoch average system power; CoresW/MemW
+	// split it (epoch-average, excluding Ps).
+	AvgPowerW float64
+	CoresW    float64
+	MemW      float64
+	// BudgetW is the cap in force during this epoch.
+	BudgetW float64
+	// Decision applied after the profiling phase.
+	CoreSteps []int
+	MemStep   int
+	// Instr is per-core instructions retired in the epoch.
+	Instr []float64
+	// CoreW is the per-core epoch-average power (W).
+	CoreW []float64
+	// Model-validation signals (policy runs only): the fitted-model
+	// power prediction at the applied operating point, the measured
+	// power over the post-decision window, and the Eq. 1 response-time
+	// prediction vs the measured mean response in that window.
+	PredictedPowerW float64
+	RestPowerW      float64
+	PredictedRespNs float64
+	MeasuredRespNs  float64
+}
+
+// Result aggregates a full run.
+type Result struct {
+	Mix        string
+	PolicyName string
+	Cores      int
+	PeakW      float64
+	BudgetW    float64
+	Epochs     []EpochRecord
+	// TotalInstr is per-core instructions over the run; NsPerInstr the
+	// per-core average time per instruction (the CPI-equivalent metric
+	// used for normalized performance).
+	TotalInstr  []float64
+	NsPerInstr  []float64
+	TotalTimeNs float64
+}
+
+// AvgPowerW returns the run-average system power.
+func (r *Result) AvgPowerW() float64 {
+	if len(r.Epochs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, e := range r.Epochs {
+		s += e.AvgPowerW
+	}
+	return s / float64(len(r.Epochs))
+}
+
+// MaxEpochPowerW returns the highest single-epoch average power — the
+// "maximum average power" bars of Fig. 12.
+func (r *Result) MaxEpochPowerW() float64 {
+	m := 0.0
+	for _, e := range r.Epochs {
+		if e.AvgPowerW > m {
+			m = e.AvgPowerW
+		}
+	}
+	return m
+}
+
+// NormalizedPerf divides this run's per-core time-per-instruction by the
+// baseline's; values above 1 are the percentage performance loss the
+// paper plots.
+func (r *Result) NormalizedPerf(baseline *Result) ([]float64, error) {
+	if len(r.NsPerInstr) != len(baseline.NsPerInstr) {
+		return nil, fmt.Errorf("runner: baseline has %d cores, run has %d", len(baseline.NsPerInstr), len(r.NsPerInstr))
+	}
+	out := make([]float64, len(r.NsPerInstr))
+	for i := range out {
+		if baseline.NsPerInstr[i] <= 0 {
+			return nil, fmt.Errorf("runner: baseline core %d made no progress", i)
+		}
+		out[i] = r.NsPerInstr[i] / baseline.NsPerInstr[i]
+	}
+	return out, nil
+}
+
+// Run executes one experiment.
+func Run(cfg Config) (*Result, error) {
+	if cfg.Epochs <= 0 {
+		return nil, fmt.Errorf("runner: non-positive epoch count")
+	}
+	if cfg.BudgetFrac <= 0 || cfg.BudgetFrac > 1 {
+		if cfg.BudgetSchedule == nil {
+			return nil, fmt.Errorf("runner: budget fraction %g outside (0, 1]", cfg.BudgetFrac)
+		}
+	}
+	wl, err := workload.Instantiate(cfg.Mix, cfg.Sim.Cores)
+	if err != nil {
+		return nil, err
+	}
+	sys, err := sim.New(cfg.Sim, wl)
+	if err != nil {
+		return nil, err
+	}
+	peak := sys.PeakPowerW()
+
+	res := &Result{
+		Mix:        cfg.Mix.Name,
+		Cores:      cfg.Sim.Cores,
+		PeakW:      peak,
+		BudgetW:    cfg.BudgetFrac * peak,
+		PolicyName: "baseline",
+		TotalInstr: make([]float64, cfg.Sim.Cores),
+		NsPerInstr: make([]float64, cfg.Sim.Cores),
+	}
+	if cfg.Policy != nil {
+		res.PolicyName = cfg.Policy.Name()
+	}
+
+	st := newControllerState(cfg, sys)
+	sys.Start()
+	for e := 0; e < cfg.Epochs; e++ {
+		budget := res.BudgetW
+		if cfg.BudgetSchedule != nil {
+			budget = cfg.BudgetSchedule(e) * peak
+		}
+		prof := sys.RunProfile()
+		st.observe(prof)
+
+		rec := EpochRecord{
+			Epoch:   e,
+			BudgetW: budget,
+			MemStep: st.curMemStep,
+			Instr:   make([]float64, cfg.Sim.Cores),
+		}
+		if cfg.Policy != nil {
+			snap := st.snapshot(prof, budget)
+			dec, err := cfg.Policy.Decide(snap)
+			if err != nil {
+				return nil, fmt.Errorf("epoch %d: %w", e, err)
+			}
+			if err := sys.Apply(dec.CoreSteps, dec.MemStep); err != nil {
+				return nil, fmt.Errorf("epoch %d: %w", e, err)
+			}
+			st.curCoreSteps = append(st.curCoreSteps[:0], dec.CoreSteps...)
+			st.curMemStep = dec.MemStep
+			rec.CoreSteps = append([]int(nil), dec.CoreSteps...)
+			rec.MemStep = dec.MemStep
+			rec.PredictedPowerW = snap.PredictPower(dec.CoreSteps, dec.MemStep)
+			sb := snap.SbBar * snap.MemLadder.Max() / snap.MemLadder.Freq(dec.MemStep)
+			for _, ms := range snap.MemStats {
+				rec.PredictedRespNs += ms.Response(sb)
+			}
+			rec.PredictedRespNs /= float64(len(snap.MemStats))
+		} else {
+			rec.CoreSteps = append([]int(nil), st.curCoreSteps...)
+		}
+
+		rest := sys.FinishEpoch()
+		rec.RestPowerW = rest.TotalPowerW
+		var respSum float64
+		respN := 0
+		for _, mp := range rest.Mem {
+			if mp.MeasuredRespNs > 0 {
+				respSum += mp.MeasuredRespNs
+				respN++
+			}
+		}
+		if respN > 0 {
+			rec.MeasuredRespNs = respSum / float64(respN)
+		}
+		rec.AvgPowerW = sys.CombinePower(prof, rest)
+		rec.CoresW, rec.MemW = combineBreakdown(prof, rest)
+		rec.CoreW = make([]float64, cfg.Sim.Cores)
+		total := prof.WindowNs + rest.WindowNs
+		for i := range rec.Instr {
+			rec.Instr[i] = prof.Cores[i].Counters.Instructions + rest.Cores[i].Counters.Instructions
+			res.TotalInstr[i] += rec.Instr[i]
+			rec.CoreW[i] = (prof.Cores[i].PowerW*prof.WindowNs + rest.Cores[i].PowerW*rest.WindowNs) / total
+		}
+		res.Epochs = append(res.Epochs, rec)
+	}
+	res.TotalTimeNs = float64(cfg.Epochs) * cfg.Sim.EpochNs
+	for i := range res.NsPerInstr {
+		if res.TotalInstr[i] > 0 {
+			res.NsPerInstr[i] = res.TotalTimeNs / res.TotalInstr[i]
+		}
+	}
+	return res, nil
+}
+
+// combineBreakdown produces epoch-average core and memory power.
+func combineBreakdown(prof, rest sim.Profile) (coresW, memW float64) {
+	total := prof.WindowNs + rest.WindowNs
+	var pc, pm, rc, rm float64
+	for _, c := range prof.Cores {
+		pc += c.PowerW
+	}
+	for _, m := range prof.Mem {
+		pm += m.PowerW
+	}
+	for _, c := range rest.Cores {
+		rc += c.PowerW
+	}
+	for _, m := range rest.Mem {
+		rm += m.PowerW
+	}
+	coresW = (pc*prof.WindowNs + rc*rest.WindowNs) / total
+	memW = (pm*prof.WindowNs + rm*rest.WindowNs) / total
+	return coresW, memW
+}
+
+// controllerState carries the runner-owned online estimation state: the
+// per-core and memory power-model fitters, last-known good Eq. 9 inputs,
+// and the current operating point.
+type controllerState struct {
+	cfg          Config
+	sys          *sim.System
+	coreFitters  []*power.Fitter
+	memFitter    *power.Fitter
+	lastZBar     []float64
+	lastIPA      []float64
+	curCoreSteps []int
+	curMemStep   int
+}
+
+func newControllerState(cfg Config, sys *sim.System) *controllerState {
+	n := cfg.Sim.Cores
+	st := &controllerState{
+		cfg:          cfg,
+		sys:          sys,
+		lastZBar:     make([]float64, n),
+		lastIPA:      make([]float64, n),
+		curCoreSteps: make([]int, n),
+		curMemStep:   cfg.Sim.MemLadder.MaxStep(),
+	}
+	for i := 0; i < n; i++ {
+		app := sys.Workload.Apps[i]
+		guess := cfg.Sim.CorePower.DynMaxW * app.Activity
+		st.coreFitters = append(st.coreFitters, power.NewCoreFitter(cfg.Sim.CorePower.StaticW, guess))
+		st.lastZBar[i] = 500 // neutral prior until first profile
+		st.lastIPA[i] = app.InstrPerMiss()
+		st.curCoreSteps[i] = cfg.Sim.CoreLadder.MaxStep()
+	}
+	nCtl := float64(cfg.Sim.Controllers)
+	st.memFitter = power.NewMemFitter(
+		cfg.Sim.MemPower.StaticW*nCtl,
+		(cfg.Sim.MemPower.ClockW+cfg.Sim.MemPower.TransferW)*nCtl,
+	)
+	return st
+}
+
+// observe feeds the profiling window's measurements to the fitters and
+// refreshes the Eq. 9 estimates.
+func (st *controllerState) observe(prof sim.Profile) {
+	coreMax := st.cfg.Sim.CoreLadder.Max()
+	for i, cp := range prof.Cores {
+		st.coreFitters[i].Observe(cp.FreqGHz/coreMax, cp.PowerW)
+		if cp.ZBarNs > 0 {
+			st.lastZBar[i] = cp.ZBarNs
+		}
+		if cp.IPA > 0 {
+			st.lastIPA[i] = cp.IPA
+		}
+	}
+	memW := 0.0
+	for _, mp := range prof.Mem {
+		memW += mp.PowerW
+	}
+	st.memFitter.Observe(prof.Mem[0].FreqGHz/st.cfg.Sim.MemLadder.Max(), memW)
+}
+
+// snapshot assembles the policy input for this epoch.
+func (st *controllerState) snapshot(prof sim.Profile, budgetW float64) *policy.Snapshot {
+	n := st.cfg.Sim.Cores
+	s := &policy.Snapshot{
+		ZBar:          append([]float64(nil), st.lastZBar...),
+		C:             make([]float64, n),
+		IPA:           append([]float64(nil), st.lastIPA...),
+		AccessProb:    st.sys.AccessProb(),
+		SbBar:         st.sys.SbBarNs(),
+		CoreLadder:    st.cfg.Sim.CoreLadder,
+		MemLadder:     st.cfg.Sim.MemLadder,
+		BudgetW:       budgetW,
+		MeasuredCoreW: make([]float64, n),
+		CurCoreSteps:  append([]int(nil), st.curCoreSteps...),
+		CurMemStep:    st.curMemStep,
+	}
+	for i := 0; i < n; i++ {
+		s.C[i] = cpusim.L2HitTimeNs
+		s.MeasuredCoreW[i] = prof.Cores[i].PowerW
+		s.Power.Cores = append(s.Power.Cores, st.coreFitters[i].Model())
+	}
+	s.Power.Mem = st.memFitter.Model()
+	s.Power.Ps = st.cfg.Sim.PsW
+	for _, mp := range prof.Mem {
+		s.MemStats = append(s.MemStats, mp.Stats)
+	}
+	s.MeasuredMemW = 0
+	for _, mp := range prof.Mem {
+		s.MeasuredMemW += mp.PowerW
+	}
+	return s
+}
+
+// RunPair executes the policy run and its all-max baseline with
+// identical seeds and returns both.
+func RunPair(cfg Config) (pol, base *Result, err error) {
+	pol, err = Run(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	bcfg := cfg
+	bcfg.Policy = nil
+	base, err = Run(bcfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return pol, base, nil
+}

@@ -1,0 +1,243 @@
+package runner
+
+import (
+	"testing"
+
+	"repro/internal/policy"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// fastCfg builds a small, quick experiment configuration.
+func fastCfg(t *testing.T, mix string, n int, frac float64, pol policy.Policy) Config {
+	t.Helper()
+	spec, err := workload.MixByName(mix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := sim.DefaultConfig(n)
+	sc.EpochNs = 1e6
+	sc.ProfileNs = 1e5
+	return Config{Sim: sc, Mix: spec, BudgetFrac: frac, Epochs: 8, Policy: pol}
+}
+
+func TestRunValidation(t *testing.T) {
+	cfg := fastCfg(t, "MID1", 4, 0.6, nil)
+	bad := cfg
+	bad.Epochs = 0
+	if _, err := Run(bad); err == nil {
+		t.Error("zero epochs accepted")
+	}
+	bad = cfg
+	bad.BudgetFrac = 0
+	if _, err := Run(bad); err == nil {
+		t.Error("zero budget accepted")
+	}
+	bad = cfg
+	bad.BudgetFrac = 1.5
+	if _, err := Run(bad); err == nil {
+		t.Error("budget > 1 accepted")
+	}
+	bad = cfg
+	bad.Sim.Cores = 6 // not a multiple of 4
+	if _, err := Run(bad); err == nil {
+		t.Error("bad core count accepted")
+	}
+}
+
+func TestBaselineRunsAtMax(t *testing.T) {
+	cfg := fastCfg(t, "MID1", 4, 0.6, nil)
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PolicyName != "baseline" {
+		t.Errorf("policy name %q", res.PolicyName)
+	}
+	if len(res.Epochs) != cfg.Epochs {
+		t.Fatalf("recorded %d epochs", len(res.Epochs))
+	}
+	for i, ns := range res.NsPerInstr {
+		if ns <= 0 {
+			t.Errorf("core %d time-per-instruction %g", i, ns)
+		}
+	}
+	// Unthrottled power can exceed a 60% budget for a balanced mix.
+	if res.PeakW <= 0 || res.AvgPowerW() <= 0 {
+		t.Error("power accounting empty")
+	}
+	if res.MaxEpochPowerW() < res.AvgPowerW() {
+		t.Error("max epoch power below average")
+	}
+}
+
+func TestFastCapCapsPower(t *testing.T) {
+	cfg := fastCfg(t, "MID2", 8, 0.6, policy.NewFastCap())
+	cfg.Epochs = 12
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	budget := res.BudgetW
+	// Run-average power must sit at or below the cap (small transient
+	// slack allowed for the first profiling phase at full speed).
+	if avg := res.AvgPowerW(); avg > budget*1.05 {
+		t.Errorf("average power %g W exceeds budget %g W by >5%%", avg, budget)
+	}
+	// After convergence (skip 3 epochs), every epoch respects the cap
+	// within the quantization/model tolerance the paper reports.
+	for _, e := range res.Epochs[3:] {
+		if e.AvgPowerW > budget*1.08 {
+			t.Errorf("epoch %d power %g W > 108%% of budget %g W", e.Epoch, e.AvgPowerW, budget)
+		}
+	}
+}
+
+func TestNormalizedPerfAgainstBaseline(t *testing.T) {
+	cfg := fastCfg(t, "MIX3", 8, 0.6, policy.NewFastCap())
+	cfg.Epochs = 10
+	pol, base, err := RunPair(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	norm, err := pol.NormalizedPerf(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(norm) != 8 {
+		t.Fatalf("normalized perf for %d cores", len(norm))
+	}
+	for i, v := range norm {
+		// Capped runs are slower (≥ ~1), but not absurdly so.
+		if v < 0.9 || v > 4.0 {
+			t.Errorf("core %d normalized perf %g implausible", i, v)
+		}
+	}
+	s := stats.SummarizePerf(norm)
+	if s.Worst < s.Avg {
+		t.Error("worst better than average")
+	}
+	// Fairness: FastCap's worst should be within 40% of its average even
+	// on short runs.
+	if s.Worst > s.Avg*1.4 {
+		t.Errorf("fairness gap too wide: worst %g vs avg %g", s.Worst, s.Avg)
+	}
+}
+
+func TestNormalizedPerfShapeMismatch(t *testing.T) {
+	a := &Result{NsPerInstr: []float64{1, 2}}
+	b := &Result{NsPerInstr: []float64{1}}
+	if _, err := a.NormalizedPerf(b); err == nil {
+		t.Error("shape mismatch accepted")
+	}
+	c := &Result{NsPerInstr: []float64{1, 0}}
+	if _, err := a.NormalizedPerf(c); err == nil {
+		t.Error("zero baseline accepted")
+	}
+}
+
+func TestBudgetSchedule(t *testing.T) {
+	cfg := fastCfg(t, "MID1", 4, 0.6, policy.NewFastCap())
+	cfg.Epochs = 6
+	cfg.BudgetSchedule = func(e int) float64 {
+		if e < 3 {
+			return 0.8
+		}
+		return 0.5
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Epochs[0].BudgetW <= res.Epochs[5].BudgetW {
+		t.Error("budget schedule not applied")
+	}
+	// Power must drop when the budget tightens.
+	early := stats.Mean([]float64{res.Epochs[1].AvgPowerW, res.Epochs[2].AvgPowerW})
+	late := stats.Mean([]float64{res.Epochs[4].AvgPowerW, res.Epochs[5].AvgPowerW})
+	if late >= early {
+		t.Errorf("power did not drop on budget cut: %g → %g", early, late)
+	}
+}
+
+func TestAllPoliciesRunEndToEnd(t *testing.T) {
+	pols := []policy.Policy{
+		policy.NewFastCap(),
+		policy.NewCPUOnly(),
+		policy.NewFreqPar(),
+		policy.NewEqlPwr(),
+		policy.NewEqlFreq(),
+	}
+	for _, p := range pols {
+		cfg := fastCfg(t, "MIX4", 4, 0.6, p)
+		cfg.Epochs = 5
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name(), err)
+		}
+		if res.PolicyName != p.Name() {
+			t.Errorf("policy name %q", res.PolicyName)
+		}
+		// All policies must keep run-average power within 15% of budget.
+		if avg := res.AvgPowerW(); avg > res.BudgetW*1.15 {
+			t.Errorf("%s: average power %g W far above budget %g W", p.Name(), avg, res.BudgetW)
+		}
+	}
+}
+
+func TestMaxBIPSEndToEnd(t *testing.T) {
+	cfg := fastCfg(t, "MIX1", 4, 0.6, policy.NewMaxBIPS())
+	cfg.Epochs = 5
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if avg := res.AvgPowerW(); avg > res.BudgetW*1.15 {
+		t.Errorf("MaxBIPS average power %g W above budget %g W", avg, res.BudgetW)
+	}
+}
+
+func TestDeterministicResults(t *testing.T) {
+	cfg := fastCfg(t, "MEM2", 4, 0.6, policy.NewFastCap())
+	cfg.Epochs = 4
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.AvgPowerW() != b.AvgPowerW() {
+		t.Error("power diverged between identical runs")
+	}
+	for i := range a.NsPerInstr {
+		if a.NsPerInstr[i] != b.NsPerInstr[i] {
+			t.Errorf("core %d perf diverged", i)
+		}
+	}
+}
+
+func TestOoOAndMultiControllerConfigs(t *testing.T) {
+	// OoO mode.
+	cfg := fastCfg(t, "MEM2", 4, 0.6, policy.NewFastCap())
+	cfg.Sim.OoO = true
+	cfg.Epochs = 4
+	if _, err := Run(cfg); err != nil {
+		t.Fatalf("OoO: %v", err)
+	}
+	// Four controllers, skewed.
+	cfg = fastCfg(t, "MEM2", 8, 0.6, policy.NewFastCap())
+	cfg.Sim.Controllers = 4
+	cfg.Sim.BanksPerController = 8
+	cfg.Sim.SkewedAccess = true
+	cfg.Epochs = 4
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("multi-controller: %v", err)
+	}
+	if avg := res.AvgPowerW(); avg > res.BudgetW*1.15 {
+		t.Errorf("skewed multi-controller power %g W above budget %g W", avg, res.BudgetW)
+	}
+}

@@ -1,0 +1,98 @@
+package runner
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/policy"
+)
+
+// The model-validation signals recorded per epoch must be populated and
+// physically sensible for a policy run, and absent for a baseline run.
+func TestValidationSignalsRecorded(t *testing.T) {
+	cfg := fastCfg(t, "MID2", 8, 0.6, policy.NewFastCap())
+	cfg.Epochs = 8
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range res.Epochs[2:] {
+		if e.PredictedPowerW <= 0 {
+			t.Errorf("epoch %d: no power prediction", e.Epoch)
+		}
+		if e.RestPowerW <= 0 {
+			t.Errorf("epoch %d: no measured rest power", e.Epoch)
+		}
+		// Fitted models converge within a couple of epochs; prediction
+		// within 15% of measurement (the paper claims <10% in steady
+		// state; allow slack for the short run).
+		rel := math.Abs(e.PredictedPowerW-e.RestPowerW) / e.RestPowerW
+		if rel > 0.15 {
+			t.Errorf("epoch %d: power prediction off by %.0f%% (%g vs %g)",
+				e.Epoch, rel*100, e.PredictedPowerW, e.RestPowerW)
+		}
+		if e.PredictedRespNs <= 0 || e.MeasuredRespNs <= 0 {
+			t.Errorf("epoch %d: response signals missing (%g, %g)",
+				e.Epoch, e.PredictedRespNs, e.MeasuredRespNs)
+		}
+	}
+	// Per-core power recorded and sums near the cores total.
+	for _, e := range res.Epochs {
+		if len(e.CoreW) != 8 {
+			t.Fatalf("epoch %d: CoreW has %d entries", e.Epoch, len(e.CoreW))
+		}
+		sum := 0.0
+		for _, w := range e.CoreW {
+			if w <= 0 {
+				t.Errorf("epoch %d: non-positive core power", e.Epoch)
+			}
+			sum += w
+		}
+		if math.Abs(sum-e.CoresW)/e.CoresW > 1e-6 {
+			t.Errorf("epoch %d: Σ CoreW %g != CoresW %g", e.Epoch, sum, e.CoresW)
+		}
+	}
+}
+
+func TestBaselineHasNoPredictions(t *testing.T) {
+	cfg := fastCfg(t, "MID1", 4, 0.6, nil)
+	cfg.Epochs = 3
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range res.Epochs {
+		if e.PredictedPowerW != 0 || e.PredictedRespNs != 0 {
+			t.Errorf("baseline epoch %d carries predictions", e.Epoch)
+		}
+		// Measured rest power still recorded.
+		if e.RestPowerW <= 0 {
+			t.Errorf("baseline epoch %d: no measured power", e.Epoch)
+		}
+	}
+}
+
+func TestGroupedPolicyEndToEnd(t *testing.T) {
+	cfg := fastCfg(t, "MID2", 8, 0.8, nil)
+	cfg.Epochs = 6
+	const socketCap = 10.0
+	cfg.Policy = policy.NewGroupedFastCap([]core.BudgetGroup{
+		{Cores: []int{0, 1, 2, 3}, Budget: socketCap},
+	})
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Socket 0 (cores 0–3) epoch power stays under its cap once the
+	// fitters have two observations.
+	for _, e := range res.Epochs[2:] {
+		sum := 0.0
+		for i := 0; i < 4; i++ {
+			sum += e.CoreW[i]
+		}
+		if sum > socketCap*1.10 {
+			t.Errorf("epoch %d: socket power %g W above %g W cap (+10%% tolerance)", e.Epoch, sum, socketCap)
+		}
+	}
+}

@@ -1,0 +1,93 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+// End-to-end OoO: memory-bound workloads retire more instructions per
+// epoch than in-order at the same frequencies (memory-level parallelism),
+// while CPU-bound workloads are unchanged.
+func TestOoOSpeedsUpMemoryBound(t *testing.T) {
+	run := func(mix string, ooo bool) float64 {
+		wl := mustWorkload(t, mix, 4)
+		cfg := smallConfig(4)
+		cfg.OoO = ooo
+		sys, err := New(cfg, wl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sys.Start()
+		sys.RunProfile()
+		rest := sys.FinishEpoch()
+		total := 0.0
+		for _, cp := range rest.Cores {
+			total += cp.Counters.Instructions
+		}
+		return total
+	}
+	memIn := run("MEM1", false)
+	memOoO := run("MEM1", true)
+	if memOoO < memIn*1.15 {
+		t.Errorf("OoO MEM1 %.0f instr vs in-order %.0f: want ≥1.15×", memOoO, memIn)
+	}
+	ilpIn := run("ILP2", false)
+	ilpOoO := run("ILP2", true)
+	if math.Abs(ilpOoO-ilpIn)/ilpIn > 0.02 {
+		t.Errorf("OoO changed ILP2 throughput: %.0f vs %.0f", ilpOoO, ilpIn)
+	}
+}
+
+// Memory-bound workloads drive higher utilization in OoO mode — the
+// paper's observation that cores and memory "become more highly
+// utilized".
+func TestOoOIncreasesMemoryUtilization(t *testing.T) {
+	busBusy := func(ooo bool) float64 {
+		wl := mustWorkload(t, "MEM1", 4)
+		cfg := smallConfig(4)
+		cfg.OoO = ooo
+		sys, err := New(cfg, wl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sys.Start()
+		sys.RunProfile()
+		rest := sys.FinishEpoch()
+		return rest.Mem[0].Counters.BusBusyNs
+	}
+	inOrder := busBusy(false)
+	ooo := busBusy(true)
+	if ooo <= inOrder {
+		t.Errorf("OoO bus busy %g not above in-order %g", ooo, inOrder)
+	}
+}
+
+// The profiling window and rest-of-epoch window partition the epoch: the
+// per-core instruction counters across both must equal a full-epoch run
+// at the same operating point.
+func TestWindowsPartitionEpoch(t *testing.T) {
+	wl := mustWorkload(t, "MID3", 4)
+	cfg := smallConfig(4)
+	sys, err := New(cfg, wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Start()
+	prof := sys.RunProfile()
+	rest := sys.FinishEpoch()
+	if got := prof.WindowNs + rest.WindowNs; math.Abs(got-cfg.EpochNs) > 1e-9 {
+		t.Errorf("windows sum to %g, want epoch %g", got, cfg.EpochNs)
+	}
+	for i := range prof.Cores {
+		a := prof.Cores[i].Counters.Instructions
+		b := rest.Cores[i].Counters.Instructions
+		if a <= 0 || b <= 0 {
+			t.Errorf("core %d: empty window (%g, %g)", i, a, b)
+		}
+		// The rest window is 9× longer: instruction counts should scale
+		// roughly with window length for a steady workload.
+		if b < 4*a {
+			t.Errorf("core %d: rest window %g instr vs profile %g — not proportional", i, b, a)
+		}
+	}
+}

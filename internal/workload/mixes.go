@@ -1,0 +1,182 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+)
+
+// MixSpec is one row of the paper's Table III: four applications plus the
+// published workload-level L2 misses and writebacks per kilo-instruction
+// (measured on the 16-core configuration).
+type MixSpec struct {
+	Name  string
+	Class Class
+	MPKI  float64
+	WPKI  float64
+	Apps  [4]string
+}
+
+// TableIII reproduces the paper's workload table verbatim.
+var TableIII = []MixSpec{
+	{"ILP1", ClassILP, 0.37, 0.06, [4]string{"vortex", "gcc", "sixtrack", "mesa"}},
+	{"ILP2", ClassILP, 0.16, 0.03, [4]string{"perlbmk", "crafty", "gzip", "eon"}},
+	{"ILP3", ClassILP, 0.27, 0.07, [4]string{"sixtrack", "mesa", "perlbmk", "crafty"}},
+	{"ILP4", ClassILP, 0.25, 0.04, [4]string{"vortex", "gcc", "gzip", "eon"}},
+	{"MID1", ClassMID, 1.76, 0.74, [4]string{"ammp", "gap", "wupwise", "vpr"}},
+	{"MID2", ClassMID, 2.61, 0.89, [4]string{"astar", "parser", "twolf", "facerec"}},
+	{"MID3", ClassMID, 1.00, 0.60, [4]string{"apsi", "bzip2", "ammp", "gap"}},
+	{"MID4", ClassMID, 2.13, 0.90, [4]string{"wupwise", "vpr", "astar", "parser"}},
+	{"MEM1", ClassMEM, 18.22, 7.92, [4]string{"swim", "applu", "galgel", "equake"}},
+	{"MEM2", ClassMEM, 7.75, 2.53, [4]string{"art", "milc", "mgrid", "fma3d"}},
+	{"MEM3", ClassMEM, 7.93, 2.55, [4]string{"fma3d", "mgrid", "galgel", "equake"}},
+	{"MEM4", ClassMEM, 15.07, 7.31, [4]string{"swim", "applu", "sphinx3", "lucas"}},
+	{"MIX1", ClassMIX, 2.93, 2.56, [4]string{"applu", "hmmer", "gap", "gzip"}},
+	{"MIX2", ClassMIX, 2.55, 0.80, [4]string{"milc", "gobmk", "facerec", "perlbmk"}},
+	{"MIX3", ClassMIX, 2.34, 0.39, [4]string{"equake", "ammp", "sjeng", "crafty"}},
+	{"MIX4", ClassMIX, 3.62, 1.20, [4]string{"swim", "ammp", "twolf", "sixtrack"}},
+}
+
+// MixByName returns the Table III row with the given name.
+func MixByName(name string) (MixSpec, error) {
+	for _, m := range TableIII {
+		if m.Name == name {
+			return m, nil
+		}
+	}
+	return MixSpec{}, fmt.Errorf("workload: unknown mix %q", name)
+}
+
+// MixesByClass returns all Table III rows of one class, in table order.
+func MixesByClass(c Class) []MixSpec {
+	var out []MixSpec
+	for _, m := range TableIII {
+		if m.Class == c {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// App is one application instance occupying one core: a profile plus the
+// mix-calibrated effective miss and writeback rates.
+type App struct {
+	AppProfile
+	// MPKI and WPKI are the effective L2 miss/writeback rates of this
+	// instance within its mix (shared-cache contention folded in).
+	MPKI float64
+	WPKI float64
+	// Copy distinguishes the N/4 copies of the same application so each
+	// can follow independently seeded phases.
+	Copy int
+}
+
+// InstrPerMiss returns the mean number of instructions between two L2
+// misses (memory accesses) of this instance.
+func (a App) InstrPerMiss() float64 { return 1000.0 / a.MPKI }
+
+// WritebackProb returns the probability that a miss is accompanied by a
+// dirty-line writeback.
+func (a App) WritebackProb() float64 {
+	if a.MPKI <= 0 {
+		return 0
+	}
+	p := a.WPKI / a.MPKI
+	if p > 1 {
+		p = 1
+	}
+	return p
+}
+
+// Workload is a fully instantiated Table III mix for an N-core machine:
+// N/4 copies of each of the four applications, one per core, with
+// per-instance rates calibrated so the workload-level MPKI and WPKI
+// equal the published values.
+type Workload struct {
+	Spec MixSpec
+	Apps []App // length N; Apps[i] runs on core i
+}
+
+// Instantiate builds a Workload for n cores. n must be a positive
+// multiple of 4, matching the paper's "×N/4 each" construction.
+//
+// Calibration: the published mix MPKI is the mean across the four
+// applications (equal instruction weighting); each application's share
+// is proportional to its global MemWeight. Writebacks likewise, with the
+// per-app WriteFrac modulating the split.
+func Instantiate(spec MixSpec, n int) (*Workload, error) {
+	if n <= 0 || n%4 != 0 {
+		return nil, fmt.Errorf("workload: core count %d is not a positive multiple of 4", n)
+	}
+	profiles := make([]AppProfile, 4)
+	var wSum, wbSum float64
+	for i, name := range spec.Apps {
+		p, err := Lookup(name)
+		if err != nil {
+			return nil, err
+		}
+		profiles[i] = p
+		wSum += p.MemWeight
+		wbSum += p.MemWeight * p.WriteFrac
+	}
+	if wSum <= 0 || wbSum <= 0 {
+		return nil, fmt.Errorf("workload: mix %s has zero intensity", spec.Name)
+	}
+	apps := make([]App, 0, n)
+	copies := n / 4
+	for c := 0; c < copies; c++ {
+		for i := range profiles {
+			p := profiles[i]
+			mpki := 4 * spec.MPKI * p.MemWeight / wSum
+			wpki := 4 * spec.WPKI * p.MemWeight * p.WriteFrac / wbSum
+			apps = append(apps, App{AppProfile: p, MPKI: mpki, WPKI: wpki, Copy: c})
+		}
+	}
+	return &Workload{Spec: spec, Apps: apps}, nil
+}
+
+// MeanMPKI returns the workload-level misses per kilo-instruction (the
+// equal-weight mean across instances) — by construction equal to the
+// Table III value.
+func (w *Workload) MeanMPKI() float64 {
+	s := 0.0
+	for _, a := range w.Apps {
+		s += a.MPKI
+	}
+	return s / float64(len(w.Apps))
+}
+
+// MeanWPKI returns the workload-level writebacks per kilo-instruction.
+func (w *Workload) MeanWPKI() float64 {
+	s := 0.0
+	for _, a := range w.Apps {
+		s += a.WPKI
+	}
+	return s / float64(len(w.Apps))
+}
+
+// Phase produces the multiplicative memory-intensity factor for an app
+// instance at a given epoch. Phases are deterministic in (mix, app,
+// copy, epoch): slow sinusoidal drift plus piecewise plateaus, bounded
+// to [1-PhaseAmp, 1+PhaseAmp], so runs are exactly reproducible.
+func (a App) Phase(epoch int) float64 {
+	if a.PhaseAmp == 0 || a.PhaseLen <= 0 {
+		return 1
+	}
+	// Deterministic per-instance offset so copies decorrelate.
+	seed := float64(hashString(a.Name)%97)/97.0 + 0.37*float64(a.Copy)
+	t := (float64(epoch)/float64(a.PhaseLen) + seed) * 2 * math.Pi
+	// Sum of two incommensurate tones approximates plateau-and-jump
+	// program phases without requiring a random source at run time.
+	v := 0.7*math.Sin(t) + 0.3*math.Sin(2.618*t+1.0)
+	return 1 + a.PhaseAmp*v
+}
+
+// hashString is a small FNV-1a so phases don't depend on map ordering.
+func hashString(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}
