@@ -40,6 +40,7 @@ func main() {
 		outDir   = flag.String("out", "", "also write CSV outputs to this directory")
 		quiet    = flag.Bool("q", false, "suppress progress lines")
 		seed     = flag.Int64("seed", 1, "simulation seed")
+		workers  = flag.Int("workers", 0, "concurrent runs per sweep (0 = GOMAXPROCS, 1 = serial; output is identical)")
 	)
 	flag.Parse()
 
@@ -49,6 +50,7 @@ func main() {
 		EpochNs:       *epochMs * 1e6,
 		MixesPerClass: *mixesPC,
 		Seed:          *seed,
+		Workers:       *workers,
 	}
 	lab := experiments.NewLab(opt)
 	if !*quiet {

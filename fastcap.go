@@ -73,8 +73,18 @@ func DefaultMemLadder() *Ladder { return dvfs.DefaultMemLadder() }
 // Policies (paper §IV-B).
 type (
 	// Policy is one capping algorithm: Snapshot in, Decision out.
+	//
+	// Ownership contracts (performance-motivated):
+	//   - A policy instance may keep internal scratch across Decide
+	//     calls; use one instance per concurrent run. Instances must not
+	//     be shared between goroutines.
+	//   - The Snapshot (and its slices) passed to Decide is only valid
+	//     for the duration of the call — the runner refills one buffer
+	//     per epoch. Implementations that retain per-epoch data must
+	//     copy it.
 	Policy = policy.Policy
-	// Snapshot is the per-epoch controller input.
+	// Snapshot is the per-epoch controller input. Snapshots handed to
+	// Policy.Decide are reused across epochs; copy anything you keep.
 	Snapshot = policy.Snapshot
 	// Decision is a full per-core + memory DVFS assignment.
 	Decision = policy.Decision
@@ -124,6 +134,11 @@ type (
 	// SystemConfig describes the simulated machine.
 	SystemConfig = sim.Config
 	// System is an instantiated machine bound to a workload.
+	//
+	// The Profiles returned by RunProfile and FinishEpoch alias
+	// System-owned buffers: each is valid until the next call of the
+	// same method. Callers accumulating per-epoch profiles must copy
+	// the slices they keep.
 	System = sim.System
 )
 

@@ -127,10 +127,11 @@ type Result struct {
 	Evals int
 }
 
-// dSolution is the inner solve for one candidate sb.
+// dSolution is the inner solve for one candidate sb. Think times are
+// not materialized here — only the winning candidate's z vector is
+// computed, once, when the outer search finishes.
 type dSolution struct {
 	d        float64
-	z        []float64
 	pw       float64
 	feasible bool
 }
@@ -153,22 +154,62 @@ func zOfD(zBar, c, rMin, r, d, maxZRatio float64) float64 {
 	return z
 }
 
-// solveForSb computes the optimal D and think times for one fixed sb via
-// bisection on the budget equality (Theorem 1). It runs in O(N) per
-// bisection step.
-func (in *Inputs) solveForSb(sbIdx int) dSolution {
+// Solver carries reusable scratch for Solve/SolveExhaustive/Quantize so
+// repeated invocations (one per epoch per policy) allocate only the
+// result slices that escape to the caller. The zero value is ready to
+// use; a Solver must not be used concurrently.
+type Solver struct {
+	r      []float64   // R_i at the candidate sb being probed
+	rMin   []float64   // R_i at SbBar (fixed per Solve call)
+	sols   []dSolution // per-candidate memo
+	probed []bool
+	num    []float64    // quantization guard: per-core T_min numerators
+	rCur   []float64    // quantization guard: R_i at the solved sb
+	heap   []guardEntry // quantization guard max-heap
+}
+
+// prepare sizes the scratch and evaluates the per-core minimum response
+// times, which do not depend on the candidate.
+func (s *Solver) prepare(in *Inputs) {
+	n, m := len(in.ZBar), len(in.SbCandidates)
+	s.r = growF(s.r, n)
+	s.rMin = growF(s.rMin, n)
+	for i := 0; i < n; i++ {
+		s.rMin[i] = in.Response(i, in.SbBar)
+	}
+	if cap(s.sols) < m {
+		s.sols = make([]dSolution, m)
+		s.probed = make([]bool, m)
+	} else {
+		s.sols = s.sols[:m]
+		s.probed = s.probed[:m]
+		for i := range s.probed {
+			s.probed[i] = false
+		}
+	}
+}
+
+// growF resizes a float64 scratch slice, reusing capacity.
+func growF(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
+}
+
+// solveForSb computes the optimal D for one fixed sb via bisection on
+// the budget equality (Theorem 1). It runs in O(N) per bisection step
+// and does not allocate: response times live in the solver scratch and
+// think times are materialized only for the winning candidate.
+func (s *Solver) solveForSb(in *Inputs, sbIdx int) dSolution {
 	sb := in.SbCandidates[sbIdx]
 	n := len(in.ZBar)
-	r := make([]float64, n)
-	rMin := make([]float64, n)
+	r, rMin := s.r[:n], s.rMin[:n]
 	for i := 0; i < n; i++ {
 		r[i] = in.Response(i, sb)
-		rMin[i] = in.Response(i, in.SbBar)
 	}
 	xm := in.SbBar / sb
 
-	// Allocation-free power evaluation: power is all the root finder needs;
-	// think times are materialized once at the end.
 	powerOnly := func(d float64) float64 {
 		p := in.Power.Ps + in.Power.Mem.At(xm)
 		for i := 0; i < n; i++ {
@@ -176,13 +217,6 @@ func (in *Inputs) solveForSb(sbIdx int) dSolution {
 			p += in.Power.Cores[i].At(in.ZBar[i] / z)
 		}
 		return p
-	}
-	thinkTimes := func(d float64) []float64 {
-		z := make([]float64, n)
-		for i := 0; i < n; i++ {
-			z[i] = zOfD(in.ZBar[i], in.C[i], rMin[i], r[i], d, in.MaxZRatio)
-		}
-		return z
 	}
 
 	// dHi: the largest meaningful D — every core at maximum frequency
@@ -199,12 +233,12 @@ func (in *Inputs) solveForSb(sbIdx int) dSolution {
 
 	if pHi := powerOnly(dHi); pHi <= in.Budget+budgetTol {
 		// Budget does not bind: run everything at maximum frequency.
-		return dSolution{d: dHi, z: thinkTimes(dHi), pw: pHi, feasible: true}
+		return dSolution{d: dHi, pw: pHi, feasible: true}
 	}
 	pLo := powerOnly(dLo)
 	if pLo > in.Budget+budgetTol {
 		// Even minimum frequencies blow the budget at this sb.
-		return dSolution{d: dLo, z: thinkTimes(dLo), pw: pLo, feasible: false}
+		return dSolution{d: dLo, pw: pLo, feasible: false}
 	}
 
 	// Solve power(D) = Budget on [dLo, dHi]. power is monotone
@@ -234,7 +268,27 @@ func (in *Inputs) solveForSb(sbIdx int) dSolution {
 			}
 		}
 	}
-	return dSolution{d: lo, z: thinkTimes(lo), pw: gLo + in.Budget, feasible: true}
+	return dSolution{d: lo, pw: gLo + in.Budget, feasible: true}
+}
+
+// finish materializes the winning candidate's think times into a fresh
+// Result (the only per-Solve allocation that escapes).
+func (s *Solver) finish(in *Inputs, best dSolution, bestIdx, evals int) Result {
+	n := len(in.ZBar)
+	sb := in.SbCandidates[bestIdx]
+	z := make([]float64, n)
+	for i := 0; i < n; i++ {
+		z[i] = zOfD(in.ZBar[i], in.C[i], s.rMin[i], in.Response(i, sb), best.d, in.MaxZRatio)
+	}
+	return Result{
+		D:              best.d,
+		Z:              z,
+		Sb:             sb,
+		SbIndex:        bestIdx,
+		PredictedPower: best.pw,
+		Feasible:       best.feasible,
+		Evals:          evals,
+	}
 }
 
 // Solve runs Algorithm 1: binary search over the M bus-time candidates,
@@ -248,19 +302,27 @@ func (in *Inputs) solveForSb(sbIdx int) dSolution {
 // unimodal-maximum bisection and avoids the non-progress corner case in
 // the published listing; both perform O(log M) probes.
 func (in *Inputs) Solve() (Result, error) {
+	var s Solver
+	return s.Solve(in)
+}
+
+// Solve runs Algorithm 1 using the solver's scratch buffers; see
+// Inputs.Solve for the algorithm description.
+func (s *Solver) Solve(in *Inputs) (Result, error) {
 	if err := in.Validate(); err != nil {
 		return Result{}, err
 	}
+	s.prepare(in)
 	evals := 0
-	memo := make(map[int]dSolution, len(in.SbCandidates))
 	probe := func(i int) dSolution {
-		if s, ok := memo[i]; ok {
-			return s
+		if s.probed[i] {
+			return s.sols[i]
 		}
-		s := in.solveForSb(i)
-		memo[i] = s
+		sol := s.solveForSb(in, i)
+		s.probed[i] = true
+		s.sols[i] = sol
 		evals++
-		return s
+		return sol
 	}
 
 	lo, hi := 0, len(in.SbCandidates)-1
@@ -274,19 +336,11 @@ func (in *Inputs) Solve() (Result, error) {
 	}
 	best, bestIdx := probe(lo), lo
 	for i := lo + 1; i <= hi; i++ {
-		if s := probe(i); betterThan(s, best) {
-			best, bestIdx = s, i
+		if sol := probe(i); betterThan(sol, best) {
+			best, bestIdx = sol, i
 		}
 	}
-	return Result{
-		D:              best.d,
-		Z:              best.z,
-		Sb:             in.SbCandidates[bestIdx],
-		SbIndex:        bestIdx,
-		PredictedPower: best.pw,
-		Feasible:       best.feasible,
-		Evals:          evals,
-	}, nil
+	return s.finish(in, best, bestIdx, evals), nil
 }
 
 // SolveExhaustive scans all M candidates. It is the reference the binary
@@ -294,28 +348,27 @@ func (in *Inputs) Solve() (Result, error) {
 // policy (single candidate) and for policies that must probe every
 // memory frequency.
 func (in *Inputs) SolveExhaustive() (Result, error) {
+	var s Solver
+	return s.SolveExhaustive(in)
+}
+
+// SolveExhaustive scans all candidates using the solver's scratch.
+func (s *Solver) SolveExhaustive(in *Inputs) (Result, error) {
 	if err := in.Validate(); err != nil {
 		return Result{}, err
 	}
+	s.prepare(in)
 	var best dSolution
 	bestIdx := -1
 	evals := 0
 	for i := range in.SbCandidates {
-		s := in.solveForSb(i)
+		sol := s.solveForSb(in, i)
 		evals++
-		if bestIdx < 0 || betterThan(s, best) {
-			best, bestIdx = s, i
+		if bestIdx < 0 || betterThan(sol, best) {
+			best, bestIdx = sol, i
 		}
 	}
-	return Result{
-		D:              best.d,
-		Z:              best.z,
-		Sb:             in.SbCandidates[bestIdx],
-		SbIndex:        bestIdx,
-		PredictedPower: best.pw,
-		Feasible:       best.feasible,
-		Evals:          evals,
-	}, nil
+	return s.finish(in, best, bestIdx, evals), nil
 }
 
 // betterThan orders candidate solutions: feasible beats infeasible; among
@@ -358,6 +411,73 @@ type Assignment struct {
 // budget is met (memory is stepped down only after every core reaches
 // its floor).
 func (in *Inputs) Quantize(res Result, coreL, memL *dvfs.Ladder, guard bool) Assignment {
+	var s Solver
+	return s.Quantize(in, res, coreL, memL, guard)
+}
+
+// guardEntry is one max-heap node of the quantization guard: a core and
+// its performance ratio at the step it held when pushed. Entries whose
+// step no longer matches the core's current step are stale and are
+// discarded lazily on pop.
+type guardEntry struct {
+	ratio float64
+	core  int32
+	step  int32
+}
+
+// guardLess orders the shed heap: higher ratio first, ties broken
+// toward the lower core index (matching the original linear argmax).
+func guardLess(a, b guardEntry) bool {
+	if a.ratio != b.ratio {
+		return a.ratio > b.ratio
+	}
+	return a.core < b.core
+}
+
+func (s *Solver) guardPush(e guardEntry) {
+	s.heap = append(s.heap, e)
+	i := len(s.heap) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !guardLess(s.heap[i], s.heap[parent]) {
+			break
+		}
+		s.heap[i], s.heap[parent] = s.heap[parent], s.heap[i]
+		i = parent
+	}
+}
+
+func (s *Solver) guardPop() guardEntry {
+	top := s.heap[0]
+	last := len(s.heap) - 1
+	s.heap[0] = s.heap[last]
+	s.heap = s.heap[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		best := i
+		if l < last && guardLess(s.heap[l], s.heap[best]) {
+			best = l
+		}
+		if r < last && guardLess(s.heap[r], s.heap[best]) {
+			best = r
+		}
+		if best == i {
+			break
+		}
+		s.heap[i], s.heap[best] = s.heap[best], s.heap[i]
+		i = best
+	}
+	return top
+}
+
+// Quantize maps a continuous Result onto the DVFS ladders using the
+// solver's scratch. The budget guard runs in O(N·log N + S·log N) for S
+// shed steps: power is updated incrementally per step (instead of a
+// full O(N) model re-evaluation) and the next core to shed comes from a
+// max-heap keyed by performance ratio (instead of a linear argmax),
+// with lazy deletion of stale entries.
+func (s *Solver) Quantize(in *Inputs, res Result, coreL, memL *dvfs.Ladder, guard bool) Assignment {
 	n := len(res.Z)
 	steps := make([]int, n)
 	for i := 0; i < n; i++ {
@@ -365,45 +485,60 @@ func (in *Inputs) Quantize(res Result, coreL, memL *dvfs.Ladder, guard bool) Ass
 	}
 	memStep := memL.NearestNorm(in.SbBar / res.Sb)
 
-	predict := func() float64 {
-		p := in.Power.Ps + in.Power.Mem.At(memL.NormFreq(memStep))
-		for i := 0; i < n; i++ {
-			p += in.Power.Cores[i].At(coreL.NormFreq(steps[i]))
-		}
-		return p
+	pw := in.Power.Ps + in.Power.Mem.At(memL.NormFreq(memStep))
+	for i := 0; i < n; i++ {
+		pw += in.Power.Cores[i].At(coreL.NormFreq(steps[i]))
 	}
-	pw := predict()
 	if !guard || pw <= in.Budget {
 		return Assignment{CoreSteps: steps, MemStep: memStep, PredictedPower: pw}
 	}
 
-	// Performance ratio of core i at its current step: D_i = T_min/T(step).
-	ratio := func(i int) float64 {
-		rMin := in.Response(i, in.SbBar)
-		r := in.Response(i, in.SbCandidates[res.SbIndex])
-		z := in.ZBar[i] * coreL.Max() / coreL.Freq(steps[i])
-		return (in.ZBar[i] + in.C[i] + rMin) / (z + in.C[i] + r)
+	// Per-core constants of the performance ratio
+	// D_i(step) = (z̄_i + c_i + R_i(s̄_b)) / (z̄_i·f_max/f(step) + c_i + R_i(s_b)).
+	s.num = growF(s.num, n)
+	s.rCur = growF(s.rCur, n)
+	sbCur := in.SbCandidates[res.SbIndex]
+	for i := 0; i < n; i++ {
+		s.num[i] = in.ZBar[i] + in.C[i] + in.Response(i, in.SbBar)
+		s.rCur[i] = in.Response(i, sbCur)
 	}
+	ratioAt := func(i, step int) float64 {
+		z := in.ZBar[i] * coreL.Max() / coreL.Freq(step)
+		return s.num[i] / (z + in.C[i] + s.rCur[i])
+	}
+	s.heap = s.heap[:0]
+	for i := 0; i < n; i++ {
+		if steps[i] > 0 {
+			s.guardPush(guardEntry{ratio: ratioAt(i, steps[i]), core: int32(i), step: int32(steps[i])})
+		}
+	}
+
 	for pw > in.Budget {
-		best, bestRatio := -1, -1.0
-		for i := 0; i < n; i++ {
-			if steps[i] == 0 {
-				continue
-			}
-			if rr := ratio(i); rr > bestRatio {
-				best, bestRatio = i, rr
+		// Next live shed candidate: lazily discard entries whose step is
+		// out of date.
+		shed := -1
+		for len(s.heap) > 0 {
+			e := s.guardPop()
+			if int(e.step) == steps[e.core] {
+				shed = int(e.core)
+				break
 			}
 		}
-		if best < 0 {
+		if shed < 0 {
 			if memStep > 0 {
+				pw -= in.Power.Mem.At(memL.NormFreq(memStep))
 				memStep--
-				pw = predict()
+				pw += in.Power.Mem.At(memL.NormFreq(memStep))
 				continue
 			}
 			break // everything at the floor; nothing more to shed
 		}
-		steps[best]--
-		pw = predict()
+		pw -= in.Power.Cores[shed].At(coreL.NormFreq(steps[shed]))
+		steps[shed]--
+		pw += in.Power.Cores[shed].At(coreL.NormFreq(steps[shed]))
+		if steps[shed] > 0 {
+			s.guardPush(guardEntry{ratio: ratioAt(shed, steps[shed]), core: int32(shed), step: int32(steps[shed])})
+		}
 	}
 	return Assignment{CoreSteps: steps, MemStep: memStep, PredictedPower: pw}
 }
@@ -412,10 +547,16 @@ func (in *Inputs) Quantize(res Result, coreL, memL *dvfs.Ladder, guard bool) Ass
 // a memory ladder: sbBar·(f_max/f_m), returned ascending in time
 // (descending in frequency) as Inputs.SbCandidates expects.
 func SbCandidatesFromLadder(sbBar float64, memL *dvfs.Ladder) []float64 {
+	return AppendSbCandidates(nil, sbBar, memL)
+}
+
+// AppendSbCandidates is the allocation-conscious form of
+// SbCandidatesFromLadder: it appends the candidates to dst (usually a
+// reused buffer truncated to length zero) and returns the result.
+func AppendSbCandidates(dst []float64, sbBar float64, memL *dvfs.Ladder) []float64 {
 	m := memL.Len()
-	out := make([]float64, m)
 	for i := 0; i < m; i++ {
-		out[i] = sbBar * memL.Max() / memL.Freq(m-1-i)
+		dst = append(dst, sbBar*memL.Max()/memL.Freq(m-1-i))
 	}
-	return out
+	return dst
 }

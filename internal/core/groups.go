@@ -70,23 +70,23 @@ func (in *GroupedInputs) Solve() (Result, error) {
 		return in.Inputs.Solve()
 	}
 	evals := 0
-	probe := func(idx int) dSolution {
+	probe := func(idx int) (dSolution, []float64) {
 		evals++
 		return in.solveGroupedForSb(idx)
 	}
 	// The same unimodal bisection as the ungrouped Solve; the candidate
 	// count M is small so we simply scan — group constraints can flatten
 	// the objective and plain scanning is robust to ties.
-	best := probe(0)
+	best, bestZ := probe(0)
 	bestIdx := 0
 	for i := 1; i < len(in.SbCandidates); i++ {
-		if s := probe(i); betterThan(s, best) {
-			best, bestIdx = s, i
+		if s, z := probe(i); betterThan(s, best) {
+			best, bestZ, bestIdx = s, z, i
 		}
 	}
 	return Result{
 		D:              best.d,
-		Z:              best.z,
+		Z:              bestZ,
 		Sb:             in.SbCandidates[bestIdx],
 		SbIndex:        bestIdx,
 		PredictedPower: best.pw,
@@ -96,8 +96,9 @@ func (in *GroupedInputs) Solve() (Result, error) {
 }
 
 // solveGroupedForSb solves the D maximization at one bus time under the
-// global and all group constraints.
-func (in *GroupedInputs) solveGroupedForSb(sbIdx int) dSolution {
+// global and all group constraints, returning the solution and its
+// materialized think times.
+func (in *GroupedInputs) solveGroupedForSb(sbIdx int) (dSolution, []float64) {
 	sb := in.SbCandidates[sbIdx]
 	n := len(in.ZBar)
 	r := make([]float64, n)
@@ -169,5 +170,5 @@ func (in *GroupedInputs) solveGroupedForSb(sbIdx int) dSolution {
 	for i := 0; i < n; i++ {
 		z[i] = zAt(i, d)
 	}
-	return dSolution{d: d, z: z, pw: globalPower(d), feasible: feasible}
+	return dSolution{d: d, pw: globalPower(d), feasible: feasible}, z
 }

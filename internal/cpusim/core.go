@@ -103,6 +103,53 @@ type Core struct {
 
 	ctr        Counters
 	extraStall float64 // pending one-shot stall (DVFS transition)
+
+	// Steady-state scheduling is allocation-free: the compute-burst
+	// timer is reused every burst, and memory requests (with their L2
+	// issue timers) are drawn from a free-list refilled when the
+	// controller completes the transfer.
+	burstTimer   *engine.Timer
+	pendingInstr float64
+	reqFree      []*coreReq
+}
+
+// coreReq is a pooled memory request: the request object, the timer
+// that models the L2 lookup before it reaches its controller, and the
+// completion hook that returns it to the owning core's free-list. All
+// closures are created once, when the pool entry is first allocated.
+type coreReq struct {
+	c     *Core
+	ctl   *memsim.Controller
+	req   memsim.Request
+	timer *engine.Timer
+}
+
+// submit hands the request to its controller (the timer callback).
+func (pr *coreReq) submit() { pr.ctl.Submit(&pr.req) }
+
+// done runs when the bus transfer completes: recycle the entry, and for
+// demand reads unblock the core.
+func (pr *coreReq) done() {
+	c := pr.c
+	demand := !pr.req.Writeback
+	c.reqFree = append(c.reqFree, pr)
+	if demand {
+		c.onResponse()
+	}
+}
+
+// getReq pops a pooled request or mints a new one.
+func (c *Core) getReq() *coreReq {
+	if k := len(c.reqFree); k > 0 {
+		pr := c.reqFree[k-1]
+		c.reqFree = c.reqFree[:k-1]
+		return pr
+	}
+	pr := &coreReq{c: c}
+	pr.timer = c.eng.NewTimer(pr.submit)
+	pr.req.Done = pr.done
+	pr.req.Core = c.ID
+	return pr
 }
 
 // Config assembles a core.
@@ -171,6 +218,7 @@ func New(cfg Config) (*Core, error) {
 		ipaMult: 1,
 	}
 	c.maxOut = c.computeMaxOut()
+	c.burstTimer = c.eng.NewTimer(c.fireBurst)
 	return c, nil
 }
 
@@ -237,7 +285,10 @@ func (c *Core) Counters() Counters { return c.ctr }
 // MaxOutstanding exposes the current outstanding-miss bound (tests).
 func (c *Core) MaxOutstanding() int { return c.maxOut }
 
-// scheduleBurst draws the next compute burst and schedules its retirement.
+// scheduleBurst draws the next compute burst and arms the burst timer
+// for its retirement. The core has at most one burst in flight, so a
+// single reusable timer (plus the pending instruction count) replaces a
+// per-burst closure.
 func (c *Core) scheduleBurst() {
 	ipa := c.effIPA()
 	// Exponential burst length (closed-network think time), ≥ 1 instr.
@@ -250,8 +301,12 @@ func (c *Core) scheduleBurst() {
 	c.extraStall = 0
 	c.ctr.BusyNs += exec
 	c.ctr.StallNs += stall
-	c.eng.Schedule(exec+stall, func() { c.burstDone(instr) })
+	c.pendingInstr = instr
+	c.burstTimer.Reset(exec + stall)
 }
+
+// fireBurst is the burst timer's callback.
+func (c *Core) fireBurst() { c.burstDone(c.pendingInstr) }
 
 // burstDone retires the burst's instructions and issues the LLC miss
 // (plus a probabilistic writeback) after the L2 lookup time.
@@ -261,16 +316,19 @@ func (c *Core) burstDone(instr float64) {
 	c.outstanding++
 
 	ctl, bank, row := c.nextAddress()
-	issueAt := L2HitTimeNs // L2 lookup before the miss goes to memory
-	req := &memsim.Request{Core: c.ID, Bank: bank, Row: row, Done: c.onResponse}
 	start := c.eng.Now()
-	c.eng.Schedule(issueAt, func() { c.ctls[ctl].Submit(req) })
+	pr := c.getReq()
+	pr.ctl = c.ctls[ctl]
+	pr.req.Bank, pr.req.Row, pr.req.Writeback = bank, row, false
+	pr.timer.Reset(L2HitTimeNs) // L2 lookup before the miss goes to memory
 
 	if c.rng.Float64() < c.App.WritebackProb() {
 		c.ctr.Writebacks++
 		wbCtl, wbBank, wbRow := c.nextAddress()
-		wb := &memsim.Request{Core: c.ID, Bank: wbBank, Row: wbRow, Writeback: true}
-		c.eng.Schedule(issueAt, func() { c.ctls[wbCtl].Submit(wb) })
+		pw := c.getReq()
+		pw.ctl = c.ctls[wbCtl]
+		pw.req.Bank, pw.req.Row, pw.req.Writeback = wbBank, wbRow, true
+		pw.timer.Reset(L2HitTimeNs)
 	}
 
 	if c.outstanding >= c.maxOut {

@@ -2,22 +2,38 @@
 // many-core system simulator. Time is a float64 in nanoseconds. Events
 // scheduled for the same instant fire in FIFO order, which keeps the
 // simulation deterministic for a fixed seed.
+//
+// Two scheduling APIs are offered:
+//
+//   - Schedule/At enqueue a one-shot callback. The engine recycles the
+//     internal heap node through a free-list, so steady-state cost is
+//     one closure allocation per event (zero if the caller passes a
+//     preexisting func value).
+//   - Timer is an intrusive, reusable event owned by the caller: its
+//     heap node and callback are allocated once, and Reset re-arms it
+//     with no allocation at all. Hot simulation loops (cores, memory
+//     controllers) schedule exclusively through Timers, which is what
+//     makes the steady-state event path allocation-free.
 package engine
 
 import "math"
 
-// event is a scheduled callback.
-type event struct {
-	at  float64
-	seq uint64
-	fn  func()
+// node is one heap entry. Timers embed a node; one-shot events draw
+// nodes from the engine's free-list.
+type node struct {
+	at      float64
+	seq     uint64
+	fn      func()
+	idx     int // position in the heap, -1 when not queued
+	oneShot bool
 }
 
 // Engine is a single-threaded discrete-event simulator loop.
 type Engine struct {
 	now  float64
 	seq  uint64
-	heap []event
+	heap []*node
+	free []*node // recycled one-shot nodes
 }
 
 // New returns an engine positioned at time zero.
@@ -36,8 +52,7 @@ func (e *Engine) Schedule(delay float64, fn func()) {
 	if !(delay > 0) { // catches negative, zero and NaN
 		delay = 0
 	}
-	e.push(event{at: e.now + delay, seq: e.seq, fn: fn})
-	e.seq++
+	e.scheduleAt(e.now+delay, fn)
 }
 
 // At enqueues fn at absolute time t, clamped to never fire in the past.
@@ -45,8 +60,86 @@ func (e *Engine) At(t float64, fn func()) {
 	if t < e.now {
 		t = e.now
 	}
-	e.push(event{at: t, seq: e.seq, fn: fn})
+	e.scheduleAt(t, fn)
+}
+
+// scheduleAt pushes a one-shot node, reusing a free-list node when one
+// is available.
+func (e *Engine) scheduleAt(at float64, fn func()) {
+	var n *node
+	if k := len(e.free); k > 0 {
+		n = e.free[k-1]
+		e.free = e.free[:k-1]
+	} else {
+		n = &node{}
+	}
+	n.at, n.seq, n.fn, n.oneShot = at, e.seq, fn, true
 	e.seq++
+	e.push(n)
+}
+
+// Timer is a reusable scheduled callback. The callback is fixed at
+// construction; Reset re-arms the timer (rescheduling it if already
+// pending) without allocating. A Timer must not be copied after first
+// use and belongs to exactly one Engine.
+type Timer struct {
+	e *Engine
+	n node
+}
+
+// NewTimer creates an idle timer that will run fn when it fires. Arm it
+// with Reset.
+func (e *Engine) NewTimer(fn func()) *Timer {
+	t := &Timer{e: e}
+	t.n.fn = fn
+	t.n.idx = -1
+	return t
+}
+
+// Reset arms the timer to fire delay nanoseconds from now, rescheduling
+// it if it is already pending. Negative or NaN delays are treated as
+// zero. Like Schedule, a Reset at the current instant fires after all
+// previously queued events for that instant (fresh FIFO sequence).
+func (t *Timer) Reset(delay float64) {
+	e := t.e
+	if !(delay > 0) {
+		delay = 0
+	}
+	t.n.at = e.now + delay
+	t.n.seq = e.seq
+	e.seq++
+	if t.n.idx >= 0 {
+		e.fix(t.n.idx)
+	} else {
+		e.push(&t.n)
+	}
+}
+
+// Stop cancels a pending timer, reporting whether it was pending. The
+// timer stays usable: Reset re-arms it.
+func (t *Timer) Stop() bool {
+	if t.n.idx < 0 {
+		return false
+	}
+	t.e.remove(t.n.idx)
+	return true
+}
+
+// Pending reports whether the timer is currently scheduled.
+func (t *Timer) Pending() bool { return t.n.idx >= 0 }
+
+// fire pops the minimum node, advances the clock, and runs the
+// callback. One-shot nodes return to the free-list before the callback
+// runs so the callback can immediately reuse them.
+func (e *Engine) fire() {
+	n := e.pop()
+	e.now = n.at
+	fn := n.fn
+	if n.oneShot {
+		n.fn = nil // release the closure; keep the node
+		e.free = append(e.free, n)
+	}
+	fn()
 }
 
 // RunUntil fires every event scheduled at or before t in timestamp order
@@ -57,9 +150,7 @@ func (e *Engine) RunUntil(t float64) {
 		return
 	}
 	for len(e.heap) > 0 && e.heap[0].at <= t {
-		ev := e.pop()
-		e.now = ev.at
-		ev.fn()
+		e.fire()
 	}
 	e.now = t
 }
@@ -69,9 +160,7 @@ func (e *Engine) Step() bool {
 	if len(e.heap) == 0 {
 		return false
 	}
-	ev := e.pop()
-	e.now = ev.at
-	ev.fn()
+	e.fire()
 	return true
 }
 
@@ -83,39 +172,77 @@ func (e *Engine) less(i, j int) bool {
 	return e.heap[i].seq < e.heap[j].seq
 }
 
-func (e *Engine) push(ev event) {
-	e.heap = append(e.heap, ev)
-	i := len(e.heap) - 1
+func (e *Engine) swap(i, j int) {
+	e.heap[i], e.heap[j] = e.heap[j], e.heap[i]
+	e.heap[i].idx = i
+	e.heap[j].idx = j
+}
+
+func (e *Engine) siftUp(i int) int {
 	for i > 0 {
 		parent := (i - 1) / 2
 		if !e.less(i, parent) {
 			break
 		}
-		e.heap[i], e.heap[parent] = e.heap[parent], e.heap[i]
+		e.swap(i, parent)
 		i = parent
 	}
+	return i
 }
 
-func (e *Engine) pop() event {
-	top := e.heap[0]
-	last := len(e.heap) - 1
-	e.heap[0] = e.heap[last]
-	e.heap = e.heap[:last]
-	i := 0
+func (e *Engine) siftDown(i int) int {
+	n := len(e.heap)
 	for {
 		l, r := 2*i+1, 2*i+2
 		smallest := i
-		if l < last && e.less(l, smallest) {
+		if l < n && e.less(l, smallest) {
 			smallest = l
 		}
-		if r < last && e.less(r, smallest) {
+		if r < n && e.less(r, smallest) {
 			smallest = r
 		}
 		if smallest == i {
-			break
+			return i
 		}
-		e.heap[i], e.heap[smallest] = e.heap[smallest], e.heap[i]
+		e.swap(i, smallest)
 		i = smallest
 	}
+}
+
+// fix restores heap order after heap[i]'s key changed in place.
+func (e *Engine) fix(i int) {
+	if e.siftDown(i) == i {
+		e.siftUp(i)
+	}
+}
+
+func (e *Engine) push(n *node) {
+	n.idx = len(e.heap)
+	e.heap = append(e.heap, n)
+	e.siftUp(n.idx)
+}
+
+func (e *Engine) pop() *node {
+	top := e.heap[0]
+	e.removeAt(0)
 	return top
+}
+
+// remove deletes the node at heap index i.
+func (e *Engine) remove(i int) {
+	e.removeAt(i)
+}
+
+func (e *Engine) removeAt(i int) {
+	n := e.heap[i]
+	last := len(e.heap) - 1
+	if i != last {
+		e.swap(i, last)
+	}
+	e.heap[last] = nil
+	e.heap = e.heap[:last]
+	if i != last {
+		e.fix(i)
+	}
+	n.idx = -1
 }

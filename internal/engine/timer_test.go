@@ -1,0 +1,199 @@
+package engine
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTimerFires(t *testing.T) {
+	e := New()
+	var at []float64
+	tm := e.NewTimer(func() { at = append(at, e.Now()) })
+	if tm.Pending() {
+		t.Error("new timer pending")
+	}
+	tm.Reset(10)
+	if !tm.Pending() {
+		t.Error("armed timer not pending")
+	}
+	e.RunUntil(20)
+	if len(at) != 1 || at[0] != 10 {
+		t.Fatalf("fired at %v, want [10]", at)
+	}
+	if tm.Pending() {
+		t.Error("fired timer still pending")
+	}
+}
+
+func TestTimerResetReschedules(t *testing.T) {
+	e := New()
+	var at []float64
+	tm := e.NewTimer(func() { at = append(at, e.Now()) })
+	tm.Reset(10)
+	tm.Reset(5) // earlier
+	e.RunUntil(7)
+	if len(at) != 1 || at[0] != 5 {
+		t.Fatalf("fired at %v, want [5]", at)
+	}
+	tm.Reset(10) // re-arm after firing
+	e.RunUntil(20)
+	if len(at) != 2 || at[1] != 17 {
+		t.Fatalf("fired at %v, want second at 17", at)
+	}
+	// Reset to a later time while pending.
+	tm.Reset(1)
+	tm.Reset(30)
+	e.RunUntil(25)
+	if len(at) != 2 {
+		t.Fatalf("postponed timer fired early: %v", at)
+	}
+	e.RunUntil(60)
+	if len(at) != 3 || at[2] != 50 {
+		t.Fatalf("fired at %v, want third at 50", at)
+	}
+}
+
+func TestTimerStop(t *testing.T) {
+	e := New()
+	fired := false
+	tm := e.NewTimer(func() { fired = true })
+	if tm.Stop() {
+		t.Error("Stop on idle timer reported pending")
+	}
+	tm.Reset(5)
+	if !tm.Stop() {
+		t.Error("Stop on armed timer reported idle")
+	}
+	e.RunUntil(10)
+	if fired {
+		t.Error("stopped timer fired")
+	}
+	if e.Pending() != 0 {
+		t.Errorf("Pending = %d after stop", e.Pending())
+	}
+	tm.Reset(5) // still usable
+	e.RunUntil(20)
+	if !fired {
+		t.Error("re-armed timer did not fire")
+	}
+}
+
+func TestTimerSelfResetInCallback(t *testing.T) {
+	e := New()
+	count := 0
+	var tm *Timer
+	tm = e.NewTimer(func() {
+		count++
+		if count < 5 {
+			tm.Reset(10)
+		}
+	})
+	tm.Reset(10)
+	e.RunUntil(100)
+	if count != 5 {
+		t.Fatalf("fired %d times, want 5", count)
+	}
+}
+
+// Timers and one-shot events at the same instant interleave in arming
+// order (fresh FIFO sequence per Reset).
+func TestTimerFIFOWithSchedule(t *testing.T) {
+	e := New()
+	var order []int
+	t0 := e.NewTimer(func() { order = append(order, 0) })
+	e.Schedule(7, func() { order = append(order, 1) })
+	t2 := e.NewTimer(func() { order = append(order, 2) })
+	t0.Reset(7) // armed after the Schedule → fires after it
+	t2.Reset(7)
+	e.RunUntil(7)
+	want := []int{1, 0, 2}
+	if len(order) != 3 || order[0] != want[0] || order[1] != want[1] || order[2] != want[2] {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+}
+
+func TestTimerNegativeAndNaNDelay(t *testing.T) {
+	e := New()
+	e.RunUntil(5)
+	var at []float64
+	tm := e.NewTimer(func() { at = append(at, e.Now()) })
+	tm.Reset(-3)
+	e.RunUntil(5)
+	tm.Reset(math.NaN())
+	e.RunUntil(5)
+	if len(at) != 2 || at[0] != 5 || at[1] != 5 {
+		t.Fatalf("fired at %v, want [5 5]", at)
+	}
+}
+
+// The steady-state event path must be allocation-free: re-arming timers
+// and recycling one-shot nodes allocates nothing after warm-up.
+func TestTimerResetDoesNotAllocate(t *testing.T) {
+	e := New()
+	tms := make([]*Timer, 16)
+	for i := range tms {
+		i := i
+		tms[i] = e.NewTimer(func() { tms[i].Reset(float64(i + 1)) })
+		tms[i].Reset(float64(i + 1))
+	}
+	horizon := 0.0
+	avg := testing.AllocsPerRun(1000, func() {
+		horizon += 100
+		e.RunUntil(horizon)
+	})
+	if avg != 0 {
+		t.Errorf("steady-state timer loop allocates %.1f per run, want 0", avg)
+	}
+}
+
+// One-shot Schedule recycles heap nodes through the free-list: after
+// warm-up, only the closure itself can allocate. With a preexisting
+// func value the whole path is allocation-free.
+func TestScheduleNodeReuse(t *testing.T) {
+	e := New()
+	count := 0
+	var fn func()
+	fn = func() {
+		count++
+		if count < 10000 {
+			e.Schedule(1, fn)
+		}
+	}
+	e.Schedule(1, fn)
+	// Warm up, then measure.
+	e.RunUntil(100)
+	avg := testing.AllocsPerRun(100, func() {
+		e.Step()
+	})
+	if avg != 0 {
+		t.Errorf("one-shot path allocates %.1f per event after warm-up, want 0", avg)
+	}
+}
+
+func TestStopThenRunKeepsOrder(t *testing.T) {
+	e := New()
+	var order []int
+	timers := make([]*Timer, 10)
+	for i := range timers {
+		i := i
+		timers[i] = e.NewTimer(func() { order = append(order, i) })
+		timers[i].Reset(float64(10 + i%3)) // mixed instants
+	}
+	timers[4].Stop()
+	timers[7].Stop()
+	e.RunUntil(20)
+	if len(order) != 8 {
+		t.Fatalf("fired %d, want 8: %v", len(order), order)
+	}
+	// Within the same instant, arming order is preserved.
+	seen := map[int]bool{}
+	for _, v := range order {
+		if v == 4 || v == 7 {
+			t.Fatalf("stopped timer %d fired", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 8 {
+		t.Fatalf("duplicate fires: %v", order)
+	}
+}

@@ -23,7 +23,8 @@ type AblationRow struct {
 // AblationGuard quantifies the post-quantization budget guard called out
 // in DESIGN.md: with the guard off, nearest-step rounding can land above
 // the cap; with it on, predicted compliance is restored at a small
-// performance cost. Run on one mix per class at a 60% budget.
+// performance cost. Run on one mix per class at a 60% budget; the
+// (mix, variant) sweep fans out on the worker pool.
 func (l *Lab) AblationGuard() ([]AblationRow, error) {
 	cfg := l.Opt.SimConfig(l.Opt.Cores)
 	variants := []struct {
@@ -33,35 +34,50 @@ func (l *Lab) AblationGuard() ([]AblationRow, error) {
 		{"guard-on", func() policy.Policy { return &policy.FastCap{Guard: true} }},
 		{"guard-off", func() policy.Policy { return &policy.FastCap{Guard: false} }},
 	}
-	var out []AblationRow
-	for _, mixName := range []string{"ILP1", "MID2", "MEM2", "MIX3"} {
-		mix, err := workload.MixByName(mixName)
+	mixNames := []string{"ILP1", "MID2", "MEM2", "MIX3"}
+	type job struct {
+		mixName string
+		variant int
+	}
+	var jobs []job
+	for _, mixName := range mixNames {
+		for vi := range variants {
+			jobs = append(jobs, job{mixName: mixName, variant: vi})
+		}
+	}
+	out := make([]AblationRow, len(jobs))
+	err := l.parallelFor(len(jobs), func(i int) error {
+		j := jobs[i]
+		v := variants[j.variant]
+		mix, err := workload.MixByName(j.mixName)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		for _, v := range variants {
-			res, base, err := l.runPair(mix, cfg, 0.60, v.mk())
-			if err != nil {
-				return nil, err
-			}
-			row := AblationRow{Mix: mixName, Variant: v.name}
-			row.AvgPowerNorm = res.AvgPowerW() / res.PeakW
-			row.MaxPowerNorm = res.MaxEpochPowerW() / res.PeakW
-			over := 0
-			for _, e := range res.Epochs {
-				if e.AvgPowerW > e.BudgetW*1.01 {
-					over++
-				}
-			}
-			row.OverBudgetEpochsPct = float64(over) / float64(len(res.Epochs)) * 100
-			norm, err := res.NormalizedPerf(base)
-			if err != nil {
-				return nil, err
-			}
-			s := stats.SummarizePerf(norm)
-			row.AvgPerf, row.WorstPerf = s.Avg, s.Worst
-			out = append(out, row)
+		res, base, err := l.runPair(mix, cfg, 0.60, v.mk())
+		if err != nil {
+			return err
 		}
+		row := AblationRow{Mix: j.mixName, Variant: v.name}
+		row.AvgPowerNorm = res.AvgPowerW() / res.PeakW
+		row.MaxPowerNorm = res.MaxEpochPowerW() / res.PeakW
+		over := 0
+		for _, e := range res.Epochs {
+			if e.AvgPowerW > e.BudgetW*1.01 {
+				over++
+			}
+		}
+		row.OverBudgetEpochsPct = float64(over) / float64(len(res.Epochs)) * 100
+		norm, err := res.NormalizedPerf(base)
+		if err != nil {
+			return err
+		}
+		s := stats.SummarizePerf(norm)
+		row.AvgPerf, row.WorstPerf = s.Avg, s.Worst
+		out[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -19,34 +19,71 @@ type ClassPerf struct {
 // per class under 50%, 60% and 80% budgets. Expected shape: worst only
 // slightly above average (fairness); MEM classes degrade less than ILP
 // under the same budget; tighter budgets degrade more.
+//
+// Every (budget, class, mix) run is independent, so the whole figure
+// fans out on the worker pool; per-run normalized-performance vectors
+// are reassembled in submission order before the per-class summaries.
 func (l *Lab) Fig6() ([]ClassPerf, error) {
 	cfg := l.Opt.SimConfig(l.Opt.Cores)
 	classes := []workload.Class{workload.ClassILP, workload.ClassMID, workload.ClassMEM, workload.ClassMIX}
-	var out []ClassPerf
-	for _, frac := range []float64{0.50, 0.60, 0.80} {
+	budgets := []float64{0.50, 0.60, 0.80}
+
+	type cell struct {
+		frac  float64
+		class workload.Class
+		mixes []workload.MixSpec
+		start int // index of the cell's first run in the flat job list
+	}
+	var cells []cell
+	var jobs int
+	for _, frac := range budgets {
 		for _, cl := range classes {
-			var norm []float64
-			for _, mix := range workload.MixesByClass(cl) {
-				pol, err := newPolicy("FastCap")
-				if err != nil {
-					return nil, err
-				}
-				res, base, err := l.runPair(mix, cfg, frac, pol)
-				if err != nil {
-					return nil, err
-				}
-				n, err := res.NormalizedPerf(base)
-				if err != nil {
-					return nil, err
-				}
-				norm = append(norm, n...)
-			}
-			s := stats.SummarizePerf(norm)
-			out = append(out, ClassPerf{
-				Class: cl.String(), Budget: frac,
-				Avg: s.Avg, Worst: s.Worst, Jain: s.Jain,
-			})
+			mixes := workload.MixesByClass(cl)
+			cells = append(cells, cell{frac: frac, class: cl, mixes: mixes, start: jobs})
+			jobs += len(mixes)
 		}
+	}
+	norms := make([][]float64, jobs)
+	err := l.parallelFor(jobs, func(i int) error {
+		// Locate the cell owning job i.
+		var c cell
+		for _, cand := range cells {
+			if i >= cand.start && i < cand.start+len(cand.mixes) {
+				c = cand
+				break
+			}
+		}
+		mix := c.mixes[i-c.start]
+		pol, err := newPolicy("FastCap")
+		if err != nil {
+			return err
+		}
+		res, base, err := l.runPair(mix, cfg, c.frac, pol)
+		if err != nil {
+			return err
+		}
+		n, err := res.NormalizedPerf(base)
+		if err != nil {
+			return err
+		}
+		norms[i] = n
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	out := make([]ClassPerf, 0, len(cells))
+	for _, c := range cells {
+		var norm []float64
+		for j := range c.mixes {
+			norm = append(norm, norms[c.start+j]...)
+		}
+		s := stats.SummarizePerf(norm)
+		out = append(out, ClassPerf{
+			Class: c.class.String(), Budget: c.frac,
+			Avg: s.Avg, Worst: s.Worst, Jain: s.Jain,
+		})
 	}
 	return out, nil
 }
@@ -62,30 +99,46 @@ type PolicyPerf struct {
 }
 
 // ComparePolicies runs the named policies on the given mixes and
-// summarizes normalized performance per (workload, policy).
+// summarizes normalized performance per (workload, policy). All
+// (mix, policy) runs execute concurrently on the Lab's worker pool;
+// the output order is the serial submission order and the values are
+// identical at any worker count.
 func (l *Lab) ComparePolicies(mixes []workload.MixSpec, cores int, frac float64, policyNames []string) ([]PolicyPerf, error) {
 	cfg := l.Opt.SimConfig(cores)
-	var out []PolicyPerf
+	type job struct {
+		mix   workload.MixSpec
+		pname string
+	}
+	jobs := make([]job, 0, len(mixes)*len(policyNames))
 	for _, mix := range mixes {
 		for _, pname := range policyNames {
-			pol, err := newPolicy(pname)
-			if err != nil {
-				return nil, err
-			}
-			res, base, err := l.runPair(mix, cfg, frac, pol)
-			if err != nil {
-				return nil, err
-			}
-			norm, err := res.NormalizedPerf(base)
-			if err != nil {
-				return nil, err
-			}
-			s := stats.SummarizePerf(norm)
-			out = append(out, PolicyPerf{
-				Workload: mix.Name, Policy: pname,
-				Avg: s.Avg, Worst: s.Worst, Jain: s.Jain,
-			})
+			jobs = append(jobs, job{mix: mix, pname: pname})
 		}
+	}
+	out := make([]PolicyPerf, len(jobs))
+	err := l.parallelFor(len(jobs), func(i int) error {
+		j := jobs[i]
+		pol, err := newPolicy(j.pname)
+		if err != nil {
+			return err
+		}
+		res, base, err := l.runPair(j.mix, cfg, frac, pol)
+		if err != nil {
+			return err
+		}
+		norm, err := res.NormalizedPerf(base)
+		if err != nil {
+			return err
+		}
+		s := stats.SummarizePerf(norm)
+		out[i] = PolicyPerf{
+			Workload: j.mix.Name, Policy: j.pname,
+			Avg: s.Avg, Worst: s.Worst, Jain: s.Jain,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -13,20 +13,26 @@ type PowerBar struct {
 // Fig3 reproduces Figure 3: FastCap average power normalized to the
 // peak for all 16 workloads under a 60% budget on the default system.
 // Expected shape: every bar at or just under 0.60 (memory-light
-// workloads may sit below — they cannot consume the budget).
+// workloads may sit below — they cannot consume the budget). The 16
+// runs execute concurrently.
 func (l *Lab) Fig3() ([]PowerBar, error) {
 	cfg := l.Opt.SimConfig(l.Opt.Cores)
-	var out []PowerBar
-	for _, mix := range workload.TableIII {
+	out := make([]PowerBar, len(workload.TableIII))
+	err := l.parallelFor(len(workload.TableIII), func(i int) error {
+		mix := workload.TableIII[i]
 		pol, err := newPolicy("FastCap")
 		if err != nil {
-			return nil, err
+			return err
 		}
 		res, err := l.run(mix, cfg, 0.60, pol)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		out = append(out, PowerBar{Mix: mix.Name, AvgNorm: res.AvgPowerW() / res.PeakW})
+		out[i] = PowerBar{Mix: mix.Name, AvgNorm: res.AvgPowerW() / res.PeakW}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -72,30 +78,37 @@ func (l *Lab) Fig4() ([]Series, error) {
 }
 
 // Fig5 reproduces Figure 5: normalized power over time for MEM3 under
-// 50%, 60% and 80% budgets. Expected shape: power tracks each cap
-// closely; at 80% the workload cannot reach the cap and sits below it.
+// 50%, 60% and 80% budgets (run concurrently). Expected shape: power
+// tracks each cap closely; at 80% the workload cannot reach the cap and
+// sits below it.
 func (l *Lab) Fig5() ([]Series, error) {
 	mix, err := workload.MixByName("MEM3")
 	if err != nil {
 		return nil, err
 	}
 	cfg := l.Opt.SimConfig(l.Opt.Cores)
-	var out []Series
-	for _, frac := range []float64{0.50, 0.60, 0.80} {
+	fracs := []float64{0.50, 0.60, 0.80}
+	out := make([]Series, len(fracs))
+	err = l.parallelFor(len(fracs), func(i int) error {
+		frac := fracs[i]
 		pol, err := newPolicy("FastCap")
 		if err != nil {
-			return nil, err
+			return err
 		}
 		res, err := l.run(mix, cfg, frac, pol)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		s := Series{Name: seriesName("B", frac)}
 		for _, e := range res.Epochs {
 			s.X = append(s.X, float64(e.Epoch))
 			s.Y = append(s.Y, e.AvgPowerW/res.PeakW)
 		}
-		out = append(out, s)
+		out[i] = s
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -115,10 +128,11 @@ func seriesName(prefix string, frac float64) string {
 
 // Fig7 reproduces Figure 7: per-epoch core frequency (GHz) chosen by
 // FastCap for the core running vortex in ILP1, swim in MEM1, and swim
-// in MIX4, under an 80% budget. Expected shape: vortex (CPU-bound mix)
-// runs near the top of the range; swim in MEM1 runs low; swim in MIX4
-// runs *higher* than in MEM1 because MIX4's memory is less busy and the
-// core must compensate for the slower memory it chose.
+// in MIX4, under an 80% budget (the three runs execute concurrently).
+// Expected shape: vortex (CPU-bound mix) runs near the top of the
+// range; swim in MEM1 runs low; swim in MIX4 runs *higher* than in MEM1
+// because MIX4's memory is less busy and the core must compensate for
+// the slower memory it chose.
 func (l *Lab) Fig7() ([]Series, error) {
 	cases := []struct{ mix, app string }{
 		{"ILP1", "vortex"},
@@ -126,29 +140,30 @@ func (l *Lab) Fig7() ([]Series, error) {
 		{"MIX4", "swim"},
 	}
 	cfg := l.Opt.SimConfig(l.Opt.Cores)
-	var out []Series
-	for _, c := range cases {
+	out := make([]Series, len(cases))
+	err := l.parallelFor(len(cases), func(i int) error {
+		c := cases[i]
 		mix, err := workload.MixByName(c.mix)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		pol, err := newPolicy("FastCap")
 		if err != nil {
-			return nil, err
+			return err
 		}
 		res, err := l.run(mix, cfg, 0.80, pol)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		// First core running the named app.
 		wl, err := workload.Instantiate(mix, cfg.Cores)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		coreIdx := -1
-		for i, a := range wl.Apps {
+		for k, a := range wl.Apps {
 			if a.Name == c.app {
-				coreIdx = i
+				coreIdx = k
 				break
 			}
 		}
@@ -160,36 +175,46 @@ func (l *Lab) Fig7() ([]Series, error) {
 			s.X = append(s.X, float64(e.Epoch))
 			s.Y = append(s.Y, cfg.CoreLadder.Freq(e.CoreSteps[coreIdx]))
 		}
-		out = append(out, s)
+		out[i] = s
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
 
 // Fig8 reproduces Figure 8: per-epoch memory frequency (MHz) for ILP1,
-// MEM1 and MIX4 under an 80% budget. Expected shape: ILP1 drives the
-// memory low, MEM1 keeps it at or near the top, MIX4 sits in between.
+// MEM1 and MIX4 under an 80% budget (run concurrently). Expected shape:
+// ILP1 drives the memory low, MEM1 keeps it at or near the top, MIX4
+// sits in between.
 func (l *Lab) Fig8() ([]Series, error) {
 	cfg := l.Opt.SimConfig(l.Opt.Cores)
-	var out []Series
-	for _, name := range []string{"ILP1", "MEM1", "MIX4"} {
-		mix, err := workload.MixByName(name)
+	names := []string{"ILP1", "MEM1", "MIX4"}
+	out := make([]Series, len(names))
+	err := l.parallelFor(len(names), func(i int) error {
+		mix, err := workload.MixByName(names[i])
 		if err != nil {
-			return nil, err
+			return err
 		}
 		pol, err := newPolicy("FastCap")
 		if err != nil {
-			return nil, err
+			return err
 		}
 		res, err := l.run(mix, cfg, 0.80, pol)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		s := Series{Name: name}
+		s := Series{Name: names[i]}
 		for _, e := range res.Epochs {
 			s.X = append(s.X, float64(e.Epoch))
 			s.Y = append(s.Y, cfg.MemLadder.Freq(e.MemStep)*1000) // MHz
 		}
-		out = append(out, s)
+		out[i] = s
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -56,9 +56,26 @@ type ScaleRow struct {
 // shapes: every average-power bar at or under 0.60 with max-epoch bars
 // only slightly higher (Fig. 12); worst perf only slightly above average
 // perf everywhere, including OoO and skewed configs (Fig. 13).
+//
+// The full (configuration × class × mix) cross product — the most
+// expensive sweep in the suite — fans out on the worker pool; per-run
+// measurements are reassembled in submission order before the per-cell
+// aggregation, so the rows are identical at any worker count.
 func (l *Lab) Fig12And13() ([]ScaleRow, error) {
 	classes := []workload.Class{workload.ClassILP, workload.ClassMID, workload.ClassMEM, workload.ClassMIX}
-	var out []ScaleRow
+
+	type job struct {
+		cfg  sim.Config
+		mix  workload.MixSpec
+		cell int // index into rows
+	}
+	type cellMeas struct {
+		avgNorm float64
+		maxNorm float64
+		norm    []float64
+	}
+	var jobs []job
+	var rows []ScaleRow
 	for _, mc := range standardConfigs() {
 		cfg := mc.Build(l.Opt)
 		for _, cl := range classes {
@@ -66,37 +83,56 @@ func (l *Lab) Fig12And13() ([]ScaleRow, error) {
 			if len(mixes) > l.Opt.MixesPerClass {
 				mixes = mixes[:l.Opt.MixesPerClass]
 			}
-			row := ScaleRow{Config: mc.Name, Class: cl.String()}
-			var classNorm []float64
-			bestAvg := 0.0
+			cell := len(rows)
+			rows = append(rows, ScaleRow{Config: mc.Name, Class: cl.String()})
 			for _, mix := range mixes {
-				pol, err := newPolicy("FastCap")
-				if err != nil {
-					return nil, err
-				}
-				res, base, err := l.runPair(mix, cfg, 0.60, pol)
-				if err != nil {
-					return nil, err
-				}
-				if avg := res.AvgPowerW() / res.PeakW; avg > bestAvg {
-					bestAvg = avg
-				}
-				if m := res.MaxEpochPowerW() / res.PeakW; m > row.MaxPowerNorm {
-					row.MaxPowerNorm = m
-				}
-				norm, err := res.NormalizedPerf(base)
-				if err != nil {
-					return nil, err
-				}
-				classNorm = append(classNorm, norm...)
+				jobs = append(jobs, job{cfg: cfg, mix: mix, cell: cell})
 			}
-			row.AvgPowerNorm = bestAvg
-			s := stats.SummarizePerf(classNorm)
-			row.AvgPerf, row.WorstPerf = s.Avg, s.Worst
-			out = append(out, row)
 		}
 	}
-	return out, nil
+
+	meas := make([]cellMeas, len(jobs))
+	err := l.parallelFor(len(jobs), func(i int) error {
+		j := jobs[i]
+		pol, err := newPolicy("FastCap")
+		if err != nil {
+			return err
+		}
+		res, base, err := l.runPair(j.mix, j.cfg, 0.60, pol)
+		if err != nil {
+			return err
+		}
+		norm, err := res.NormalizedPerf(base)
+		if err != nil {
+			return err
+		}
+		meas[i] = cellMeas{
+			avgNorm: res.AvgPowerW() / res.PeakW,
+			maxNorm: res.MaxEpochPowerW() / res.PeakW,
+			norm:    norm,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	classNorm := make([][]float64, len(rows))
+	for i, j := range jobs {
+		row := &rows[j.cell]
+		if meas[i].avgNorm > row.AvgPowerNorm {
+			row.AvgPowerNorm = meas[i].avgNorm
+		}
+		if meas[i].maxNorm > row.MaxPowerNorm {
+			row.MaxPowerNorm = meas[i].maxNorm
+		}
+		classNorm[j.cell] = append(classNorm[j.cell], meas[i].norm...)
+	}
+	for c := range rows {
+		s := stats.SummarizePerf(classNorm[c])
+		rows[c].AvgPerf, rows[c].WorstPerf = s.Avg, s.Worst
+	}
+	return rows, nil
 }
 
 // EpochLengthRow is one row of the epoch-length study (§IV-B): FastCap
@@ -111,10 +147,22 @@ type EpochLengthRow struct {
 
 // EpochLengthStudy reproduces the paper's epoch-length sensitivity
 // check on the MIX workloads. Expected shape: power control and
-// performance are essentially unchanged across epoch lengths.
+// performance are essentially unchanged across epoch lengths. All
+// (epoch length, mix) runs execute concurrently; each epoch length
+// keeps its own sub-Lab (and baseline cache), built up front so the
+// concurrent jobs only share concurrency-safe state.
 func (l *Lab) EpochLengthStudy() ([]EpochLengthRow, error) {
-	var out []EpochLengthRow
-	for _, ms := range []float64{5, 10, 20} {
+	lengths := []float64{5, 10, 20}
+	mixNames := []string{"MIX1", "MIX3"}
+
+	type job struct {
+		ms  float64
+		mix string
+		sub *Lab
+		cfg sim.Config
+	}
+	var jobs []job
+	for _, ms := range lengths {
 		o := l.Opt
 		o.EpochNs = ms * 1e6
 		o.ProfileNs = 3e5 // paper's fixed 300 µs profiling phase
@@ -123,33 +171,51 @@ func (l *Lab) EpochLengthStudy() ([]EpochLengthRow, error) {
 		if o.Epochs < 4 {
 			o.Epochs = 4
 		}
+		// Run the sub-Lab's runs serially: this Lab's pool already
+		// provides the parallelism across (length, mix) jobs.
+		o.Workers = 1
 		sub := NewLab(o)
-		sub.Progress = l.Progress
-		cfg := o.SimConfig(o.Cores)
-		for _, mixName := range []string{"MIX1", "MIX3"} {
-			mix, err := workload.MixByName(mixName)
-			if err != nil {
-				return nil, err
-			}
-			pol, err := newPolicy("FastCap")
-			if err != nil {
-				return nil, err
-			}
-			res, base, err := sub.runPair(mix, cfg, 0.60, pol)
-			if err != nil {
-				return nil, err
-			}
-			norm, err := res.NormalizedPerf(base)
-			if err != nil {
-				return nil, err
-			}
-			s := stats.SummarizePerf(norm)
-			out = append(out, EpochLengthRow{
-				EpochMs: ms, Mix: mixName,
-				AvgPowerNorm: res.AvgPowerW() / res.PeakW,
-				AvgPerf:      s.Avg, WorstPerf: s.Worst,
-			})
+		if l.Progress != nil {
+			// Route sub-Lab progress through the parent's log lock so the
+			// documented "calls are serialized" guarantee holds even when
+			// several sub-Labs report concurrently.
+			sub.Progress = func(msg string) { l.log("%s", msg) }
 		}
+		cfg := o.SimConfig(o.Cores)
+		for _, mixName := range mixNames {
+			jobs = append(jobs, job{ms: ms, mix: mixName, sub: sub, cfg: cfg})
+		}
+	}
+
+	out := make([]EpochLengthRow, len(jobs))
+	err := l.parallelFor(len(jobs), func(i int) error {
+		j := jobs[i]
+		mix, err := workload.MixByName(j.mix)
+		if err != nil {
+			return err
+		}
+		pol, err := newPolicy("FastCap")
+		if err != nil {
+			return err
+		}
+		res, base, err := j.sub.runPair(mix, j.cfg, 0.60, pol)
+		if err != nil {
+			return err
+		}
+		norm, err := res.NormalizedPerf(base)
+		if err != nil {
+			return err
+		}
+		s := stats.SummarizePerf(norm)
+		out[i] = EpochLengthRow{
+			EpochMs: j.ms, Mix: j.mix,
+			AvgPowerNorm: res.AvgPowerW() / res.PeakW,
+			AvgPerf:      s.Avg, WorstPerf: s.Worst,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// parallelOpts is a small configuration exercising the worker pool.
+func parallelOpts(workers int) Options {
+	return Options{Cores: 4, Epochs: 3, EpochNs: 5e5, MixesPerClass: 1, Workers: workers}
+}
+
+// The tentpole determinism guarantee: Lab output is byte-identical at
+// any worker count, because every run owns its engine and RNGs and
+// results are reassembled in submission order.
+func TestComparePoliciesParallelDeterminism(t *testing.T) {
+	mixes := []workload.MixSpec{}
+	for _, cl := range []workload.Class{workload.ClassILP, workload.ClassMEM, workload.ClassMIX} {
+		mixes = append(mixes, workload.MixesByClass(cl)[0])
+	}
+	policies := []string{"FastCap", "CPU-only", "Eql-Pwr"}
+
+	serial, err := NewLab(parallelOpts(1)).ComparePolicies(mixes, 4, 0.60, policies)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := NewLab(parallelOpts(8)).ComparePolicies(mixes, 4, 0.60, policies)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatalf("Workers=1 and Workers=8 disagree:\nserial:   %+v\nparallel: %+v", serial, parallel)
+	}
+}
+
+// Fig6 exercises the reassembly path (per-run vectors aggregated into
+// per-class summaries); it must also be worker-count invariant.
+func TestFig6ParallelDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	serial, err := NewLab(parallelOpts(1)).Fig6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := NewLab(parallelOpts(8)).Fig6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatalf("Fig6 differs between Workers=1 and Workers=8")
+	}
+}
+
+// Two figures sharing (mix, cfg) baselines may run concurrently on one
+// Lab: the singleflight cache must simulate each baseline exactly once
+// and stay race-clean (run with -race in CI). Results must match the
+// serial reference.
+func TestBaselineCacheConcurrentFigures(t *testing.T) {
+	mixes := []workload.MixSpec{workload.MixesByClass(workload.ClassMIX)[0]}
+	policies := []string{"FastCap", "CPU-only"}
+
+	ref, err := NewLab(parallelOpts(1)).ComparePolicies(mixes, 4, 0.60, policies)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	lab := NewLab(parallelOpts(4))
+	var wg sync.WaitGroup
+	results := make([][]PolicyPerf, 3)
+	errs := make([]error, 3)
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			results[g], errs[g] = lab.ComparePolicies(mixes, 4, 0.60, policies)
+		}(g)
+	}
+	wg.Wait()
+	for g := 0; g < 3; g++ {
+		if errs[g] != nil {
+			t.Fatal(errs[g])
+		}
+		if !reflect.DeepEqual(results[g], ref) {
+			t.Errorf("goroutine %d result differs from serial reference", g)
+		}
+	}
+
+	// The shared baseline must have been simulated exactly once.
+	if n := len(lab.baselines); n != 1 {
+		t.Errorf("baseline cache holds %d entries, want 1", n)
+	}
+}
+
+// The error surfaced by a parallel sweep is the lowest-indexed failure,
+// matching what a serial loop would report.
+func TestParallelForFirstErrorDeterministic(t *testing.T) {
+	lab := NewLab(parallelOpts(8))
+	_, err := lab.ComparePolicies(workload.TableIII[:2], 4, 0.60,
+		[]string{"FastCap", "definitely-not-a-policy", "also-bogus"})
+	if err == nil {
+		t.Fatal("expected error for unknown policy")
+	}
+	want := `experiments: unknown policy "definitely-not-a-policy"`
+	if err.Error() != want {
+		t.Errorf("error = %q, want %q (the lowest-indexed failure)", err, want)
+	}
+}
+
+func TestWorkersDefault(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.Workers < 1 {
+		t.Errorf("default Workers = %d", o.Workers)
+	}
+	if w := (Options{Workers: 3}).withDefaults().Workers; w != 3 {
+		t.Errorf("explicit Workers overridden to %d", w)
+	}
+}

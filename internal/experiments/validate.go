@@ -23,24 +23,27 @@ type ValidationRow struct {
 	MeanRespErrPct float64
 }
 
-// ValidateModels runs FastCap on one representative mix per class and
-// reports prediction-vs-measurement errors. The first two epochs are
-// skipped: the fitters have not yet seen two distinct frequencies.
+// ValidateModels runs FastCap on one representative mix per class
+// (concurrently) and reports prediction-vs-measurement errors. The
+// first two epochs are skipped: the fitters have not yet seen two
+// distinct frequencies.
 func (l *Lab) ValidateModels() ([]ValidationRow, error) {
-	var out []ValidationRow
 	cfg := l.Opt.SimConfig(l.Opt.Cores)
-	for _, mixName := range []string{"ILP1", "MID2", "MEM2", "MIX3"} {
+	mixNames := []string{"ILP1", "MID2", "MEM2", "MIX3"}
+	out := make([]ValidationRow, len(mixNames))
+	err := l.parallelFor(len(mixNames), func(i int) error {
+		mixName := mixNames[i]
 		mix, err := workload.MixByName(mixName)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		pol, err := newPolicy("FastCap")
 		if err != nil {
-			return nil, err
+			return err
 		}
 		res, err := l.run(mix, cfg, 0.60, pol)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		row := ValidationRow{Mix: mixName}
 		var pwErrs, respErrs []float64
@@ -67,7 +70,11 @@ func (l *Lab) ValidateModels() ([]ValidationRow, error) {
 		if len(respErrs) > 0 {
 			row.MeanRespErrPct = row.MeanRespErrPct / float64(len(respErrs)) * 100
 		}
-		out = append(out, row)
+		out[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

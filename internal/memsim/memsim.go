@@ -73,11 +73,47 @@ const (
 	bankBlocked
 )
 
+// reqQueue is a FIFO of requests with a head cursor instead of
+// re-slicing, so steady-state push/pop reuses the same backing array
+// (the array compacts when the dead prefix dominates).
+type reqQueue struct {
+	buf  []*Request
+	head int
+}
+
+func (q *reqQueue) push(r *Request) { q.buf = append(q.buf, r) }
+
+func (q *reqQueue) len() int { return len(q.buf) - q.head }
+
+func (q *reqQueue) front() *Request { return q.buf[q.head] }
+
+func (q *reqQueue) pop() *Request {
+	r := q.buf[q.head]
+	q.buf[q.head] = nil
+	q.head++
+	if q.head == len(q.buf) {
+		q.buf = q.buf[:0]
+		q.head = 0
+	} else if q.head > 32 && q.head*2 >= len(q.buf) {
+		n := copy(q.buf, q.buf[q.head:])
+		for i := n; i < len(q.buf); i++ {
+			q.buf[i] = nil
+		}
+		q.buf = q.buf[:n]
+		q.head = 0
+	}
+	return r
+}
+
 type bank struct {
-	queue   []*Request
+	queue   reqQueue
 	openRow int32
 	hasOpen bool
 	state   int
+	// svcTimer fires serviceDone for this bank; created once at
+	// controller construction so bank service scheduling is
+	// allocation-free.
+	svcTimer *engine.Timer
 }
 
 // Counters accumulate monotonically; callers snapshot and diff to get
@@ -155,8 +191,12 @@ type Controller struct {
 	busFreqMax float64
 
 	banks   []bank
-	busQ    []*Request
+	busQ    reqQueue
 	busBusy bool
+	// busCur is the request occupying the bus; busTimer fires its
+	// transfer completion (one transfer at a time, one reusable timer).
+	busCur   *Request
+	busTimer *engine.Timer
 
 	ctr Counters
 }
@@ -170,14 +210,20 @@ func NewController(eng *engine.Engine, nBanks int, timing Timing, pcfg PowerConf
 	if busFreqMax <= 0 {
 		return nil, fmt.Errorf("memsim: non-positive bus frequency %g", busFreqMax)
 	}
-	return &Controller{
+	c := &Controller{
 		eng:        eng,
 		timing:     timing,
 		power:      pcfg,
 		busFreq:    busFreqMax,
 		busFreqMax: busFreqMax,
 		banks:      make([]bank, nBanks),
-	}, nil
+	}
+	for i := range c.banks {
+		bi := i
+		c.banks[i].svcTimer = eng.NewTimer(func() { c.serviceDone(bi) })
+	}
+	c.busTimer = eng.NewTimer(c.busTransferDone)
+	return c, nil
 }
 
 // Banks returns the number of banks behind this controller.
@@ -215,9 +261,9 @@ func (c *Controller) Submit(r *Request) {
 	}
 	b := &c.banks[r.Bank]
 	r.arriveNs = c.eng.Now()
-	b.queue = append(b.queue, r)
+	b.queue.push(r)
 	c.ctr.Arrivals++
-	c.ctr.SumQ += float64(len(b.queue)) // includes the arriving request
+	c.ctr.SumQ += float64(b.queue.len()) // includes the arriving request
 	if r.Writeback {
 		c.ctr.Writebacks++
 	} else {
@@ -232,7 +278,7 @@ func (c *Controller) Submit(r *Request) {
 func (c *Controller) startService(bi int) {
 	b := &c.banks[bi]
 	b.state = bankServing
-	r := b.queue[0]
+	r := b.queue.front()
 	var svc float64
 	switch {
 	case b.hasOpen && b.openRow == r.Row:
@@ -247,7 +293,7 @@ func (c *Controller) startService(bi int) {
 	c.ctr.SvcSum += svc
 	c.ctr.SvcCount++
 	c.ctr.BankBusyNs += svc
-	c.eng.Schedule(svc, func() { c.serviceDone(bi) })
+	b.svcTimer.Reset(svc)
 }
 
 // serviceDone moves the finished request to the bus queue; the bank
@@ -255,41 +301,43 @@ func (c *Controller) startService(bi int) {
 func (c *Controller) serviceDone(bi int) {
 	b := &c.banks[bi]
 	b.state = bankBlocked
-	r := b.queue[0]
+	r := b.queue.front()
 	c.ctr.Departures++
 	// Bus backlog seen by the departing request: waiters ahead of it,
 	// any transfer in flight, and itself.
-	u := float64(len(c.busQ)) + 1
+	u := float64(c.busQ.len()) + 1
 	if c.busBusy {
 		u++
 	}
 	c.ctr.SumU += u
-	c.busQ = append(c.busQ, r)
+	c.busQ.push(r)
 	c.tryStartBus()
 }
 
 func (c *Controller) tryStartBus() {
-	if c.busBusy || len(c.busQ) == 0 {
+	if c.busBusy || c.busQ.len() == 0 {
 		return
 	}
-	r := c.busQ[0]
-	c.busQ = c.busQ[1:]
+	r := c.busQ.pop()
 	c.busBusy = true
+	c.busCur = r
 	sb := c.TransferTime()
 	c.ctr.BusBusyNs += sb
-	c.eng.Schedule(sb, func() { c.transferDone(r) })
+	c.busTimer.Reset(sb)
 }
 
-// transferDone releases the bus, unblocks the request's bank, and
+// busTransferDone releases the bus, unblocks the request's bank, and
 // notifies the requesting core.
-func (c *Controller) transferDone(r *Request) {
+func (c *Controller) busTransferDone() {
+	r := c.busCur
+	c.busCur = nil
 	c.busBusy = false
 	c.ctr.RespSumNs += c.eng.Now() - r.arriveNs
 	c.ctr.RespCount++
 	b := &c.banks[r.Bank]
-	b.queue = b.queue[1:]
+	b.queue.pop()
 	b.state = bankIdle
-	if len(b.queue) > 0 {
+	if b.queue.len() > 0 {
 		c.startService(r.Bank)
 	}
 	if r.Done != nil {
@@ -330,7 +378,7 @@ func (c *Controller) StaticPower() float64 { return c.power.StaticW }
 func (c *Controller) QueuedRequests() int {
 	n := 0
 	for i := range c.banks {
-		n += len(c.banks[i].queue)
+		n += c.banks[i].queue.len()
 	}
 	return n
 }

@@ -2,7 +2,40 @@ package policy
 
 import (
 	"repro/internal/core"
+	"repro/internal/qmodel"
 )
+
+// solveScratch is the reusable state shared by the FastCap-family
+// policies: the optimizer inputs, the weighted response model, the
+// candidate buffer, and the solver scratch. One policy instance drives
+// one run (epoch after epoch), so reusing these across Decide calls
+// removes nearly all per-decision allocation. A policy instance must
+// not be used from multiple goroutines.
+type solveScratch struct {
+	solver core.Solver
+	mc     qmodel.Multi
+	in     core.Inputs
+	cands  []float64
+}
+
+// load points the optimizer inputs at the snapshot's slices (valid for
+// the duration of one Decide call) with the given sb candidates.
+func (sc *solveScratch) load(s *Snapshot, cands []float64) *core.Inputs {
+	sc.mc.Stats = s.MemStats
+	sc.mc.Access = s.AccessProb
+	if sc.in.Response == nil {
+		mc := &sc.mc
+		sc.in.Response = func(i int, sb float64) float64 { return mc.CoreResponse(i, sb) }
+	}
+	sc.in.ZBar = s.ZBar
+	sc.in.C = s.C
+	sc.in.Power = s.Power
+	sc.in.SbBar = s.SbBar
+	sc.in.SbCandidates = cands
+	sc.in.Budget = s.BudgetW
+	sc.in.MaxZRatio = s.CoreLadder.StepRange()
+	return &sc.in
+}
 
 // FastCap is the paper's algorithm: the O(N·log M) joint core/memory
 // optimizer of §III-B followed by ladder quantization.
@@ -14,6 +47,8 @@ type FastCap struct {
 	// Exhaustive switches the outer s_b search from Algorithm 1's binary
 	// search to a full scan over all M candidates (ablation).
 	Exhaustive bool
+
+	sc solveScratch
 }
 
 // NewFastCap returns the default configuration (guarded, binary search).
@@ -32,20 +67,21 @@ func (f *FastCap) Decide(s *Snapshot) (Decision, error) {
 	if err := s.Validate(); err != nil {
 		return Decision{}, err
 	}
-	in := s.inputs(core.SbCandidatesFromLadder(s.SbBar, s.MemLadder))
+	f.sc.cands = core.AppendSbCandidates(f.sc.cands[:0], s.SbBar, s.MemLadder)
+	in := f.sc.load(s, f.sc.cands)
 	var (
 		res core.Result
 		err error
 	)
 	if f.Exhaustive {
-		res, err = in.SolveExhaustive()
+		res, err = f.sc.solver.SolveExhaustive(in)
 	} else {
-		res, err = in.Solve()
+		res, err = f.sc.solver.Solve(in)
 	}
 	if err != nil {
 		return Decision{}, err
 	}
-	a := in.Quantize(res, s.CoreLadder, s.MemLadder, f.Guard)
+	a := f.sc.solver.Quantize(in, res, s.CoreLadder, s.MemLadder, f.Guard)
 	// Candidate index i corresponds to memory ladder step M-1-i; the
 	// quantizer already produced the ladder step directly.
 	return Decision{CoreSteps: a.CoreSteps, MemStep: a.MemStep}, nil
@@ -57,6 +93,8 @@ func (f *FastCap) Decide(s *Snapshot) (Decision, error) {
 // limitation.
 type CPUOnly struct {
 	Guard bool
+
+	sc solveScratch
 }
 
 // NewCPUOnly returns the guarded CPU-only policy.
@@ -70,11 +108,12 @@ func (p *CPUOnly) Decide(s *Snapshot) (Decision, error) {
 	if err := s.Validate(); err != nil {
 		return Decision{}, err
 	}
-	in := s.inputs([]float64{s.SbBar}) // single candidate: memory at max
-	res, err := in.SolveExhaustive()
+	p.sc.cands = append(p.sc.cands[:0], s.SbBar) // single candidate: memory at max
+	in := p.sc.load(s, p.sc.cands)
+	res, err := p.sc.solver.SolveExhaustive(in)
 	if err != nil {
 		return Decision{}, err
 	}
-	a := in.Quantize(res, s.CoreLadder, s.MemLadder, p.Guard)
+	a := p.sc.solver.Quantize(in, res, s.CoreLadder, s.MemLadder, p.Guard)
 	return Decision{CoreSteps: a.CoreSteps, MemStep: s.MemLadder.MaxStep()}, nil
 }

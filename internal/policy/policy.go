@@ -21,7 +21,10 @@ import (
 )
 
 // Snapshot is the per-epoch controller input, assembled by the runner
-// from profiling-phase counters and online model fitting.
+// from profiling-phase counters and online model fitting. The runner
+// reuses one snapshot buffer across epochs: a snapshot (and its
+// slices) is only valid for the duration of the Decide call it is
+// passed to, so policies retaining per-epoch data must copy it.
 type Snapshot struct {
 	// ZBar[i] is core i's minimum think time estimate (Eq. 9), ns.
 	ZBar []float64
@@ -82,7 +85,9 @@ type Decision struct {
 	MemStep   int
 }
 
-// Policy is one capping algorithm.
+// Policy is one capping algorithm. Implementations may keep internal
+// scratch across Decide calls; a policy instance drives one run at a
+// time and must not be shared between goroutines.
 type Policy interface {
 	Name() string
 	Decide(s *Snapshot) (Decision, error)

@@ -7,6 +7,8 @@ package runner
 
 import (
 	"fmt"
+	"math"
+	"sync"
 
 	"repro/internal/cpusim"
 	"repro/internal/policy"
@@ -25,7 +27,8 @@ type Config struct {
 	// paper normalizes against.
 	Policy policy.Policy
 	// BudgetSchedule, if non-nil, overrides BudgetFrac per epoch
-	// (dynamic budget experiments).
+	// (dynamic budget experiments). Every returned fraction must lie in
+	// (0, 1]; Run fails fast on the first epoch whose value does not.
 	BudgetSchedule func(epoch int) float64
 }
 
@@ -148,10 +151,24 @@ func Run(cfg Config) (*Result, error) {
 
 	st := newControllerState(cfg, sys)
 	sys.Start()
+
+	// One flat backing array per per-epoch series: every EpochRecord
+	// slices into it, so the whole run costs three slice allocations
+	// instead of three per epoch.
+	n := cfg.Sim.Cores
+	res.Epochs = make([]EpochRecord, 0, cfg.Epochs)
+	instrBuf := make([]float64, cfg.Epochs*n)
+	coreWBuf := make([]float64, cfg.Epochs*n)
+	stepsBuf := make([]int, cfg.Epochs*n)
+
 	for e := 0; e < cfg.Epochs; e++ {
 		budget := res.BudgetW
 		if cfg.BudgetSchedule != nil {
-			budget = cfg.BudgetSchedule(e) * peak
+			frac := cfg.BudgetSchedule(e)
+			if math.IsNaN(frac) || frac <= 0 || frac > 1 {
+				return nil, fmt.Errorf("runner: budget schedule returned %g for epoch %d, want a fraction in (0, 1]", frac, e)
+			}
+			budget = frac * peak
 		}
 		prof := sys.RunProfile()
 		st.observe(prof)
@@ -160,7 +177,7 @@ func Run(cfg Config) (*Result, error) {
 			Epoch:   e,
 			BudgetW: budget,
 			MemStep: st.curMemStep,
-			Instr:   make([]float64, cfg.Sim.Cores),
+			Instr:   instrBuf[e*n : (e+1)*n : (e+1)*n],
 		}
 		if cfg.Policy != nil {
 			snap := st.snapshot(prof, budget)
@@ -173,7 +190,8 @@ func Run(cfg Config) (*Result, error) {
 			}
 			st.curCoreSteps = append(st.curCoreSteps[:0], dec.CoreSteps...)
 			st.curMemStep = dec.MemStep
-			rec.CoreSteps = append([]int(nil), dec.CoreSteps...)
+			rec.CoreSteps = stepsBuf[e*n : (e+1)*n : (e+1)*n]
+			copy(rec.CoreSteps, dec.CoreSteps)
 			rec.MemStep = dec.MemStep
 			rec.PredictedPowerW = snap.PredictPower(dec.CoreSteps, dec.MemStep)
 			sb := snap.SbBar * snap.MemLadder.Max() / snap.MemLadder.Freq(dec.MemStep)
@@ -182,7 +200,8 @@ func Run(cfg Config) (*Result, error) {
 			}
 			rec.PredictedRespNs /= float64(len(snap.MemStats))
 		} else {
-			rec.CoreSteps = append([]int(nil), st.curCoreSteps...)
+			rec.CoreSteps = stepsBuf[e*n : (e+1)*n : (e+1)*n]
+			copy(rec.CoreSteps, st.curCoreSteps)
 		}
 
 		rest := sys.FinishEpoch()
@@ -200,7 +219,7 @@ func Run(cfg Config) (*Result, error) {
 		}
 		rec.AvgPowerW = sys.CombinePower(prof, rest)
 		rec.CoresW, rec.MemW = combineBreakdown(prof, rest)
-		rec.CoreW = make([]float64, cfg.Sim.Cores)
+		rec.CoreW = coreWBuf[e*n : (e+1)*n : (e+1)*n]
 		total := prof.WindowNs + rest.WindowNs
 		for i := range rec.Instr {
 			rec.Instr[i] = prof.Cores[i].Counters.Instructions + rest.Cores[i].Counters.Instructions
@@ -251,6 +270,9 @@ type controllerState struct {
 	lastIPA      []float64
 	curCoreSteps []int
 	curMemStep   int
+	// snap is the reusable policy input: its slices are refilled every
+	// epoch (policies only read the snapshot inside Decide).
+	snap policy.Snapshot
 }
 
 func newControllerState(cfg Config, sys *sim.System) *controllerState {
@@ -299,51 +321,78 @@ func (st *controllerState) observe(prof sim.Profile) {
 	st.memFitter.Observe(prof.Mem[0].FreqGHz/st.cfg.Sim.MemLadder.Max(), memW)
 }
 
-// snapshot assembles the policy input for this epoch.
+// snapshot assembles the policy input for this epoch into the reusable
+// snapshot buffer. The returned pointer (and its slices) is valid until
+// the next snapshot call — policies consume it within Decide.
 func (st *controllerState) snapshot(prof sim.Profile, budgetW float64) *policy.Snapshot {
 	n := st.cfg.Sim.Cores
-	s := &policy.Snapshot{
-		ZBar:          append([]float64(nil), st.lastZBar...),
-		C:             make([]float64, n),
-		IPA:           append([]float64(nil), st.lastIPA...),
-		AccessProb:    st.sys.AccessProb(),
-		SbBar:         st.sys.SbBarNs(),
-		CoreLadder:    st.cfg.Sim.CoreLadder,
-		MemLadder:     st.cfg.Sim.MemLadder,
-		BudgetW:       budgetW,
-		MeasuredCoreW: make([]float64, n),
-		CurCoreSteps:  append([]int(nil), st.curCoreSteps...),
-		CurMemStep:    st.curMemStep,
+	s := &st.snap
+	s.ZBar = append(s.ZBar[:0], st.lastZBar...)
+	s.IPA = append(s.IPA[:0], st.lastIPA...)
+	if cap(s.C) < n {
+		s.C = make([]float64, n)
+		for i := range s.C {
+			s.C[i] = cpusim.L2HitTimeNs
+		}
+	} else {
+		s.C = s.C[:n]
 	}
+	s.AccessProb = st.sys.AccessProb()
+	s.SbBar = st.sys.SbBarNs()
+	s.CoreLadder = st.cfg.Sim.CoreLadder
+	s.MemLadder = st.cfg.Sim.MemLadder
+	s.BudgetW = budgetW
+	s.MeasuredCoreW = s.MeasuredCoreW[:0]
+	s.CurCoreSteps = append(s.CurCoreSteps[:0], st.curCoreSteps...)
+	s.CurMemStep = st.curMemStep
+	s.Power.Cores = s.Power.Cores[:0]
 	for i := 0; i < n; i++ {
-		s.C[i] = cpusim.L2HitTimeNs
-		s.MeasuredCoreW[i] = prof.Cores[i].PowerW
+		s.MeasuredCoreW = append(s.MeasuredCoreW, prof.Cores[i].PowerW)
 		s.Power.Cores = append(s.Power.Cores, st.coreFitters[i].Model())
 	}
 	s.Power.Mem = st.memFitter.Model()
 	s.Power.Ps = st.cfg.Sim.PsW
-	for _, mp := range prof.Mem {
-		s.MemStats = append(s.MemStats, mp.Stats)
-	}
+	s.MemStats = s.MemStats[:0]
 	s.MeasuredMemW = 0
 	for _, mp := range prof.Mem {
+		s.MemStats = append(s.MemStats, mp.Stats)
 		s.MeasuredMemW += mp.PowerW
 	}
 	return s
 }
 
 // RunPair executes the policy run and its all-max baseline with
-// identical seeds and returns both.
+// identical seeds and returns both. The two runs build independent
+// systems, so they execute concurrently; results are deterministic
+// because each run owns its engine and RNGs.
 func RunPair(cfg Config) (pol, base *Result, err error) {
+	var (
+		wg      sync.WaitGroup
+		baseErr error
+	)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		bcfg := cfg
+		bcfg.Policy = nil
+		// The baseline never applies DVFS, so the budget only affects its
+		// BudgetW bookkeeping. Drop the schedule rather than invoke a
+		// possibly-stateful caller callback from two goroutines at once.
+		if bcfg.BudgetSchedule != nil {
+			bcfg.BudgetSchedule = nil
+			if !(bcfg.BudgetFrac > 0 && bcfg.BudgetFrac <= 1) {
+				bcfg.BudgetFrac = 1
+			}
+		}
+		base, baseErr = Run(bcfg)
+	}()
 	pol, err = Run(cfg)
+	wg.Wait()
 	if err != nil {
 		return nil, nil, err
 	}
-	bcfg := cfg
-	bcfg.Policy = nil
-	base, err = Run(bcfg)
-	if err != nil {
-		return nil, nil, err
+	if baseErr != nil {
+		return nil, nil, baseErr
 	}
 	return pol, base, nil
 }

@@ -1,0 +1,83 @@
+package runner
+
+import (
+	"strings"
+	"testing"
+)
+
+// A budget schedule returning a fraction outside (0, 1] must fail fast
+// with a clear error instead of silently producing nonsense budgets.
+func TestBudgetScheduleRangeChecked(t *testing.T) {
+	cases := []struct {
+		name string
+		bad  float64
+	}{
+		{"zero", 0},
+		{"negative", -0.2},
+		{"above one", 1.5},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := fastCfg(t, "MID1", 4, 0.6, nil)
+			cfg.Epochs = 3
+			cfg.BudgetSchedule = func(epoch int) float64 {
+				if epoch == 1 {
+					return tc.bad
+				}
+				return 0.6
+			}
+			_, err := Run(cfg)
+			if err == nil {
+				t.Fatalf("schedule returning %g accepted", tc.bad)
+			}
+			if !strings.Contains(err.Error(), "budget schedule") || !strings.Contains(err.Error(), "epoch 1") {
+				t.Errorf("unhelpful error: %v", err)
+			}
+		})
+	}
+}
+
+// A valid dynamic schedule still runs and the per-epoch caps follow it.
+func TestBudgetScheduleApplied(t *testing.T) {
+	cfg := fastCfg(t, "MID1", 4, 0.6, nil)
+	cfg.Epochs = 4
+	fracs := []float64{0.5, 0.6, 0.8, 0.7}
+	cfg.BudgetSchedule = func(epoch int) float64 { return fracs[epoch] }
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e, rec := range res.Epochs {
+		want := fracs[e] * res.PeakW
+		if rec.BudgetW != want {
+			t.Errorf("epoch %d: BudgetW = %g, want %g", e, rec.BudgetW, want)
+		}
+	}
+}
+
+// RunPair's concurrent policy/baseline execution must equal two serial
+// runs with the same seeds.
+func TestRunPairMatchesSerialRuns(t *testing.T) {
+	cfg := fastCfg(t, "MID2", 4, 0.6, nil)
+	cfg.Epochs = 3
+
+	base1, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol, base2, err := RunPair(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pol.PolicyName != "baseline" {
+		t.Errorf("policy result name %q", pol.PolicyName)
+	}
+	if base1.AvgPowerW() != base2.AvgPowerW() {
+		t.Errorf("concurrent baseline avg power %g != serial %g", base2.AvgPowerW(), base1.AvgPowerW())
+	}
+	for i := range base1.NsPerInstr {
+		if base1.NsPerInstr[i] != base2.NsPerInstr[i] {
+			t.Errorf("core %d: NsPerInstr %g != %g", i, base2.NsPerInstr[i], base1.NsPerInstr[i])
+		}
+	}
+}

@@ -91,6 +91,13 @@ type System struct {
 
 	lastCore []cpusim.Counters
 	lastMem  []memsim.Counters
+
+	// profBuf and restBuf back the Profiles returned by RunProfile and
+	// FinishEpoch. Each is valid until the next call of the same method,
+	// which is exactly the epoch protocol the runner follows; reusing
+	// them removes two slice allocations per window per epoch.
+	profBuf Profile
+	restBuf Profile
 }
 
 // New builds a system for the given workload; len(wl.Apps) must equal
@@ -220,11 +227,15 @@ type Profile struct {
 	TotalPowerW float64
 }
 
-// measureWindow computes a Profile over [since-last-snapshot, now] and
-// refreshes the snapshots.
-func (s *System) measureWindow(windowNs float64) Profile {
-	p := Profile{WindowNs: windowNs}
-	p.Cores = make([]CoreProfile, len(s.Cores))
+// measureWindow computes a Profile over [since-last-snapshot, now] into
+// the given buffer and refreshes the snapshots.
+func (s *System) measureWindow(p *Profile, windowNs float64) {
+	p.WindowNs = windowNs
+	if cap(p.Cores) < len(s.Cores) {
+		p.Cores = make([]CoreProfile, len(s.Cores))
+	} else {
+		p.Cores = p.Cores[:len(s.Cores)]
+	}
 	total := s.Cfg.PsW
 	vMax := s.Cfg.CoreLadder.Volt(s.Cfg.CoreLadder.MaxStep())
 	for i, c := range s.Cores {
@@ -248,7 +259,11 @@ func (s *System) measureWindow(windowNs float64) Profile {
 		}
 		total += pw
 	}
-	p.Mem = make([]MemProfile, len(s.Ctls))
+	if cap(p.Mem) < len(s.Ctls) {
+		p.Mem = make([]MemProfile, len(s.Ctls))
+	} else {
+		p.Mem = p.Mem[:len(s.Ctls)]
+	}
 	for k, ctl := range s.Ctls {
 		cur := ctl.Counters()
 		delta := cur.Sub(s.lastMem[k])
@@ -264,15 +279,17 @@ func (s *System) measureWindow(windowNs float64) Profile {
 		total += pw
 	}
 	p.TotalPowerW = total
-	return p
 }
 
 // RunProfile advances the simulation through the epoch's profiling
-// window and returns its measurements. Call once per epoch, first.
+// window and returns its measurements. Call once per epoch, first. The
+// returned Profile's slices are owned by the System and remain valid
+// until the next RunProfile call.
 func (s *System) RunProfile() Profile {
 	start := float64(s.epoch) * s.Cfg.EpochNs
 	s.Eng.RunUntil(start + s.Cfg.ProfileNs)
-	return s.measureWindow(s.Cfg.ProfileNs)
+	s.measureWindow(&s.profBuf, s.Cfg.ProfileNs)
+	return s.profBuf
 }
 
 // Apply transitions the machine to the decided DVFS operating point:
@@ -302,14 +319,15 @@ func (s *System) Apply(coreSteps []int, memStep int) error {
 // window, advances the epoch counter, and applies the next epoch's
 // application phases. The returned Profile covers only the portion of
 // the epoch after Apply; combine with the profiling window for
-// whole-epoch averages.
+// whole-epoch averages. Its slices are owned by the System and remain
+// valid until the next FinishEpoch call.
 func (s *System) FinishEpoch() Profile {
 	end := float64(s.epoch+1) * s.Cfg.EpochNs
 	s.Eng.RunUntil(end)
-	p := s.measureWindow(s.Cfg.EpochNs - s.Cfg.ProfileNs)
+	s.measureWindow(&s.restBuf, s.Cfg.EpochNs-s.Cfg.ProfileNs)
 	s.epoch++
 	s.applyPhases()
-	return p
+	return s.restBuf
 }
 
 // CombinePower returns the whole-epoch average power given the epoch's

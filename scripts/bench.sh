@@ -1,0 +1,50 @@
+#!/usr/bin/env sh
+# bench.sh — run the benchmark suite and emit a BENCH_<sha>.json
+# snapshot so the performance trajectory is trackable per commit.
+#
+# Usage:
+#   scripts/bench.sh                 # default suite, short benchtime
+#   scripts/bench.sh -bench 'Fig9'   # extra args forwarded to go test
+#
+# Output: BENCH_<git-sha>.json in the repository root, e.g.
+#   {"commit":"abc1234","date":"...","gomaxprocs":8,
+#    "benchmarks":[{"name":"BenchmarkEndToEndEpoch","ns_per_op":2.4e7,
+#                   "b_per_op":126488,"allocs_per_op":642}, ...]}
+set -eu
+
+cd "$(dirname "$0")/.."
+
+SHA=$(git rev-parse --short HEAD 2>/dev/null || echo "worktree")
+OUT="BENCH_${SHA}.json"
+RAW=$(mktemp)
+trap 'rm -f "$RAW"' EXIT
+
+if [ "$#" -gt 0 ]; then
+    go test -run '^$' -bench . -benchmem -benchtime 1x "$@" . | tee "$RAW"
+else
+    go test -run '^$' -bench . -benchmem -benchtime 1x . | tee "$RAW"
+fi
+
+awk -v sha="$SHA" -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v gmp="$(nproc 2>/dev/null || echo 1)" '
+BEGIN { n = 0 }
+/^Benchmark/ && NF >= 3 {
+    name = $1
+    sub(/-[0-9]+$/, "", name)   # strip -GOMAXPROCS suffix
+    ns = ""; b = ""; allocs = ""
+    for (i = 2; i < NF; i++) {
+        if ($(i+1) == "ns/op")     ns = $i
+        if ($(i+1) == "B/op")      b = $i
+        if ($(i+1) == "allocs/op") allocs = $i
+    }
+    if (ns != "") {
+        rows[n++] = sprintf("{\"name\":\"%s\",\"ns_per_op\":%s,\"b_per_op\":%s,\"allocs_per_op\":%s}",
+                            name, ns, (b == "" ? "null" : b), (allocs == "" ? "null" : allocs))
+    }
+}
+END {
+    printf "{\"commit\":\"%s\",\"date\":\"%s\",\"gomaxprocs\":%s,\"benchmarks\":[", sha, date, gmp
+    for (i = 0; i < n; i++) printf "%s%s", (i ? "," : ""), rows[i]
+    print "]}"
+}' "$RAW" > "$OUT"
+
+echo "wrote $OUT"
