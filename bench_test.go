@@ -7,6 +7,7 @@
 package fastcap
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/core"
@@ -241,6 +242,34 @@ func BenchmarkEndToEndEpoch(b *testing.B) {
 		})
 		if err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// The same cycle through the streaming session API (NewSession + Step +
+// Result). Run alongside BenchmarkEndToEndEpoch: Run is now a thin loop
+// over Session.Step, so the two must track each other — any gap is
+// session-layer overhead.
+func BenchmarkSessionEpoch(b *testing.B) {
+	mix, err := workload.MixByName("MIX3")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := experiments.Options{Cores: 16, Epochs: 1, EpochNs: 1e6}.SimConfig(16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := runner.NewSession(runner.Config{
+			Sim: cfg, Mix: mix, BudgetFrac: 0.6, Epochs: 1, Policy: policy.NewFastCap(),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.Step(context.Background()); err != nil {
+			b.Fatal(err)
+		}
+		if res := s.Result(); len(res.Epochs) != 1 {
+			b.Fatal("short run")
 		}
 	}
 }

@@ -2,13 +2,21 @@
 // the simulated many-core server and prints the per-epoch power/DVFS
 // series plus a performance summary against the all-max baseline.
 //
+// The run is driven through the step-wise session API (runner.Session);
+// with -stream, each epoch's record is printed the moment the epoch
+// completes instead of as a post-run table — the mode a monitoring
+// pipeline would consume.
+//
 // Example:
 //
 //	fastcap-sim -mix MIX3 -policy FastCap -budget 0.6 -cores 16 -epochs 40
+//	fastcap-sim -mix MIX3 -stream            # live per-epoch telemetry
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -35,11 +43,12 @@ func main() {
 		skew      = flag.Bool("skew", false, "skewed controller access distribution")
 		seed      = flag.Int64("seed", 1, "simulation seed")
 		perEpoch  = flag.Bool("series", true, "print the per-epoch series")
+		stream    = flag.Bool("stream", false, "stream each epoch's record as it completes (NDJSON to stdout)")
 		noBaselin = flag.Bool("no-baseline", false, "skip the baseline run (no normalized perf)")
 		jsonPath  = flag.String("json", "", "also write the full result record as JSON to this file ('-' = stdout)")
 	)
 	flag.Parse()
-	if err := run(*mixName, *polName, *budget, *cores, *epochs, *epochMs, *ooo, *ctls, *skew, *seed, *perEpoch, *noBaselin, *jsonPath); err != nil {
+	if err := run(*mixName, *polName, *budget, *cores, *epochs, *epochMs, *ooo, *ctls, *skew, *seed, *perEpoch, *stream, *noBaselin, *jsonPath); err != nil {
 		fmt.Fprintln(os.Stderr, "fastcap-sim:", err)
 		os.Exit(1)
 	}
@@ -68,7 +77,18 @@ func pickPolicy(name string) (policy.Policy, error) {
 	}
 }
 
-func run(mixName, polName string, budget float64, cores, epochs int, epochMs float64, ooo bool, ctls int, skew bool, seed int64, series, noBaseline bool, jsonPath string) error {
+// streamRecord is the NDJSON shape emitted per epoch under -stream.
+type streamRecord struct {
+	Epoch     int     `json:"epoch"`
+	PowerW    float64 `json:"power_w"`
+	PowerNorm float64 `json:"power_norm"`
+	BudgetW   float64 `json:"budget_w"`
+	CoresW    float64 `json:"cores_w"`
+	MemW      float64 `json:"mem_w"`
+	MemMHz    float64 `json:"mem_mhz"`
+}
+
+func run(mixName, polName string, budget float64, cores, epochs int, epochMs float64, ooo bool, ctls int, skew bool, seed int64, series, stream, noBaseline bool, jsonPath string) error {
 	mix, err := workload.MixByName(mixName)
 	if err != nil {
 		return err
@@ -92,18 +112,70 @@ func run(mixName, polName string, budget float64, cores, epochs int, epochMs flo
 	}
 	cfg := runner.Config{Sim: sc, Mix: mix, BudgetFrac: budget, Epochs: epochs, Policy: pol}
 
-	res, err := runner.Run(cfg)
+	var opts []runner.SessionOption
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var streamErr error
+	if stream {
+		if jsonPath == "-" {
+			return fmt.Errorf("-json - conflicts with -stream: stdout carries the NDJSON stream; write the result record to a file")
+		}
+		enc := json.NewEncoder(os.Stdout)
+		opts = append(opts, runner.WithObserver(func(e runner.EpochRecord) {
+			err := enc.Encode(streamRecord{
+				Epoch:     e.Epoch,
+				PowerW:    e.AvgPowerW,
+				PowerNorm: e.AvgPowerW / e.PeakW,
+				BudgetW:   e.BudgetW,
+				CoresW:    e.CoresW,
+				MemW:      e.MemW,
+				MemMHz:    sc.MemLadder.Freq(e.MemStep) * 1000,
+			})
+			// A dead consumer (EPIPE etc.) aborts the run at the next
+			// epoch boundary instead of simulating into the void.
+			if err != nil && streamErr == nil {
+				streamErr = err
+				cancel()
+			}
+		}))
+	}
+	ses, err := runner.NewSession(cfg, opts...)
 	if err != nil {
 		return err
 	}
+	// In stream mode stdout carries pure NDJSON; the human summary goes
+	// to stderr so the stream stays machine-consumable.
+	out := io.Writer(os.Stdout)
+	if stream {
+		out = os.Stderr
+	}
+	err = finish(ctx, out, ses, cfg, series && !stream, noBaseline, jsonPath)
+	if streamErr != nil {
+		return fmt.Errorf("streaming telemetry: %w", streamErr)
+	}
+	return err
+}
+
+// finish drives the session to completion and prints the summary.
+func finish(ctx context.Context, out io.Writer, ses *runner.Session, cfg runner.Config, series, noBaseline bool, jsonPath string) error {
+	mix, sc := cfg.Mix, cfg.Sim
+	for {
+		if _, err := ses.Step(ctx); err != nil {
+			if errors.Is(err, runner.ErrDone) {
+				break
+			}
+			return err
+		}
+	}
+	res := ses.Result()
 	if jsonPath != "" {
 		if err := writeJSON(jsonPath, res); err != nil {
 			return err
 		}
 	}
 
-	fmt.Printf("workload %s on %d cores (%s), policy %s, budget %.0f%% of %.0f W peak\n\n",
-		mix.Name, cores, mode(ooo), res.PolicyName, budget*100, res.PeakW)
+	fmt.Fprintf(out, "workload %s on %d cores (%s), policy %s, budget %.0f%% of %.0f W peak\n\n",
+		mix.Name, sc.Cores, mode(sc.OoO), res.PolicyName, cfg.BudgetFrac*100, res.PeakW)
 
 	if series {
 		tbl := &report.Table{
@@ -120,17 +192,17 @@ func run(mixName, polName string, budget float64, cores, epochs int, epochMs flo
 				report.F(sc.MemLadder.Freq(e.MemStep)*1000, 0),
 			)
 		}
-		if err := tbl.Render(os.Stdout); err != nil {
+		if err := tbl.Render(out); err != nil {
 			return err
 		}
 	}
 
-	fmt.Printf("run-average power: %.1f W (%.1f%% of peak; budget %.1f W)\n",
+	fmt.Fprintf(out, "run-average power: %.1f W (%.1f%% of peak; budget %.1f W)\n",
 		res.AvgPowerW(), res.AvgPowerW()/res.PeakW*100, res.BudgetW)
-	fmt.Printf("max epoch power:   %.1f W (%.1f%% of peak)\n",
+	fmt.Fprintf(out, "max epoch power:   %.1f W (%.1f%% of peak)\n",
 		res.MaxEpochPowerW(), res.MaxEpochPowerW()/res.PeakW*100)
 
-	if pol == nil || noBaseline {
+	if cfg.Policy == nil || noBaseline {
 		return nil
 	}
 	bcfg := cfg
@@ -144,9 +216,9 @@ func run(mixName, polName string, budget float64, cores, epochs int, epochMs flo
 		return err
 	}
 	s := stats.SummarizePerf(norm)
-	fmt.Printf("\nnormalized performance vs all-max baseline (1.0 = no loss):\n")
-	fmt.Printf("  average %.3f   worst %.3f   Jain fairness %.3f\n", s.Avg, s.Worst, s.Jain)
-	wl, err := workload.Instantiate(mix, cores)
+	fmt.Fprintf(out, "\nnormalized performance vs all-max baseline (1.0 = no loss):\n")
+	fmt.Fprintf(out, "  average %.3f   worst %.3f   Jain fairness %.3f\n", s.Avg, s.Worst, s.Jain)
+	wl, err := workload.Instantiate(mix, sc.Cores)
 	if err != nil {
 		return err
 	}
@@ -154,8 +226,8 @@ func run(mixName, polName string, budget float64, cores, epochs int, epochMs flo
 	for i, v := range norm {
 		tbl.AddRow(fmt.Sprint(i), wl.Apps[i].Name, report.F(v, 3))
 	}
-	fmt.Println()
-	return tbl.Render(os.Stdout)
+	fmt.Fprintln(out)
+	return tbl.Render(out)
 }
 
 // writeJSON serializes the run record for downstream tooling (plots,

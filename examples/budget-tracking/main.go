@@ -1,13 +1,20 @@
 // budget-tracking subjects FastCap to a datacenter power emergency: the
-// budget steps from 80% down to 50% and back while a mixed workload
-// runs, demonstrating the per-epoch cap tracking of the paper's
-// Figs. 4–5 under a *dynamic* budget (the extension §III-B notes the
-// formulation supports).
+// budget steps from 80% down to 50% while a mixed workload runs, then
+// an operator retargets the session mid-flight to 65% — demonstrating
+// the per-epoch cap tracking of the paper's Figs. 4–5 under a *dynamic*
+// budget (the extension §III-B notes the formulation supports).
+//
+// The run streams: a budget trace drives the emergency, an observer
+// draws each epoch's bar the moment the epoch completes, and the
+// recovery is an explicit SetBudgetFrac call between steps — the three
+// session primitives a real power-management service would use.
 //
 //	go run ./examples/budget-tracking
 package main
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"log"
 	"strings"
@@ -20,42 +27,57 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	schedule := func(epoch int) float64 {
-		switch {
-		case epoch < 10:
+	// The emergency, as a per-epoch budget trace: normal operation at
+	// 80%, then a breaker overload forces shedding to 50%.
+	trace := func(epoch int) float64 {
+		if epoch < 10 {
 			return 0.80 // normal operation
-		case epoch < 25:
-			return 0.50 // breaker overload: shed power now
-		default:
-			return 0.65 // partial recovery
 		}
+		return 0.50 // breaker overload: shed power now
 	}
 	cfg := fastcap.ExperimentConfig{
-		Sim:            fastcap.DefaultSystemConfig(16),
-		Mix:            mix,
-		BudgetFrac:     0.80, // PeakW reference; schedule overrides
-		Epochs:         35,
-		Policy:         fastcap.NewFastCapPolicy(),
-		BudgetSchedule: schedule,
+		Sim:        fastcap.DefaultSystemConfig(16),
+		Mix:        mix,
+		BudgetFrac: 0.80, // PeakW reference; the trace overrides per epoch
+		Epochs:     35,
+		Policy:     fastcap.NewFastCapPolicy(),
 	}
 	cfg.Sim.EpochNs = 1e6
 	cfg.Sim.ProfileNs = 1e5
 
-	res, err := fastcap.RunExperiment(cfg)
+	ses, err := fastcap.NewSession(cfg,
+		fastcap.WithBudgetTrace(trace),
+		fastcap.WithObserver(func(e fastcap.EpochRecord) {
+			frac := e.AvgPowerW / e.PeakW
+			bar := strings.Repeat("#", int(frac*60))
+			capMark := int(e.BudgetW / e.PeakW * 60)
+			if capMark < len(bar) {
+				bar = bar[:capMark] + "!" + bar[capMark:]
+			}
+			fmt.Printf("%5d  %5.1fW  %5.1fW  %.3f  %s\n", e.Epoch, e.BudgetW, e.AvgPowerW, frac, bar)
+		}))
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	fmt.Printf("MIX1 on 16 cores, peak %.0f W — budget steps 80%% → 50%% → 65%%\n\n", res.PeakW)
+	fmt.Printf("MIX1 on 16 cores, peak %.0f W — budget 80%% → 50%% (trace) → 65%% (retarget)\n\n", ses.PeakPowerW())
 	fmt.Println("epoch  budget  power   power/peak")
-	for _, e := range res.Epochs {
-		frac := e.AvgPowerW / res.PeakW
-		bar := strings.Repeat("#", int(frac*60))
-		capMark := int(e.BudgetW / res.PeakW * 60)
-		if capMark < len(bar) {
-			bar = bar[:capMark] + "!" + bar[capMark:]
+	for {
+		// Partial recovery at epoch 25: an explicit mid-run retarget,
+		// which detaches the emergency trace and takes effect on the
+		// next epoch.
+		if ses.Epoch() == 25 {
+			if err := ses.SetBudgetFrac(0.65); err != nil {
+				log.Fatal(err)
+			}
 		}
-		fmt.Printf("%5d  %5.1fW  %5.1fW  %.3f  %s\n", e.Epoch, e.BudgetW, e.AvgPowerW, frac, bar)
+		if _, err := ses.Step(context.Background()); err != nil {
+			if errors.Is(err, fastcap.ErrSessionDone) {
+				break
+			}
+			log.Fatal(err)
+		}
 	}
+	ses.Result()
 	fmt.Println("\n('!' marks the cap; power follows each budget step within ~1 epoch)")
 }

@@ -1,10 +1,13 @@
 // Quickstart: cap a simulated 16-core server at 60% of peak power with
-// FastCap and report what it cost each application.
+// FastCap, watching each control epoch stream by, and report what the
+// cap cost each application.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"log"
 
@@ -31,17 +34,37 @@ func main() {
 	cfg.Sim.EpochNs = 1e6
 	cfg.Sim.ProfileNs = 1e5
 
-	res, base, err := fastcap.RunExperimentPair(cfg)
+	// A session runs the §III-C control loop one epoch per Step; the
+	// observer sees every epoch's telemetry the moment it completes.
+	ses, err := fastcap.NewSession(cfg, fastcap.WithObserver(func(e fastcap.EpochRecord) {
+		fmt.Printf("epoch %2d  %5.1f W (budget %5.1f W)\n", e.Epoch, e.AvgPowerW, e.BudgetW)
+	}))
 	if err != nil {
 		log.Fatal(err)
 	}
+	for {
+		if _, err := ses.Step(context.Background()); err != nil {
+			if errors.Is(err, fastcap.ErrSessionDone) {
+				break
+			}
+			log.Fatal(err)
+		}
+	}
+	res := ses.Result()
 
-	fmt.Printf("peak power:      %.0f W\n", res.PeakW)
+	fmt.Printf("\npeak power:      %.0f W\n", res.PeakW)
 	fmt.Printf("budget:          %.0f W (60%%)\n", res.BudgetW)
 	fmt.Printf("average power:   %.1f W (%.1f%% of peak)\n",
 		res.AvgPowerW(), 100*res.AvgPowerW()/res.PeakW)
 	fmt.Printf("max epoch power: %.1f W\n\n", res.MaxEpochPowerW())
 
+	// Normalize against the all-max baseline to see the cap's cost.
+	bcfg := cfg
+	bcfg.Policy = nil
+	base, err := fastcap.RunExperiment(bcfg)
+	if err != nil {
+		log.Fatal(err)
+	}
 	norm, err := res.NormalizedPerf(base)
 	if err != nil {
 		log.Fatal(err)

@@ -12,12 +12,15 @@
 //   - capping policies behind the Policy interface: NewFastCapPolicy,
 //     NewCPUOnlyPolicy, NewFreqParPolicy, NewEqlPwrPolicy,
 //     NewEqlFreqPolicy, NewMaxBIPSPolicy;
-//   - the simulated platform and epoch runner: DefaultSystemConfig,
-//     RunExperiment, RunExperimentPair;
+//   - the streaming controller: Platform, NewSession, Session.Step,
+//     with the batch wrappers RunExperiment, RunExperimentPair;
+//   - trace record/replay for policy dry-runs: NewRecorder,
+//     NewReplayPlatform;
+//   - the simulated platform: DefaultSystemConfig, NewSystem;
 //   - Table III workloads: Workloads, WorkloadByName;
 //   - the figure-level experiment harness: NewLab.
 //
-// Quick start:
+// Quick start — stream a capped run one control epoch at a time:
 //
 //	mix, _ := fastcap.WorkloadByName("MIX3")
 //	cfg := fastcap.ExperimentConfig{
@@ -27,15 +30,34 @@
 //		Epochs:     40,
 //		Policy:     fastcap.NewFastCapPolicy(),
 //	}
+//	ses, _ := fastcap.NewSession(cfg, fastcap.WithObserver(func(e fastcap.EpochRecord) {
+//		fmt.Printf("epoch %d: %.1f W under a %.1f W cap\n", e.Epoch, e.AvgPowerW, e.BudgetW)
+//	}))
+//	for {
+//		if _, err := ses.Step(ctx); err != nil {
+//			break // fastcap.ErrSessionDone after the last epoch
+//		}
+//	}
+//	res := ses.Result()
+//
+// Sessions can be retargeted mid-run (SetBudgetFrac), driven by a
+// per-epoch budget trace (WithBudgetTrace), cancelled via the Step
+// context, and attached to any Platform — the event-driven simulator,
+// a recorded trace (NewReplayPlatform), or a production adapter. The
+// batch form is one call:
+//
 //	res, base, _ := fastcap.RunExperimentPair(cfg)
 //	norm, _ := res.NormalizedPerf(base)
 package fastcap
 
 import (
+	"io"
+
 	"repro/internal/core"
 	"repro/internal/dvfs"
 	"repro/internal/experiments"
 	"repro/internal/policy"
+	"repro/internal/replay"
 	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/workload"
@@ -176,6 +198,10 @@ type (
 	// ExperimentResult carries per-epoch power series and per-core
 	// performance.
 	ExperimentResult = runner.Result
+	// EpochRecord is one epoch's telemetry: powers, budget in force,
+	// applied DVFS decision, per-core instruction counts, and the
+	// model-validation signals.
+	EpochRecord = runner.EpochRecord
 )
 
 // RunExperiment executes one run (Policy nil = all-max baseline).
@@ -185,6 +211,77 @@ func RunExperiment(cfg ExperimentConfig) (*ExperimentResult, error) { return run
 func RunExperimentPair(cfg ExperimentConfig) (pol, base *ExperimentResult, err error) {
 	return runner.RunPair(cfg)
 }
+
+// Streaming controller (the session API).
+type (
+	// Platform is the minimal machine surface the controller drives:
+	// profile window, DVFS apply, epoch finish, and power/queue-stat
+	// accessors. *System implements it; so do replay platforms and
+	// (by design) production adapters.
+	Platform = runner.Platform
+	// Session runs the control loop one epoch per Step call, streaming
+	// telemetry to observers and supporting mid-run budget retargeting
+	// and cancellation.
+	Session = runner.Session
+	// SessionOption configures NewSession.
+	SessionOption = runner.SessionOption
+)
+
+// Typed errors of the session API.
+var (
+	// ErrInvalidConfig tags configuration rejected up front by
+	// NewSession/RunExperiment; test with errors.Is.
+	ErrInvalidConfig = runner.ErrInvalidConfig
+	// ErrSessionDone is returned by Session.Step after the last epoch:
+	// normal termination, not failure.
+	ErrSessionDone = runner.ErrDone
+)
+
+// NewSession builds a streaming run: validate the configuration, build
+// the platform (or use WithPlatform's), and start the machine. Step
+// executes one epoch; Result finalizes. RunExperiment is the batch
+// equivalent and produces a bit-identical ExperimentResult.
+func NewSession(cfg ExperimentConfig, opts ...SessionOption) (*Session, error) {
+	return runner.NewSession(cfg, opts...)
+}
+
+// WithObserver streams every completed epoch's record to fn.
+func WithObserver(fn func(EpochRecord)) SessionOption { return runner.WithObserver(fn) }
+
+// WithBudgetTrace drives the cap from a per-epoch schedule (fractions
+// of peak in (0, 1]).
+func WithBudgetTrace(trace func(epoch int) float64) SessionOption {
+	return runner.WithBudgetTrace(trace)
+}
+
+// WithPlatform attaches the controller to a custom Platform instead of
+// building a simulator from the config.
+func WithPlatform(p Platform) SessionOption { return runner.WithPlatform(p) }
+
+// Trace record/replay (policy dry-runs without the event engine).
+type (
+	// Recording is a captured run: static machine characteristics plus
+	// the per-epoch measurement-window stream; JSON-serializable via
+	// WriteJSON/ReadJSON.
+	Recording = replay.Recording
+	// Recorder is a pass-through Platform capturing everything a live
+	// platform produces.
+	Recorder = replay.Recorder
+	// ReplayPlatform plays a Recording back to the controller with no
+	// simulation; replaying under the original configuration and
+	// policy reproduces the run bit for bit.
+	ReplayPlatform = replay.Platform
+)
+
+// NewRecorder wraps a live platform for capture; drive a session with
+// WithPlatform(recorder), then take Recording().
+func NewRecorder(live Platform) *Recorder { return replay.NewRecorder(live) }
+
+// NewReplayPlatform mounts a recording for playback.
+func NewReplayPlatform(rec *Recording) (*ReplayPlatform, error) { return replay.New(rec) }
+
+// ReadRecording deserializes a Recording written with WriteJSON.
+func ReadRecording(r io.Reader) (*Recording, error) { return replay.ReadJSON(r) }
 
 // Figure-level harness (paper §IV).
 type (

@@ -1,7 +1,11 @@
 package fastcap
 
 import (
+	"bytes"
+	"context"
+	"errors"
 	"math"
+	"reflect"
 	"testing"
 
 	"repro/internal/stats"
@@ -127,5 +131,125 @@ func TestPublicAPILab(t *testing.T) {
 	}
 	if len(bars) != 16 {
 		t.Errorf("Fig3 returned %d bars", len(bars))
+	}
+}
+
+// The streaming session facade: step-wise run with observer, mid-run
+// retargeting, and batch equivalence.
+func TestPublicAPISession(t *testing.T) {
+	mix, err := WorkloadByName("MIX3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := ExperimentConfig{
+		Sim:        DefaultSystemConfig(8),
+		Mix:        mix,
+		BudgetFrac: 0.60,
+		Epochs:     8,
+		Policy:     NewFastCapPolicy(),
+	}
+	cfg.Sim.EpochNs = 1e6
+	cfg.Sim.ProfileNs = 1e5
+
+	var streamed int
+	ses, err := NewSession(cfg, WithObserver(func(e EpochRecord) { streamed++ }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := ses.Step(context.Background()); err != nil {
+			if errors.Is(err, ErrSessionDone) {
+				break
+			}
+			t.Fatal(err)
+		}
+	}
+	res := ses.Result()
+	if streamed != cfg.Epochs || len(res.Epochs) != cfg.Epochs {
+		t.Fatalf("streamed %d epochs, recorded %d, want %d", streamed, len(res.Epochs), cfg.Epochs)
+	}
+
+	cfg.Policy = NewFastCapPolicy()
+	batch, err := RunExperiment(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(batch, res) {
+		t.Error("session loop and RunExperiment diverged")
+	}
+
+	bad := cfg
+	bad.Epochs = 0
+	if _, err := NewSession(bad); !errors.Is(err, ErrInvalidConfig) {
+		t.Errorf("invalid config error %v, want ErrInvalidConfig", err)
+	}
+}
+
+// Record a run through the facade, replay it, and get the same result.
+func TestPublicAPIRecordReplay(t *testing.T) {
+	mix, err := WorkloadByName("MID2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := ExperimentConfig{
+		Sim:        DefaultSystemConfig(4),
+		Mix:        mix,
+		BudgetFrac: 0.60,
+		Epochs:     4,
+		Policy:     NewFastCapPolicy(),
+	}
+	cfg.Sim.EpochNs = 5e5
+	cfg.Sim.ProfileNs = 5e4
+
+	wl, err := InstantiateWorkload(mix, cfg.Sim.Cores)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := NewSystem(cfg.Sim, wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recorder := NewRecorder(sys)
+	ses, err := NewSession(cfg, WithPlatform(recorder))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := ses.Step(context.Background()); err != nil {
+			if !errors.Is(err, ErrSessionDone) {
+				t.Fatal(err)
+			}
+			break
+		}
+	}
+	live := ses.Result()
+
+	var buf bytes.Buffer
+	if err := recorder.Recording().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := ReadRecording(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plat, err := NewReplayPlatform(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Policy = NewFastCapPolicy()
+	ses, err = NewSession(cfg, WithPlatform(plat))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := ses.Step(context.Background()); err != nil {
+			if !errors.Is(err, ErrSessionDone) {
+				t.Fatal(err)
+			}
+			break
+		}
+	}
+	if !reflect.DeepEqual(live, ses.Result()) {
+		t.Error("replayed session diverged from the recorded live run")
 	}
 }

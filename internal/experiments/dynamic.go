@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/internal/runner"
+	"repro/internal/workload"
+)
+
+// DynamicBudget runs one workload under FastCap while the power budget
+// follows a per-epoch trace — the datacenter power-emergency scenario
+// the paper's §III-B formulation supports (the cap is just another
+// optimizer input, re-read every epoch). It returns two series aligned
+// on the epoch axis: the budget in force and the power actually drawn,
+// both normalized to peak. The run streams through a runner.Session
+// with the trace attached, so each epoch's point is captured by an
+// observer as the epoch completes.
+func (l *Lab) DynamicBudget(mixName string, trace func(epoch int) float64) ([]Series, error) {
+	if trace == nil {
+		return nil, fmt.Errorf("experiments: nil budget trace")
+	}
+	mix, err := workload.MixByName(mixName)
+	if err != nil {
+		return nil, err
+	}
+	pol, err := newPolicy("FastCap")
+	if err != nil {
+		return nil, err
+	}
+	cfg := runner.Config{
+		Sim:        l.Opt.SimConfig(l.Opt.Cores),
+		Mix:        mix,
+		BudgetFrac: 1, // trace overrides per epoch; BudgetW bookkeeping only
+		Epochs:     l.Opt.Epochs,
+		Policy:     pol,
+	}
+	budget := Series{Name: "budget"}
+	power := Series{Name: "power"}
+	s, err := runner.NewSession(cfg,
+		runner.WithBudgetTrace(trace),
+		runner.WithObserver(func(e runner.EpochRecord) {
+			x := float64(e.Epoch)
+			budget.X = append(budget.X, x)
+			budget.Y = append(budget.Y, e.BudgetW/e.PeakW)
+			power.X = append(power.X, x)
+			power.Y = append(power.Y, e.AvgPowerW/e.PeakW)
+		}))
+	if err != nil {
+		return nil, err
+	}
+	for {
+		if _, err := s.Step(context.Background()); err != nil {
+			if errors.Is(err, runner.ErrDone) {
+				break
+			}
+			return nil, fmt.Errorf("%s/dynamic-budget: %w", mix.Name, err)
+		}
+	}
+	res := s.Result()
+	l.log("ran %-5s FastCap    dynamic budget  avg=%.1fW peak=%.0fW", mix.Name, res.AvgPowerW(), res.PeakW)
+	return []Series{budget, power}, nil
+}

@@ -20,11 +20,12 @@ import (
 	"repro/internal/qmodel"
 )
 
-// Snapshot is the per-epoch controller input, assembled by the runner
-// from profiling-phase counters and online model fitting. The runner
-// reuses one snapshot buffer across epochs: a snapshot (and its
-// slices) is only valid for the duration of the Decide call it is
-// passed to, so policies retaining per-epoch data must copy it.
+// Snapshot is the per-epoch controller input, assembled by the
+// runner.Session from profiling-phase counters and online model
+// fitting. The Session owns one reusable snapshot buffer per run and
+// refills it every epoch: a snapshot (and its slices) is only valid
+// for the duration of the Decide call it is passed to, so policies
+// retaining per-epoch data must copy it.
 type Snapshot struct {
 	// ZBar[i] is core i's minimum think time estimate (Eq. 9), ns.
 	ZBar []float64

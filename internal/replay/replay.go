@@ -1,0 +1,204 @@
+// Package replay records and plays back the measurement stream a
+// runner.Session consumes, decoupling the control loop from the
+// event-driven simulator. A Recorder wraps any live Platform and
+// captures every window it produces; the resulting Recording can be
+// serialized to JSON, shipped around, and mounted as a replay.Platform
+// — a lightweight Platform that replays the trace with no simulation
+// at all. That enables policy unit tests against canned traces and
+// "dry-run against a production trace" scenarios: because the
+// controller is deterministic, replaying a recording under the same
+// configuration and policy reproduces the original run bit for bit.
+package replay
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/runner"
+	"repro/internal/sim"
+)
+
+// Epoch is one recorded epoch: the profiling window, the post-decision
+// window, and the DVFS decision applied between them (nil CoreSteps for
+// a baseline run that never applied one).
+type Epoch struct {
+	Profile   sim.Profile
+	Rest      sim.Profile
+	CoreSteps []int
+	MemStep   int
+}
+
+// Recording is a complete captured run: the platform's static
+// characteristics plus the per-epoch window stream.
+type Recording struct {
+	PeakW      float64
+	SbBarNs    float64
+	AccessProb [][]float64
+	Epochs     []Epoch
+}
+
+// Cores returns the recorded machine's core count (0 for an empty
+// recording).
+func (r *Recording) Cores() int {
+	if len(r.Epochs) == 0 {
+		return 0
+	}
+	return len(r.Epochs[0].Profile.Cores)
+}
+
+// WriteJSON serializes the recording.
+func (r *Recording) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(r)
+}
+
+// ReadJSON deserializes a recording written by WriteJSON. Go's JSON
+// float encoding round-trips exactly, so a decoded recording replays
+// bit-identically to the original.
+func ReadJSON(rd io.Reader) (*Recording, error) {
+	var rec Recording
+	if err := json.NewDecoder(rd).Decode(&rec); err != nil {
+		return nil, fmt.Errorf("replay: decoding recording: %w", err)
+	}
+	return &rec, nil
+}
+
+// cloneProfile deep-copies a window whose slices alias platform-owned
+// reusable buffers.
+func cloneProfile(p sim.Profile) sim.Profile {
+	out := p
+	out.Cores = append([]sim.CoreProfile(nil), p.Cores...)
+	out.Mem = append([]sim.MemProfile(nil), p.Mem...)
+	return out
+}
+
+// Recorder is a pass-through Platform that captures everything the
+// wrapped live platform produces. Drive a Session with
+// WithPlatform(recorder) (or call the Platform methods directly), then
+// take the trace with Recording.
+type Recorder struct {
+	live runner.Platform
+	rec  Recording
+	cur  Epoch
+}
+
+var _ runner.Platform = (*Recorder)(nil)
+
+// NewRecorder wraps a live platform, capturing its static
+// characteristics immediately and its window stream as it is produced.
+func NewRecorder(live runner.Platform) *Recorder {
+	r := &Recorder{live: live}
+	r.rec.PeakW = live.PeakPowerW()
+	r.rec.SbBarNs = live.SbBarNs()
+	for _, row := range live.AccessProb() {
+		r.rec.AccessProb = append(r.rec.AccessProb, append([]float64(nil), row...))
+	}
+	return r
+}
+
+// Recording returns the trace captured so far (one Epoch per completed
+// FinishEpoch call). The returned pointer aliases the Recorder's state;
+// finish recording before replaying it.
+func (r *Recorder) Recording() *Recording { return &r.rec }
+
+func (r *Recorder) Start() { r.live.Start() }
+
+func (r *Recorder) RunProfile() sim.Profile {
+	p := r.live.RunProfile()
+	r.cur = Epoch{Profile: cloneProfile(p), MemStep: -1}
+	return p
+}
+
+func (r *Recorder) Apply(coreSteps []int, memStep int) error {
+	if err := r.live.Apply(coreSteps, memStep); err != nil {
+		return err
+	}
+	r.cur.CoreSteps = append([]int(nil), coreSteps...)
+	r.cur.MemStep = memStep
+	return nil
+}
+
+func (r *Recorder) FinishEpoch() sim.Profile {
+	p := r.live.FinishEpoch()
+	r.cur.Rest = cloneProfile(p)
+	r.rec.Epochs = append(r.rec.Epochs, r.cur)
+	r.cur = Epoch{}
+	return p
+}
+
+func (r *Recorder) CombinePower(profile, rest sim.Profile) float64 {
+	return r.live.CombinePower(profile, rest)
+}
+
+func (r *Recorder) PeakPowerW() float64     { return r.live.PeakPowerW() }
+func (r *Recorder) AccessProb() [][]float64 { return r.live.AccessProb() }
+func (r *Recorder) SbBarNs() float64        { return r.live.SbBarNs() }
+
+// Platform replays a Recording: RunProfile and FinishEpoch return the
+// recorded windows in order, and Apply validates the decision's shape
+// but moves no machinery. Playback wraps around at the end of the
+// trace, so a short trace can soak-test a policy over arbitrarily many
+// epochs. The zero cost per epoch (no event engine) makes replay
+// platforms suitable for policy unit tests and controller dry-runs
+// against captured production traces.
+type Platform struct {
+	rec   *Recording
+	epoch int
+	// Applied records every decision the controller issued during
+	// playback, in order — the observable output of a dry-run.
+	Applied []Epoch
+}
+
+var _ runner.Platform = (*Platform)(nil)
+
+// New builds a playback platform over rec.
+func New(rec *Recording) (*Platform, error) {
+	if rec == nil || len(rec.Epochs) == 0 {
+		return nil, fmt.Errorf("replay: empty recording")
+	}
+	if len(rec.AccessProb) != rec.Cores() {
+		return nil, fmt.Errorf("replay: recording has access stats for %d cores, windows for %d",
+			len(rec.AccessProb), rec.Cores())
+	}
+	return &Platform{rec: rec}, nil
+}
+
+// Len returns the number of recorded epochs (the wrap-around period).
+func (p *Platform) Len() int { return len(p.rec.Epochs) }
+
+func (p *Platform) idx() int { return p.epoch % len(p.rec.Epochs) }
+
+func (p *Platform) Start() {}
+
+func (p *Platform) RunProfile() sim.Profile { return p.rec.Epochs[p.idx()].Profile }
+
+func (p *Platform) Apply(coreSteps []int, memStep int) error {
+	if len(coreSteps) != p.rec.Cores() {
+		return fmt.Errorf("replay: %d core steps for %d recorded cores", len(coreSteps), p.rec.Cores())
+	}
+	if memStep < 0 {
+		return fmt.Errorf("replay: negative memory step %d", memStep)
+	}
+	p.Applied = append(p.Applied, Epoch{
+		CoreSteps: append([]int(nil), coreSteps...),
+		MemStep:   memStep,
+	})
+	return nil
+}
+
+func (p *Platform) FinishEpoch() sim.Profile {
+	rest := p.rec.Epochs[p.idx()].Rest
+	p.epoch++
+	return rest
+}
+
+// CombinePower delegates to sim's shared formula so replayed sessions
+// report bit-identical epoch powers.
+func (p *Platform) CombinePower(profile, rest sim.Profile) float64 {
+	return sim.CombinePower(profile, rest)
+}
+
+func (p *Platform) PeakPowerW() float64     { return p.rec.PeakW }
+func (p *Platform) AccessProb() [][]float64 { return p.rec.AccessProb }
+func (p *Platform) SbBarNs() float64        { return p.rec.SbBarNs }

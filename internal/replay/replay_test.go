@@ -1,0 +1,183 @@
+package replay_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/policy"
+	"repro/internal/replay"
+	"repro/internal/runner"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func testCfg(t *testing.T) runner.Config {
+	t.Helper()
+	mix, err := workload.MixByName("MIX2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := sim.DefaultConfig(8)
+	sc.EpochNs = 1e6
+	sc.ProfileNs = 1e5
+	return runner.Config{Sim: sc, Mix: mix, BudgetFrac: 0.6, Epochs: 6, Policy: policy.NewFastCap()}
+}
+
+// record drives a session against a recorder-wrapped live simulator and
+// returns the live Result plus the captured trace.
+func record(t *testing.T, cfg runner.Config) (*runner.Result, *replay.Recording) {
+	t.Helper()
+	wl, err := workload.Instantiate(cfg.Mix, cfg.Sim.Cores)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := sim.New(cfg.Sim, wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := replay.NewRecorder(sys)
+	s, err := runner.NewSession(cfg, runner.WithPlatform(rec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := s.Step(context.Background()); err != nil {
+			if errors.Is(err, runner.ErrDone) {
+				break
+			}
+			t.Fatal(err)
+		}
+	}
+	return s.Result(), rec.Recording()
+}
+
+// The round trip: a session replaying a recorded run under the same
+// configuration and policy reproduces the live run bit for bit — the
+// controller is a pure function of the window stream.
+func TestReplayRoundTrip(t *testing.T) {
+	cfg := testCfg(t)
+	live, recording := record(t, cfg)
+
+	if len(recording.Epochs) != cfg.Epochs {
+		t.Fatalf("recorded %d epochs, want %d", len(recording.Epochs), cfg.Epochs)
+	}
+	if recording.Cores() != cfg.Sim.Cores {
+		t.Fatalf("recorded %d cores, want %d", recording.Cores(), cfg.Sim.Cores)
+	}
+
+	plat, err := replay.New(recording)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Policy = policy.NewFastCap() // fresh instance, same algorithm
+	s, err := runner.NewSession(cfg, runner.WithPlatform(plat))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := s.Step(context.Background()); err != nil {
+			if errors.Is(err, runner.ErrDone) {
+				break
+			}
+			t.Fatal(err)
+		}
+	}
+	replayed := s.Result()
+
+	if !reflect.DeepEqual(live, replayed) {
+		t.Errorf("replayed result diverged from live run:\nlive:     %+v\nreplayed: %+v", live, replayed)
+	}
+	// The dry-run's decisions must match the recorded ones.
+	if len(plat.Applied) != cfg.Epochs {
+		t.Fatalf("replay applied %d decisions, want %d", len(plat.Applied), cfg.Epochs)
+	}
+	for i, a := range plat.Applied {
+		want := recording.Epochs[i]
+		if !reflect.DeepEqual(a.CoreSteps, want.CoreSteps) || a.MemStep != want.MemStep {
+			t.Errorf("epoch %d: replayed decision (%v, %d) != recorded (%v, %d)",
+				i, a.CoreSteps, a.MemStep, want.CoreSteps, want.MemStep)
+		}
+	}
+}
+
+// JSON serialization round-trips exactly: a decoded recording replays
+// to the same result as the in-memory one.
+func TestRecordingJSONRoundTrip(t *testing.T) {
+	cfg := testCfg(t)
+	cfg.Epochs = 3
+	_, recording := record(t, cfg)
+
+	var buf bytes.Buffer
+	if err := recording.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := replay.ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(recording, decoded) {
+		t.Error("recording did not survive the JSON round trip")
+	}
+}
+
+// Playback wraps around: a trace of K epochs can drive a session for
+// more than K epochs.
+func TestReplayWrapsAround(t *testing.T) {
+	cfg := testCfg(t)
+	cfg.Epochs = 3
+	_, recording := record(t, cfg)
+
+	plat, err := replay.New(recording)
+	if err != nil {
+		t.Fatal(err)
+	}
+	long := cfg
+	long.Epochs = 8 // > recorded 3
+	long.Policy = policy.NewFastCap()
+	s, err := runner.NewSession(long, runner.WithPlatform(plat))
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps := 0
+	for {
+		if _, err := s.Step(context.Background()); err != nil {
+			if errors.Is(err, runner.ErrDone) {
+				break
+			}
+			t.Fatal(err)
+		}
+		steps++
+	}
+	if steps != 8 {
+		t.Fatalf("stepped %d epochs over a 3-epoch trace, want 8", steps)
+	}
+}
+
+func TestReplayRejectsBadInput(t *testing.T) {
+	if _, err := replay.New(&replay.Recording{}); err == nil {
+		t.Error("empty recording accepted")
+	}
+	cfg := testCfg(t)
+	cfg.Epochs = 2
+	_, recording := record(t, cfg)
+	plat, err := replay.New(recording)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plat.Apply([]int{1, 2}, 0); err == nil {
+		t.Error("wrong-width decision accepted")
+	}
+	if err := plat.Apply(make([]int, cfg.Sim.Cores), -1); err == nil {
+		t.Error("negative memory step accepted")
+	}
+	// Machine-shape mismatch between config and platform fails fast at
+	// session construction, not mid-run.
+	wrong := cfg
+	wrong.Sim.Cores = 16
+	if _, err := runner.NewSession(wrong, runner.WithPlatform(plat)); !errors.Is(err, runner.ErrInvalidConfig) {
+		t.Errorf("8-core trace accepted for a 16-core config: %v", err)
+	}
+}

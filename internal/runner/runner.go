@@ -3,11 +3,20 @@
 // model fits, hand the policy a Snapshot, apply its DVFS decision, and
 // finish the epoch — collecting the power and performance series every
 // figure of the evaluation is built from.
+//
+// The loop comes in two forms. Session is the streaming API: one epoch
+// per Step call, with per-epoch observers, mid-run budget retargeting
+// and context cancellation, against any Platform (the simulator, a
+// recorded-trace replay, or a production adapter). Run and RunPair are
+// the batch form — thin loops over Session.Step that return after the
+// last epoch, kept for the figure harness and produce bit-identical
+// results.
 package runner
 
 import (
+	"context"
+	"errors"
 	"fmt"
-	"math"
 	"sync"
 
 	"repro/internal/cpusim"
@@ -28,7 +37,8 @@ type Config struct {
 	Policy policy.Policy
 	// BudgetSchedule, if non-nil, overrides BudgetFrac per epoch
 	// (dynamic budget experiments). Every returned fraction must lie in
-	// (0, 1]; Run fails fast on the first epoch whose value does not.
+	// (0, 1]; the run fails fast on the first epoch whose value does
+	// not. Equivalent to the WithBudgetTrace session option.
 	BudgetSchedule func(epoch int) float64
 }
 
@@ -40,8 +50,11 @@ type EpochRecord struct {
 	AvgPowerW float64
 	CoresW    float64
 	MemW      float64
-	// BudgetW is the cap in force during this epoch.
+	// BudgetW is the cap in force during this epoch; PeakW the
+	// platform's nameplate peak, so streaming observers can normalize
+	// without reaching back to the Session.
 	BudgetW float64
+	PeakW   float64
 	// Decision applied after the profiling phase.
 	CoreSteps []int
 	MemStep   int
@@ -116,125 +129,23 @@ func (r *Result) NormalizedPerf(baseline *Result) ([]float64, error) {
 	return out, nil
 }
 
-// Run executes one experiment.
+// Run executes one experiment to completion: a Session stepped from
+// epoch 0 through cfg.Epochs. The Result is bit-identical to driving
+// the Session.Step loop by hand.
 func Run(cfg Config) (*Result, error) {
-	if cfg.Epochs <= 0 {
-		return nil, fmt.Errorf("runner: non-positive epoch count")
-	}
-	if cfg.BudgetFrac <= 0 || cfg.BudgetFrac > 1 {
-		if cfg.BudgetSchedule == nil {
-			return nil, fmt.Errorf("runner: budget fraction %g outside (0, 1]", cfg.BudgetFrac)
-		}
-	}
-	wl, err := workload.Instantiate(cfg.Mix, cfg.Sim.Cores)
+	s, err := NewSession(cfg)
 	if err != nil {
 		return nil, err
 	}
-	sys, err := sim.New(cfg.Sim, wl)
-	if err != nil {
-		return nil, err
-	}
-	peak := sys.PeakPowerW()
-
-	res := &Result{
-		Mix:        cfg.Mix.Name,
-		Cores:      cfg.Sim.Cores,
-		PeakW:      peak,
-		BudgetW:    cfg.BudgetFrac * peak,
-		PolicyName: "baseline",
-		TotalInstr: make([]float64, cfg.Sim.Cores),
-		NsPerInstr: make([]float64, cfg.Sim.Cores),
-	}
-	if cfg.Policy != nil {
-		res.PolicyName = cfg.Policy.Name()
-	}
-
-	st := newControllerState(cfg, sys)
-	sys.Start()
-
-	// One flat backing array per per-epoch series: every EpochRecord
-	// slices into it, so the whole run costs three slice allocations
-	// instead of three per epoch.
-	n := cfg.Sim.Cores
-	res.Epochs = make([]EpochRecord, 0, cfg.Epochs)
-	instrBuf := make([]float64, cfg.Epochs*n)
-	coreWBuf := make([]float64, cfg.Epochs*n)
-	stepsBuf := make([]int, cfg.Epochs*n)
-
-	for e := 0; e < cfg.Epochs; e++ {
-		budget := res.BudgetW
-		if cfg.BudgetSchedule != nil {
-			frac := cfg.BudgetSchedule(e)
-			if math.IsNaN(frac) || frac <= 0 || frac > 1 {
-				return nil, fmt.Errorf("runner: budget schedule returned %g for epoch %d, want a fraction in (0, 1]", frac, e)
+	for {
+		if _, err := s.Step(context.Background()); err != nil {
+			if errors.Is(err, ErrDone) {
+				break
 			}
-			budget = frac * peak
-		}
-		prof := sys.RunProfile()
-		st.observe(prof)
-
-		rec := EpochRecord{
-			Epoch:   e,
-			BudgetW: budget,
-			MemStep: st.curMemStep,
-			Instr:   instrBuf[e*n : (e+1)*n : (e+1)*n],
-		}
-		if cfg.Policy != nil {
-			snap := st.snapshot(prof, budget)
-			dec, err := cfg.Policy.Decide(snap)
-			if err != nil {
-				return nil, fmt.Errorf("epoch %d: %w", e, err)
-			}
-			if err := sys.Apply(dec.CoreSteps, dec.MemStep); err != nil {
-				return nil, fmt.Errorf("epoch %d: %w", e, err)
-			}
-			st.curCoreSteps = append(st.curCoreSteps[:0], dec.CoreSteps...)
-			st.curMemStep = dec.MemStep
-			rec.CoreSteps = stepsBuf[e*n : (e+1)*n : (e+1)*n]
-			copy(rec.CoreSteps, dec.CoreSteps)
-			rec.MemStep = dec.MemStep
-			rec.PredictedPowerW = snap.PredictPower(dec.CoreSteps, dec.MemStep)
-			sb := snap.SbBar * snap.MemLadder.Max() / snap.MemLadder.Freq(dec.MemStep)
-			for _, ms := range snap.MemStats {
-				rec.PredictedRespNs += ms.Response(sb)
-			}
-			rec.PredictedRespNs /= float64(len(snap.MemStats))
-		} else {
-			rec.CoreSteps = stepsBuf[e*n : (e+1)*n : (e+1)*n]
-			copy(rec.CoreSteps, st.curCoreSteps)
-		}
-
-		rest := sys.FinishEpoch()
-		rec.RestPowerW = rest.TotalPowerW
-		var respSum float64
-		respN := 0
-		for _, mp := range rest.Mem {
-			if mp.MeasuredRespNs > 0 {
-				respSum += mp.MeasuredRespNs
-				respN++
-			}
-		}
-		if respN > 0 {
-			rec.MeasuredRespNs = respSum / float64(respN)
-		}
-		rec.AvgPowerW = sys.CombinePower(prof, rest)
-		rec.CoresW, rec.MemW = combineBreakdown(prof, rest)
-		rec.CoreW = coreWBuf[e*n : (e+1)*n : (e+1)*n]
-		total := prof.WindowNs + rest.WindowNs
-		for i := range rec.Instr {
-			rec.Instr[i] = prof.Cores[i].Counters.Instructions + rest.Cores[i].Counters.Instructions
-			res.TotalInstr[i] += rec.Instr[i]
-			rec.CoreW[i] = (prof.Cores[i].PowerW*prof.WindowNs + rest.Cores[i].PowerW*rest.WindowNs) / total
-		}
-		res.Epochs = append(res.Epochs, rec)
-	}
-	res.TotalTimeNs = float64(cfg.Epochs) * cfg.Sim.EpochNs
-	for i := range res.NsPerInstr {
-		if res.TotalInstr[i] > 0 {
-			res.NsPerInstr[i] = res.TotalTimeNs / res.TotalInstr[i]
+			return nil, err
 		}
 	}
-	return res, nil
+	return s.Result(), nil
 }
 
 // combineBreakdown produces epoch-average core and memory power.
@@ -258,12 +169,12 @@ func combineBreakdown(prof, rest sim.Profile) (coresW, memW float64) {
 	return coresW, memW
 }
 
-// controllerState carries the runner-owned online estimation state: the
+// controllerState carries the session-owned online estimation state: the
 // per-core and memory power-model fitters, last-known good Eq. 9 inputs,
 // and the current operating point.
 type controllerState struct {
 	cfg          Config
-	sys          *sim.System
+	plat         Platform
 	coreFitters  []*power.Fitter
 	memFitter    *power.Fitter
 	lastZBar     []float64
@@ -275,18 +186,18 @@ type controllerState struct {
 	snap policy.Snapshot
 }
 
-func newControllerState(cfg Config, sys *sim.System) *controllerState {
+func newControllerState(cfg Config, wl *workload.Workload, plat Platform) *controllerState {
 	n := cfg.Sim.Cores
 	st := &controllerState{
 		cfg:          cfg,
-		sys:          sys,
+		plat:         plat,
 		lastZBar:     make([]float64, n),
 		lastIPA:      make([]float64, n),
 		curCoreSteps: make([]int, n),
 		curMemStep:   cfg.Sim.MemLadder.MaxStep(),
 	}
 	for i := 0; i < n; i++ {
-		app := sys.Workload.Apps[i]
+		app := wl.Apps[i]
 		guess := cfg.Sim.CorePower.DynMaxW * app.Activity
 		st.coreFitters = append(st.coreFitters, power.NewCoreFitter(cfg.Sim.CorePower.StaticW, guess))
 		st.lastZBar[i] = 500 // neutral prior until first profile
@@ -337,8 +248,8 @@ func (st *controllerState) snapshot(prof sim.Profile, budgetW float64) *policy.S
 	} else {
 		s.C = s.C[:n]
 	}
-	s.AccessProb = st.sys.AccessProb()
-	s.SbBar = st.sys.SbBarNs()
+	s.AccessProb = st.plat.AccessProb()
+	s.SbBar = st.plat.SbBarNs()
 	s.CoreLadder = st.cfg.Sim.CoreLadder
 	s.MemLadder = st.cfg.Sim.MemLadder
 	s.BudgetW = budgetW

@@ -1,0 +1,384 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Platform is the minimal machine surface the §III-C controller needs:
+// run the profiling window, apply a DVFS decision, finish the epoch,
+// and report the power/queue statistics the policy consumes. It is
+// implemented by *sim.System (the event-driven simulator) and by
+// *replay.Platform (playback of a recorded run); production adapters
+// wrapping real perf counters and DVFS sysfs knobs would implement the
+// same eight methods.
+//
+// Buffer ownership follows the sim.System contract: the Profiles
+// returned by RunProfile and FinishEpoch may alias platform-owned
+// buffers, each valid until the next call of the same method.
+type Platform interface {
+	// Start launches the machine; called once, before the first epoch.
+	Start()
+	// RunProfile advances through the epoch's profiling window and
+	// returns its measurements. Called once per epoch, first.
+	RunProfile() sim.Profile
+	// Apply transitions to the decided operating point: one core-ladder
+	// step per core plus the common memory step.
+	Apply(coreSteps []int, memStep int) error
+	// FinishEpoch advances to the epoch boundary and returns the
+	// post-decision window's measurements.
+	FinishEpoch() sim.Profile
+	// CombinePower returns the whole-epoch average power given the
+	// epoch's two windows.
+	CombinePower(profile, rest sim.Profile) float64
+	// PeakPowerW is the nameplate peak budgets are fractions of.
+	PeakPowerW() float64
+	// AccessProb is the per-core controller access distribution
+	// ([core][controller]) used for weighted response times.
+	AccessProb() [][]float64
+	// SbBarNs is the minimum memory bus transfer time s̄_b.
+	SbBarNs() float64
+}
+
+var _ Platform = (*sim.System)(nil)
+
+// ErrInvalidConfig tags configuration errors detected before any
+// simulation work: non-positive epoch counts, budgets outside (0, 1],
+// an empty workload mix, or an unbuildable machine. Callers test with
+// errors.Is(err, ErrInvalidConfig).
+var ErrInvalidConfig = errors.New("runner: invalid config")
+
+// ErrDone is returned by Session.Step once the configured number of
+// epochs has completed (or after Result finalized the session). It
+// signals normal termination, not failure.
+var ErrDone = errors.New("runner: session done")
+
+// SessionOption configures a Session.
+type SessionOption func(*sessionOptions)
+
+type sessionOptions struct {
+	platform  Platform
+	trace     func(epoch int) float64
+	observers []func(EpochRecord)
+}
+
+// WithObserver registers fn to be called after every completed epoch
+// with that epoch's record, before Step returns it. Observers run on
+// the Step caller's goroutine in registration order. The record's
+// slices are backed by run-length buffers and stay valid for the life
+// of the session, so observers may retain them.
+func WithObserver(fn func(EpochRecord)) SessionOption {
+	return func(o *sessionOptions) { o.observers = append(o.observers, fn) }
+}
+
+// WithBudgetTrace installs a per-epoch budget schedule: before each
+// epoch the trace is consulted with the epoch index and must return a
+// fraction of peak power in (0, 1]. A trace takes precedence over the
+// static Config.BudgetFrac; a later SetBudgetFrac call detaches it.
+// Setting Config.BudgetSchedule is equivalent to passing that function
+// here.
+func WithBudgetTrace(trace func(epoch int) float64) SessionOption {
+	return func(o *sessionOptions) { o.trace = trace }
+}
+
+// WithPlatform runs the controller against p instead of building a
+// sim.System from Config.Sim. The Config still supplies everything the
+// controller itself needs — core count, DVFS ladders, power-model
+// priors (via the workload mix), and the epoch geometry — so it must
+// describe the same machine shape p exposes.
+func WithPlatform(p Platform) SessionOption {
+	return func(o *sessionOptions) { o.platform = p }
+}
+
+// Session is the streaming form of the §III-C control loop: one epoch
+// per Step call — profile, fit, decide, apply, finish — with the
+// telemetry of that epoch returned (and streamed to observers) as it
+// happens. Sessions support mid-run budget retargeting (SetBudgetFrac)
+// and cancellation (the Step context), which the batch Run API cannot
+// express.
+//
+// A Session is single-threaded in its Step calls; SetBudgetFrac alone
+// may be called concurrently with Step. Run and RunPair are thin loops
+// over Step and produce bit-identical Results.
+type Session struct {
+	cfg  Config
+	plat Platform
+	st   *controllerState
+	res  *Result
+	peak float64
+
+	// Flat per-epoch series backing arrays (see Run's allocation note).
+	instrBuf []float64
+	coreWBuf []float64
+	stepsBuf []int
+
+	observers []func(EpochRecord)
+
+	mu         sync.Mutex // guards budgetFrac and trace
+	budgetFrac float64
+	trace      func(epoch int) float64
+
+	epoch     int
+	err       error // sticky: first failure poisons the session
+	finalized bool
+}
+
+// validateConfig fail-fasts on configuration the controller can reject
+// without building anything. hasTrace relaxes the static BudgetFrac
+// check, matching Run's historical contract for schedule-driven runs.
+func validateConfig(cfg Config, hasTrace bool) error {
+	if cfg.Epochs <= 0 {
+		return fmt.Errorf("%w: epoch count %d, want > 0", ErrInvalidConfig, cfg.Epochs)
+	}
+	if !hasTrace && (math.IsNaN(cfg.BudgetFrac) || cfg.BudgetFrac <= 0 || cfg.BudgetFrac > 1) {
+		return fmt.Errorf("%w: budget fraction %g outside (0, 1]", ErrInvalidConfig, cfg.BudgetFrac)
+	}
+	empty := true
+	for _, a := range cfg.Mix.Apps {
+		if a != "" {
+			empty = false
+			break
+		}
+	}
+	if empty {
+		return fmt.Errorf("%w: workload mix %q names no applications", ErrInvalidConfig, cfg.Mix.Name)
+	}
+	if cfg.Sim.Cores <= 0 {
+		return fmt.Errorf("%w: core count %d, want > 0", ErrInvalidConfig, cfg.Sim.Cores)
+	}
+	return nil
+}
+
+// NewSession validates the configuration, builds the platform (unless
+// WithPlatform supplied one) and the controller state, and starts the
+// machine. The first Step call executes epoch 0.
+func NewSession(cfg Config, opts ...SessionOption) (*Session, error) {
+	var o sessionOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if o.trace == nil {
+		o.trace = cfg.BudgetSchedule
+	}
+	if err := validateConfig(cfg, o.trace != nil); err != nil {
+		return nil, err
+	}
+	wl, err := workload.Instantiate(cfg.Mix, cfg.Sim.Cores)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %w", ErrInvalidConfig, err)
+	}
+	plat := o.platform
+	if plat == nil {
+		sys, err := sim.New(cfg.Sim, wl)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %w", ErrInvalidConfig, err)
+		}
+		plat = sys
+	} else if got := len(plat.AccessProb()); got != cfg.Sim.Cores {
+		// Fail fast on machine-shape mismatch: the controller sizes its
+		// fitters and record buffers from the config, so a platform with
+		// a different core count would panic mid-run otherwise.
+		return nil, fmt.Errorf("%w: platform has %d cores, config %d", ErrInvalidConfig, got, cfg.Sim.Cores)
+	}
+	peak := plat.PeakPowerW()
+
+	res := &Result{
+		Mix:        cfg.Mix.Name,
+		Cores:      cfg.Sim.Cores,
+		PeakW:      peak,
+		BudgetW:    cfg.BudgetFrac * peak,
+		PolicyName: "baseline",
+		TotalInstr: make([]float64, cfg.Sim.Cores),
+		NsPerInstr: make([]float64, cfg.Sim.Cores),
+	}
+	if cfg.Policy != nil {
+		res.PolicyName = cfg.Policy.Name()
+	}
+
+	s := &Session{
+		cfg:        cfg,
+		plat:       plat,
+		st:         newControllerState(cfg, wl, plat),
+		res:        res,
+		peak:       peak,
+		observers:  o.observers,
+		budgetFrac: cfg.BudgetFrac,
+		trace:      o.trace,
+	}
+	plat.Start()
+
+	// One flat backing array per per-epoch series: every EpochRecord
+	// slices into it, so the whole run costs three slice allocations
+	// instead of three per epoch.
+	n := cfg.Sim.Cores
+	res.Epochs = make([]EpochRecord, 0, cfg.Epochs)
+	s.instrBuf = make([]float64, cfg.Epochs*n)
+	s.coreWBuf = make([]float64, cfg.Epochs*n)
+	s.stepsBuf = make([]int, cfg.Epochs*n)
+	return s, nil
+}
+
+// Epoch returns the index of the next epoch Step would execute.
+func (s *Session) Epoch() int { return s.epoch }
+
+// PeakPowerW returns the platform's nameplate peak power — the
+// reference budget fractions are taken against.
+func (s *Session) PeakPowerW() float64 { return s.peak }
+
+// SetBudgetFrac retargets the power budget mid-flight: from the next
+// Step on, the cap is f × peak. An installed budget trace (WithBudgetTrace
+// or Config.BudgetSchedule) is detached — an explicit retarget
+// overrides the remaining schedule. Safe to call concurrently with
+// Step; the change deterministically takes effect on the next epoch,
+// never the one in progress.
+func (s *Session) SetBudgetFrac(f float64) error {
+	if math.IsNaN(f) || f <= 0 || f > 1 {
+		return fmt.Errorf("%w: budget fraction %g outside (0, 1]", ErrInvalidConfig, f)
+	}
+	s.mu.Lock()
+	s.budgetFrac = f
+	s.trace = nil
+	s.mu.Unlock()
+	return nil
+}
+
+// budgetFor resolves the cap in force for epoch e.
+func (s *Session) budgetFor(e int) (float64, error) {
+	s.mu.Lock()
+	frac, trace := s.budgetFrac, s.trace
+	s.mu.Unlock()
+	if trace != nil {
+		f := trace(e)
+		if math.IsNaN(f) || f <= 0 || f > 1 {
+			return 0, fmt.Errorf("runner: budget schedule returned %g for epoch %d, want a fraction in (0, 1]", f, e)
+		}
+		return f * s.peak, nil
+	}
+	return frac * s.peak, nil
+}
+
+// Step executes one epoch of the control loop and returns its record.
+// It returns ErrDone after the configured number of epochs (or once
+// Result has finalized the session). A context error or any epoch
+// failure is sticky: the session refuses further Steps with the same
+// error. Cancellation is checked between epochs — an epoch in progress
+// always completes, keeping the simulated machine at an epoch boundary.
+func (s *Session) Step(ctx context.Context) (EpochRecord, error) {
+	if s.err != nil {
+		return EpochRecord{}, s.err
+	}
+	if s.finalized || s.epoch >= s.cfg.Epochs {
+		return EpochRecord{}, ErrDone
+	}
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			s.err = err
+			return EpochRecord{}, err
+		}
+	}
+	rec, err := s.step()
+	if err != nil {
+		s.err = err
+		return EpochRecord{}, err
+	}
+	s.res.Epochs = append(s.res.Epochs, rec)
+	s.epoch++
+	for _, fn := range s.observers {
+		fn(rec)
+	}
+	return rec, nil
+}
+
+// step is one iteration of the historical Run loop body, operating on
+// the session's Platform.
+func (s *Session) step() (EpochRecord, error) {
+	e := s.epoch
+	n := s.cfg.Sim.Cores
+	st := s.st
+	budget, err := s.budgetFor(e)
+	if err != nil {
+		return EpochRecord{}, err
+	}
+
+	prof := s.plat.RunProfile()
+	st.observe(prof)
+
+	rec := EpochRecord{
+		Epoch:   e,
+		BudgetW: budget,
+		PeakW:   s.peak,
+		MemStep: st.curMemStep,
+		Instr:   s.instrBuf[e*n : (e+1)*n : (e+1)*n],
+	}
+	if s.cfg.Policy != nil {
+		snap := st.snapshot(prof, budget)
+		dec, err := s.cfg.Policy.Decide(snap)
+		if err != nil {
+			return EpochRecord{}, fmt.Errorf("epoch %d: %w", e, err)
+		}
+		if err := s.plat.Apply(dec.CoreSteps, dec.MemStep); err != nil {
+			return EpochRecord{}, fmt.Errorf("epoch %d: %w", e, err)
+		}
+		st.curCoreSteps = append(st.curCoreSteps[:0], dec.CoreSteps...)
+		st.curMemStep = dec.MemStep
+		rec.CoreSteps = s.stepsBuf[e*n : (e+1)*n : (e+1)*n]
+		copy(rec.CoreSteps, dec.CoreSteps)
+		rec.MemStep = dec.MemStep
+		rec.PredictedPowerW = snap.PredictPower(dec.CoreSteps, dec.MemStep)
+		sb := snap.SbBar * snap.MemLadder.Max() / snap.MemLadder.Freq(dec.MemStep)
+		for _, ms := range snap.MemStats {
+			rec.PredictedRespNs += ms.Response(sb)
+		}
+		rec.PredictedRespNs /= float64(len(snap.MemStats))
+	} else {
+		rec.CoreSteps = s.stepsBuf[e*n : (e+1)*n : (e+1)*n]
+		copy(rec.CoreSteps, st.curCoreSteps)
+	}
+
+	rest := s.plat.FinishEpoch()
+	rec.RestPowerW = rest.TotalPowerW
+	var respSum float64
+	respN := 0
+	for _, mp := range rest.Mem {
+		if mp.MeasuredRespNs > 0 {
+			respSum += mp.MeasuredRespNs
+			respN++
+		}
+	}
+	if respN > 0 {
+		rec.MeasuredRespNs = respSum / float64(respN)
+	}
+	rec.AvgPowerW = s.plat.CombinePower(prof, rest)
+	rec.CoresW, rec.MemW = combineBreakdown(prof, rest)
+	rec.CoreW = s.coreWBuf[e*n : (e+1)*n : (e+1)*n]
+	total := prof.WindowNs + rest.WindowNs
+	for i := range rec.Instr {
+		rec.Instr[i] = prof.Cores[i].Counters.Instructions + rest.Cores[i].Counters.Instructions
+		s.res.TotalInstr[i] += rec.Instr[i]
+		rec.CoreW[i] = (prof.Cores[i].PowerW*prof.WindowNs + rest.Cores[i].PowerW*rest.WindowNs) / total
+	}
+	return rec, nil
+}
+
+// Result finalizes and returns the run aggregate over the epochs
+// executed so far (all of them, for a run driven to ErrDone; a prefix,
+// for a cancelled run). Finalizing ends the session: subsequent Step
+// calls return ErrDone. Result is idempotent.
+func (s *Session) Result() *Result {
+	if !s.finalized {
+		s.finalized = true
+		s.res.TotalTimeNs = float64(len(s.res.Epochs)) * s.cfg.Sim.EpochNs
+		for i := range s.res.NsPerInstr {
+			if s.res.TotalInstr[i] > 0 {
+				s.res.NsPerInstr[i] = s.res.TotalTimeNs / s.res.TotalInstr[i]
+			}
+		}
+	}
+	return s.res
+}

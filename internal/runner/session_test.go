@@ -1,0 +1,309 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/policy"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// drive steps a session to completion and returns its result.
+func drive(t *testing.T, s *Session) *Result {
+	t.Helper()
+	for {
+		if _, err := s.Step(context.Background()); err != nil {
+			if errors.Is(err, ErrDone) {
+				break
+			}
+			t.Fatal(err)
+		}
+	}
+	return s.Result()
+}
+
+// The golden equivalence test of the API redesign: the batch Run and a
+// hand-driven Session.Step loop must produce bit-identical Results for
+// the acceptance configuration (FastCap, MIX3, 16 cores, 60% budget).
+func TestGoldenRunEqualsSessionLoop(t *testing.T) {
+	mix, err := workload.MixByName("MIX3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := sim.DefaultConfig(16)
+	sc.EpochNs = 1e6
+	sc.ProfileNs = 1e5
+	cfg := Config{Sim: sc, Mix: mix, BudgetFrac: 0.6, Epochs: 10, Policy: policy.NewFastCap()}
+
+	batch, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg.Policy = policy.NewFastCap() // fresh instance for the second run
+	s, err := NewSession(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamed := drive(t, s)
+
+	if !reflect.DeepEqual(batch, streamed) {
+		t.Errorf("Run and Session.Step loop diverged:\nbatch:    %+v\nstreamed: %+v", batch, streamed)
+	}
+}
+
+// Baseline runs (nil policy) must round-trip identically too.
+func TestGoldenBaselineEqualsSessionLoop(t *testing.T) {
+	cfg := fastCfg(t, "MID1", 4, 0.6, nil)
+	batch, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSession(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if streamed := drive(t, s); !reflect.DeepEqual(batch, streamed) {
+		t.Error("baseline Run and Session loop diverged")
+	}
+}
+
+func TestSessionObserverStreamsEveryEpoch(t *testing.T) {
+	cfg := fastCfg(t, "MID2", 4, 0.6, policy.NewFastCap())
+	var seen []int
+	var powers []float64
+	s, err := NewSession(cfg, WithObserver(func(e EpochRecord) {
+		seen = append(seen, e.Epoch)
+		powers = append(powers, e.AvgPowerW)
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := drive(t, s)
+	if len(seen) != cfg.Epochs {
+		t.Fatalf("observer saw %d epochs, want %d", len(seen), cfg.Epochs)
+	}
+	for i, e := range seen {
+		if e != i {
+			t.Errorf("observer epoch %d out of order (got %d)", i, e)
+		}
+		if powers[i] != res.Epochs[i].AvgPowerW {
+			t.Errorf("epoch %d: streamed power %g != recorded %g", i, powers[i], res.Epochs[i].AvgPowerW)
+		}
+	}
+}
+
+// SetBudgetFrac between Steps takes effect on exactly the next epoch,
+// deterministically.
+func TestSetBudgetFracNextEpoch(t *testing.T) {
+	run := func() *Result {
+		cfg := fastCfg(t, "MID1", 4, 0.8, policy.NewFastCap())
+		cfg.Epochs = 8
+		s, err := NewSession(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for e := 0; e < cfg.Epochs; e++ {
+			if e == 4 {
+				if err := s.SetBudgetFrac(0.5); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if _, err := s.Step(context.Background()); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return s.Result()
+	}
+	a := run()
+	for e, rec := range a.Epochs {
+		want := 0.8 * a.PeakW
+		if e >= 4 {
+			want = 0.5 * a.PeakW
+		}
+		if rec.BudgetW != want {
+			t.Errorf("epoch %d: budget %g W, want %g W", e, rec.BudgetW, want)
+		}
+	}
+	// Deterministic: an identical retargeted run is bit-identical.
+	if b := run(); !reflect.DeepEqual(a, b) {
+		t.Error("retargeted runs diverged")
+	}
+	// And the cut must actually shed power.
+	if a.Epochs[7].AvgPowerW >= a.Epochs[3].AvgPowerW {
+		t.Errorf("power did not drop after retarget: %g → %g",
+			a.Epochs[3].AvgPowerW, a.Epochs[7].AvgPowerW)
+	}
+}
+
+// An explicit retarget detaches an installed budget trace.
+func TestSetBudgetFracOverridesTrace(t *testing.T) {
+	cfg := fastCfg(t, "MID1", 4, 0.6, policy.NewFastCap())
+	cfg.Epochs = 6
+	s, err := NewSession(cfg, WithBudgetTrace(func(e int) float64 { return 0.9 }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Step(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetBudgetFrac(0.4); err != nil {
+		t.Fatal(err)
+	}
+	res := drive(t, s)
+	if got := res.Epochs[0].BudgetW; got != 0.9*res.PeakW {
+		t.Errorf("epoch 0 budget %g, want trace value %g", got, 0.9*res.PeakW)
+	}
+	for _, e := range res.Epochs[1:] {
+		if e.BudgetW != 0.4*res.PeakW {
+			t.Errorf("epoch %d budget %g, want retargeted %g", e.Epoch, e.BudgetW, 0.4*res.PeakW)
+		}
+	}
+	if err := s.SetBudgetFrac(0); err == nil || !errors.Is(err, ErrInvalidConfig) {
+		t.Errorf("zero budget fraction accepted: %v", err)
+	}
+}
+
+// Config.BudgetSchedule and WithBudgetTrace are the same mechanism.
+func TestBudgetScheduleEqualsTraceOption(t *testing.T) {
+	trace := func(e int) float64 {
+		if e < 3 {
+			return 0.8
+		}
+		return 0.5
+	}
+	cfg := fastCfg(t, "MID1", 4, 0.6, policy.NewFastCap())
+	cfg.BudgetSchedule = trace
+	viaField, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.BudgetSchedule = nil
+	cfg.Policy = policy.NewFastCap()
+	s, err := NewSession(cfg, WithBudgetTrace(trace))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if viaOpt := drive(t, s); !reflect.DeepEqual(viaField, viaOpt) {
+		t.Error("BudgetSchedule field and WithBudgetTrace option diverged")
+	}
+}
+
+// Cancelling the context stops the run between epochs; the session
+// reports the cancellation, stays stopped, and still finalizes the
+// prefix it completed. Run under -race, this also proves a concurrent
+// canceller leaks no state.
+func TestSessionContextCancellation(t *testing.T) {
+	cfg := fastCfg(t, "MID2", 4, 0.6, policy.NewFastCap())
+	cfg.Epochs = 1000 // far more than we let run
+	s, err := NewSession(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // concurrent canceller, as a controlling service would use
+		defer wg.Done()
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	steps := 0
+	var stepErr error
+	for {
+		if _, err := s.Step(ctx); err != nil {
+			stepErr = err
+			break
+		}
+		steps++
+	}
+	wg.Wait()
+	if !errors.Is(stepErr, context.Canceled) {
+		t.Fatalf("step error %v, want context.Canceled", stepErr)
+	}
+	if steps == 0 || steps >= cfg.Epochs {
+		t.Fatalf("cancelled after %d epochs, want a strict mid-run prefix", steps)
+	}
+	// Sticky: the session refuses further work, even with a fresh ctx.
+	if _, err := s.Step(context.Background()); !errors.Is(err, context.Canceled) {
+		t.Errorf("post-cancel step error %v, want sticky context.Canceled", err)
+	}
+	res := s.Result()
+	if len(res.Epochs) != steps {
+		t.Errorf("result has %d epochs, completed %d", len(res.Epochs), steps)
+	}
+	if res.TotalTimeNs != float64(steps)*cfg.Sim.EpochNs {
+		t.Errorf("total time %g, want %g", res.TotalTimeNs, float64(steps)*cfg.Sim.EpochNs)
+	}
+	for i, ns := range res.NsPerInstr {
+		if ns <= 0 {
+			t.Errorf("core %d: no per-instruction time in partial result", i)
+		}
+	}
+}
+
+// Result finalizes the session: further Steps return ErrDone and the
+// result does not change.
+func TestResultFinalizesSession(t *testing.T) {
+	cfg := fastCfg(t, "MID1", 4, 0.6, nil)
+	s, err := NewSession(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := s.Step(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res := s.Result()
+	if len(res.Epochs) != 3 {
+		t.Fatalf("finalized with %d epochs", len(res.Epochs))
+	}
+	if _, err := s.Step(context.Background()); !errors.Is(err, ErrDone) {
+		t.Errorf("step after Result: %v, want ErrDone", err)
+	}
+	if again := s.Result(); again != res || len(again.Epochs) != 3 {
+		t.Error("Result not idempotent")
+	}
+}
+
+// Fail-fast validation: broken configs are rejected before any
+// simulation, with the typed, errors.Is-able ErrInvalidConfig.
+func TestErrInvalidConfigTyped(t *testing.T) {
+	good := fastCfg(t, "MID1", 4, 0.6, nil)
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"zero epochs", func(c *Config) { c.Epochs = 0 }},
+		{"negative epochs", func(c *Config) { c.Epochs = -3 }},
+		{"zero budget", func(c *Config) { c.BudgetFrac = 0 }},
+		{"budget above one", func(c *Config) { c.BudgetFrac = 1.5 }},
+		{"empty mix", func(c *Config) { c.Mix = workload.MixSpec{Name: "empty"} }},
+		{"zero cores", func(c *Config) { c.Sim.Cores = 0 }},
+		{"cores not multiple of 4", func(c *Config) { c.Sim.Cores = 6 }},
+		{"bad epoch geometry", func(c *Config) { c.Sim.ProfileNs = c.Sim.EpochNs * 2 }},
+	}
+	for _, tc := range cases {
+		cfg := good
+		tc.mutate(&cfg)
+		if _, err := NewSession(cfg); !errors.Is(err, ErrInvalidConfig) {
+			t.Errorf("%s: NewSession error %v, want ErrInvalidConfig", tc.name, err)
+		}
+		if _, err := Run(cfg); !errors.Is(err, ErrInvalidConfig) {
+			t.Errorf("%s: Run error %v, want ErrInvalidConfig", tc.name, err)
+		}
+	}
+	// A budget trace relaxes the static fraction check.
+	cfg := good
+	cfg.BudgetFrac = 0
+	cfg.BudgetSchedule = func(int) float64 { return 0.7 }
+	if _, err := Run(cfg); err != nil {
+		t.Errorf("schedule-driven run rejected: %v", err)
+	}
+}

@@ -331,10 +331,17 @@ func (s *System) FinishEpoch() Profile {
 }
 
 // CombinePower returns the whole-epoch average power given the epoch's
-// two windows.
-func (s *System) CombinePower(profile, rest Profile) float64 {
+// two windows: the window-weighted mean of their totals. Every Platform
+// implementation must use this formula (replay delegates here) so that
+// a replayed run reports bit-identical epoch powers.
+func CombinePower(profile, rest Profile) float64 {
 	return (profile.TotalPowerW*profile.WindowNs + rest.TotalPowerW*rest.WindowNs) /
 		(profile.WindowNs + rest.WindowNs)
+}
+
+// CombinePower implements the Platform method via the package formula.
+func (s *System) CombinePower(profile, rest Profile) float64 {
+	return CombinePower(profile, rest)
 }
 
 // PeakPowerW is the nameplate full-system peak: every core at maximum

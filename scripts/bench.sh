@@ -10,6 +10,11 @@
 #   {"commit":"abc1234","date":"...","gomaxprocs":8,
 #    "benchmarks":[{"name":"BenchmarkEndToEndEpoch","ns_per_op":2.4e7,
 #                   "b_per_op":126488,"allocs_per_op":642}, ...]}
+#
+# The suite includes BenchmarkSessionEpoch next to BenchmarkEndToEndEpoch:
+# the first measures one epoch through the streaming Session API, the
+# second through the batch Run wrapper. Compare them across snapshots to
+# catch session-layer overhead creeping into the hot loop.
 set -eu
 
 cd "$(dirname "$0")/.."
