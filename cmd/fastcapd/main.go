@@ -1,0 +1,74 @@
+// fastcapd serves concurrent power-capping sessions over HTTP: each
+// session is one independent capped run of the simulated many-core
+// machine (a runner.Session), multiplexed with every other session on a
+// bounded scheduler pool that steps tenants round-robin, one control
+// epoch per turn. Per-epoch telemetry streams as NDJSON while the run
+// is live; budgets can be retargeted mid-flight.
+//
+//	fastcapd -addr :8080 -workers 4 -max-sessions 64
+//
+//	# create a session, stream it, retarget it, fetch the result
+//	curl -s localhost:8080/sessions -d '{"mix":"MIX3","budget_frac":0.6}'
+//	curl -Ns localhost:8080/sessions/s1/stream
+//	curl -s localhost:8080/sessions/s1/budget -d '{"budget_frac":0.5}'
+//	curl -s localhost:8080/sessions/s1/result
+//
+// On SIGINT/SIGTERM the daemon drains: no new sessions are admitted,
+// resident sessions run to completion (bounded by -drain-timeout, after
+// which they are canceled at their next epoch boundary), streams end
+// cleanly, then the listener closes.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		workers  = flag.Int("workers", 0, "scheduler pool size (0 = GOMAXPROCS)")
+		maxSess  = flag.Int("max-sessions", 64, "maximum resident sessions")
+		drainFor = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown lets live sessions finish before canceling them")
+	)
+	flag.Parse()
+
+	m := serve.NewManager(serve.Options{Workers: *workers, MaxSessions: *maxSess})
+	srv := &http.Server{Addr: *addr, Handler: serve.NewHandler(m)}
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("fastcapd: listening on %s", *addr)
+		errc <- srv.ListenAndServe()
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		log.Printf("fastcapd: %s — draining (up to %s)", s, *drainFor)
+	case err := <-errc:
+		log.Fatalf("fastcapd: serve: %v", err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainFor)
+	defer cancel()
+	if err := m.Shutdown(ctx); err != nil {
+		log.Printf("fastcapd: drain cut short: %v", err)
+	}
+	// Sessions are settled and streams ended; now close the listener and
+	// any idle connections.
+	if err := srv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("fastcapd: http shutdown: %v", err)
+	}
+	log.Printf("fastcapd: stopped")
+}

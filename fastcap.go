@@ -16,6 +16,8 @@
 //     with the batch wrappers RunExperiment, RunExperimentPair;
 //   - trace record/replay for policy dry-runs: NewRecorder,
 //     NewReplayPlatform;
+//   - the multi-session serving layer behind cmd/fastcapd:
+//     NewSessionManager, NewServeHandler;
 //   - the simulated platform: DefaultSystemConfig, NewSystem;
 //   - Table III workloads: Workloads, WorkloadByName;
 //   - the figure-level experiment harness: NewLab.
@@ -52,6 +54,7 @@ package fastcap
 
 import (
 	"io"
+	"net/http"
 
 	"repro/internal/core"
 	"repro/internal/dvfs"
@@ -59,6 +62,7 @@ import (
 	"repro/internal/policy"
 	"repro/internal/replay"
 	"repro/internal/runner"
+	"repro/internal/serve"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -235,6 +239,10 @@ var (
 	// ErrSessionDone is returned by Session.Step after the last epoch:
 	// normal termination, not failure.
 	ErrSessionDone = runner.ErrDone
+	// ErrConcurrentStep is returned by Session.Step when another Step
+	// (or Result) is already in flight — the typed refusal that replaces
+	// what would otherwise be a data race between two drivers.
+	ErrConcurrentStep = runner.ErrConcurrentStep
 )
 
 // NewSession builds a streaming run: validate the configuration, build
@@ -257,6 +265,12 @@ func WithBudgetTrace(trace func(epoch int) float64) SessionOption {
 // WithPlatform attaches the controller to a custom Platform instead of
 // building a simulator from the config.
 func WithPlatform(p Platform) SessionOption { return runner.WithPlatform(p) }
+
+// WithPlatformWrap interposes a wrapper (e.g. NewRecorder) around the
+// session's platform after construction, however it was built.
+func WithPlatformWrap(wrap func(Platform) Platform) SessionOption {
+	return runner.WithPlatformWrap(wrap)
+}
 
 // Trace record/replay (policy dry-runs without the event engine).
 type (
@@ -282,6 +296,50 @@ func NewReplayPlatform(rec *Recording) (*ReplayPlatform, error) { return replay.
 
 // ReadRecording deserializes a Recording written with WriteJSON.
 func ReadRecording(r io.Reader) (*Recording, error) { return replay.ReadJSON(r) }
+
+// Serving layer (the fastcapd service): many concurrent sessions,
+// stepped fair round-robin on a bounded scheduler pool, with NDJSON
+// epoch streaming and live budget retargeting over HTTP.
+type (
+	// SessionManager owns concurrent capping sessions — the full
+	// create / scheduled-stepping / retarget / close lifecycle — and
+	// guarantees every session's stream and result are bit-identical
+	// to a solo RunExperiment of the same configuration.
+	SessionManager = serve.Manager
+	// ServeOptions bounds the manager: scheduler pool size and the
+	// resident-session admission limit.
+	ServeOptions = serve.Options
+	// SessionRequest is the create-session payload (POST /sessions).
+	SessionRequest = serve.Request
+	// SessionStatus is one session's externally visible snapshot.
+	SessionStatus = serve.Status
+	// SessionState is the lifecycle state machine position.
+	SessionState = serve.State
+)
+
+// Typed errors of the serving layer; test with errors.Is.
+var (
+	// ErrSessionNotFound reports an unknown or deleted session id.
+	ErrSessionNotFound = serve.ErrNotFound
+	// ErrManagerDraining rejects creates after Shutdown began.
+	ErrManagerDraining = serve.ErrDraining
+	// ErrTooManySessions rejects creates above ServeOptions.MaxSessions.
+	ErrTooManySessions = serve.ErrTooManySessions
+	// ErrSessionRunning guards results/recordings of live sessions.
+	ErrSessionRunning = serve.ErrNotFinished
+	// ErrNoRecording reports a session created without Record.
+	ErrNoRecording = serve.ErrNoRecording
+)
+
+// NewSessionManager starts a serving-layer manager and its scheduler
+// pool; drain it with Shutdown.
+func NewSessionManager(o ServeOptions) *SessionManager { return serve.NewManager(o) }
+
+// NewServeHandler returns the fastcapd HTTP API over m: POST /sessions,
+// GET /sessions/{id}/stream (NDJSON), POST /sessions/{id}/budget,
+// GET /sessions/{id}/result, GET /sessions/{id}/recording,
+// DELETE /sessions/{id}.
+func NewServeHandler(m *SessionManager) http.Handler { return serve.NewHandler(m) }
 
 // Figure-level harness (paper §IV).
 type (

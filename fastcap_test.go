@@ -253,3 +253,54 @@ func TestPublicAPIRecordReplay(t *testing.T) {
 		t.Error("replayed session diverged from the recorded live run")
 	}
 }
+
+// The serving surface: a SessionManager multiplexes sessions whose
+// streamed records and results match solo runs, over the re-exported
+// types and the HTTP handler.
+func TestPublicAPIServingLayer(t *testing.T) {
+	m := NewSessionManager(ServeOptions{Workers: 2})
+	defer m.Shutdown(context.Background())
+	if h := NewServeHandler(m); h == nil {
+		t.Fatal("nil HTTP handler")
+	}
+
+	req := SessionRequest{Mix: "MIX3", BudgetFrac: 0.6, Cores: 4, Epochs: 4, EpochMs: 0.5}
+	st, err := m.Create(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var streamed []EpochRecord
+	for cursor := 0; ; cursor++ {
+		rec, err := m.Next(context.Background(), st.ID, cursor)
+		if err != nil {
+			break
+		}
+		streamed = append(streamed, rec)
+	}
+	res, err := m.Result(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg, err := req.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	solo, err := RunExperiment(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res, solo) {
+		t.Error("served result diverged from the solo run")
+	}
+	if !reflect.DeepEqual(streamed, solo.Epochs) {
+		t.Error("served stream diverged from the solo run's epochs")
+	}
+
+	if _, err := m.Status("nope"); !errors.Is(err, ErrSessionNotFound) {
+		t.Errorf("unknown id: %v, want ErrSessionNotFound", err)
+	}
+	if _, err := m.Create(SessionRequest{Mix: "NOPE", BudgetFrac: 0.6}); !errors.Is(err, ErrInvalidConfig) {
+		t.Errorf("bad mix: %v, want ErrInvalidConfig", err)
+	}
+}

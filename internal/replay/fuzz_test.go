@@ -1,0 +1,128 @@
+package replay_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/policy"
+	"repro/internal/replay"
+	"repro/internal/runner"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// seedRecording captures a short live run for the fuzz corpus — real
+// golden traces, so mutations explore the neighborhood of actual
+// recordings rather than random JSON.
+func seedRecording(f *testing.F, mixName string, cores, epochs int, pol policy.Policy) []byte {
+	f.Helper()
+	mix, err := workload.MixByName(mixName)
+	if err != nil {
+		f.Fatal(err)
+	}
+	sc := sim.DefaultConfig(cores)
+	sc.EpochNs = 5e5
+	sc.ProfileNs = 5e4
+	cfg := runner.Config{Sim: sc, Mix: mix, BudgetFrac: 0.6, Epochs: epochs, Policy: pol}
+	var rec *replay.Recorder
+	s, err := runner.NewSession(cfg, runner.WithPlatformWrap(func(p runner.Platform) runner.Platform {
+		rec = replay.NewRecorder(p)
+		return rec
+	}))
+	if err != nil {
+		f.Fatal(err)
+	}
+	for {
+		if _, err := s.Step(context.Background()); err != nil {
+			if errors.Is(err, runner.ErrDone) {
+				break
+			}
+			f.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := rec.Recording().WriteJSON(&buf); err != nil {
+		f.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzReplayRoundTrip: any byte string that decodes as a Recording
+// must survive JSON marshal → unmarshal bit-identically and, when
+// mountable, replay the identical window stream — wrap-around
+// included. JSON is the recording's wire format (shipped traces,
+// /sessions/{id}/recording), so lossiness anywhere here would silently
+// break the replay determinism guarantee.
+func FuzzReplayRoundTrip(f *testing.F) {
+	f.Add(seedRecording(f, "MIX2", 4, 3, policy.NewFastCap()))
+	f.Add(seedRecording(f, "MID1", 4, 2, nil))
+	f.Add(seedRecording(f, "MEM1", 8, 2, policy.NewEqlPwr()))
+	f.Add([]byte(`{"PeakW":1,"SbBarNs":2,"AccessProb":[[1]],"Epochs":[{"Profile":{"Cores":[{}]},"Rest":{},"MemStep":-1}]}`))
+	f.Add([]byte(`{}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rec, err := replay.ReadJSON(bytes.NewReader(data))
+		if err != nil {
+			t.Skip() // not a recording
+		}
+		// Marshal → unmarshal must be lossless…
+		var first bytes.Buffer
+		if err := rec.WriteJSON(&first); err != nil {
+			// JSON can't carry NaN/Inf, so a decoded recording always
+			// re-serializes.
+			t.Fatalf("re-marshal of a decoded recording failed: %v", err)
+		}
+		rec2, err := replay.ReadJSON(bytes.NewReader(first.Bytes()))
+		if err != nil {
+			t.Fatalf("decode of own output failed: %v", err)
+		}
+		if !reflect.DeepEqual(rec, rec2) {
+			t.Fatal("recording changed across a JSON round trip")
+		}
+		// …and byte-stable: serializing again yields identical bytes.
+		var second bytes.Buffer
+		if err := rec2.WriteJSON(&second); err != nil {
+			t.Fatalf("second marshal failed: %v", err)
+		}
+		if !bytes.Equal(first.Bytes(), second.Bytes()) {
+			t.Fatal("recording JSON is not byte-stable")
+		}
+
+		// Both mount the same way, and replay identical window streams.
+		p1, err1 := replay.New(rec)
+		p2, err2 := replay.New(rec2)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("mountability diverged across the round trip: %v vs %v", err1, err2)
+		}
+		if err1 != nil {
+			return // equally unmountable (empty / inconsistent shape)
+		}
+		if p1.PeakPowerW() != p2.PeakPowerW() || p1.SbBarNs() != p2.SbBarNs() ||
+			!reflect.DeepEqual(p1.AccessProb(), p2.AccessProb()) {
+			t.Fatal("static platform characteristics diverged")
+		}
+		p1.Start()
+		p2.Start()
+		for i := 0; i < 2*p1.Len(); i++ { // ×2 exercises wrap-around
+			prof1, prof2 := p1.RunProfile(), p2.RunProfile()
+			if !reflect.DeepEqual(prof1, prof2) {
+				t.Fatalf("epoch %d: profiling windows diverged", i)
+			}
+			rest1, rest2 := p1.FinishEpoch(), p2.FinishEpoch()
+			if !reflect.DeepEqual(rest1, rest2) {
+				t.Fatalf("epoch %d: post-decision windows diverged", i)
+			}
+			// Bit-level comparison: zero-width windows legitimately
+			// combine to NaN, and NaN != NaN would fail a plain compare.
+			c1 := math.Float64bits(p1.CombinePower(prof1, rest1))
+			c2 := math.Float64bits(p2.CombinePower(prof2, rest2))
+			if c1 != c2 {
+				t.Fatalf("epoch %d: combined epoch power diverged", i)
+			}
+		}
+	})
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/sim"
 	"repro/internal/workload"
@@ -59,11 +60,20 @@ var ErrInvalidConfig = errors.New("runner: invalid config")
 // signals normal termination, not failure.
 var ErrDone = errors.New("runner: session done")
 
+// ErrConcurrentStep is returned by Step when another Step (or a
+// Result finalization) is already in flight on the same session. The
+// control loop is strictly sequential — one epoch at a time — so a
+// second concurrent driver is always a caller bug; the session turns
+// the would-be data race into this typed, errors.Is-able refusal and
+// stays usable from the original driver.
+var ErrConcurrentStep = errors.New("runner: concurrent Step on session")
+
 // SessionOption configures a Session.
 type SessionOption func(*sessionOptions)
 
 type sessionOptions struct {
 	platform  Platform
+	wrap      func(Platform) Platform
 	trace     func(epoch int) float64
 	observers []func(EpochRecord)
 }
@@ -72,7 +82,10 @@ type sessionOptions struct {
 // with that epoch's record, before Step returns it. Observers run on
 // the Step caller's goroutine in registration order. The record's
 // slices are backed by run-length buffers and stay valid for the life
-// of the session, so observers may retain them.
+// of the session, so observers may retain them. An observer must not
+// call Result — the epoch that invoked it is still in flight, so the
+// call would deadlock; a re-entrant Step fails fast with
+// ErrConcurrentStep instead.
 func WithObserver(fn func(EpochRecord)) SessionOption {
 	return func(o *sessionOptions) { o.observers = append(o.observers, fn) }
 }
@@ -96,6 +109,16 @@ func WithPlatform(p Platform) SessionOption {
 	return func(o *sessionOptions) { o.platform = p }
 }
 
+// WithPlatformWrap interposes wrap around the session's platform after
+// construction (whether built from Config.Sim or supplied via
+// WithPlatform) — the hook pass-through instruments like
+// replay.NewRecorder attach with, without duplicating the session's
+// own platform building. The wrapped platform must expose the same
+// machine shape.
+func WithPlatformWrap(wrap func(Platform) Platform) SessionOption {
+	return func(o *sessionOptions) { o.wrap = wrap }
+}
+
 // Session is the streaming form of the §III-C control loop: one epoch
 // per Step call — profile, fit, decide, apply, finish — with the
 // telemetry of that epoch returned (and streamed to observers) as it
@@ -103,9 +126,13 @@ func WithPlatform(p Platform) SessionOption {
 // and cancellation (the Step context), which the batch Run API cannot
 // express.
 //
-// A Session is single-threaded in its Step calls; SetBudgetFrac alone
-// may be called concurrently with Step. Run and RunPair are thin loops
-// over Step and produce bit-identical Results.
+// A Session is single-threaded in its Step calls: one driver advances
+// the loop. SetBudgetFrac, Epoch and PeakPowerW may be called
+// concurrently with Step. A second goroutine that calls Step while one
+// is in flight gets the typed ErrConcurrentStep instead of a data
+// race, and Result serializes against Step, so a supervising service
+// may finalize a session it no longer steps. Run and RunPair are thin
+// loops over Step and produce bit-identical Results.
 type Session struct {
 	cfg  Config
 	plat Platform
@@ -124,7 +151,11 @@ type Session struct {
 	budgetFrac float64
 	trace      func(epoch int) float64
 
-	epoch     int
+	// stepMu serializes Step and Result: held for the duration of an
+	// epoch (TryLock in Step, so a concurrent driver fails fast with
+	// ErrConcurrentStep) and across finalization.
+	stepMu    sync.Mutex
+	epoch     atomic.Int64
 	err       error // sticky: first failure poisons the session
 	finalized bool
 }
@@ -186,6 +217,12 @@ func NewSession(cfg Config, opts ...SessionOption) (*Session, error) {
 		// a different core count would panic mid-run otherwise.
 		return nil, fmt.Errorf("%w: platform has %d cores, config %d", ErrInvalidConfig, got, cfg.Sim.Cores)
 	}
+	if o.wrap != nil {
+		plat = o.wrap(plat)
+		if plat == nil {
+			return nil, fmt.Errorf("%w: platform wrapper returned nil", ErrInvalidConfig)
+		}
+	}
 	peak := plat.PeakPowerW()
 
 	res := &Result{
@@ -224,8 +261,9 @@ func NewSession(cfg Config, opts ...SessionOption) (*Session, error) {
 	return s, nil
 }
 
-// Epoch returns the index of the next epoch Step would execute.
-func (s *Session) Epoch() int { return s.epoch }
+// Epoch returns the index of the next epoch Step would execute. Safe
+// to call concurrently with Step.
+func (s *Session) Epoch() int { return int(s.epoch.Load()) }
 
 // PeakPowerW returns the platform's nameplate peak power — the
 // reference budget fractions are taken against.
@@ -265,15 +303,20 @@ func (s *Session) budgetFor(e int) (float64, error) {
 
 // Step executes one epoch of the control loop and returns its record.
 // It returns ErrDone after the configured number of epochs (or once
-// Result has finalized the session). A context error or any epoch
+// Result has finalized the session), and ErrConcurrentStep if another
+// Step or Result is already in flight. A context error or any epoch
 // failure is sticky: the session refuses further Steps with the same
 // error. Cancellation is checked between epochs — an epoch in progress
 // always completes, keeping the simulated machine at an epoch boundary.
 func (s *Session) Step(ctx context.Context) (EpochRecord, error) {
+	if !s.stepMu.TryLock() {
+		return EpochRecord{}, ErrConcurrentStep
+	}
+	defer s.stepMu.Unlock()
 	if s.err != nil {
 		return EpochRecord{}, s.err
 	}
-	if s.finalized || s.epoch >= s.cfg.Epochs {
+	if s.finalized || s.Epoch() >= s.cfg.Epochs {
 		return EpochRecord{}, ErrDone
 	}
 	if ctx != nil {
@@ -288,7 +331,7 @@ func (s *Session) Step(ctx context.Context) (EpochRecord, error) {
 		return EpochRecord{}, err
 	}
 	s.res.Epochs = append(s.res.Epochs, rec)
-	s.epoch++
+	s.epoch.Add(1)
 	for _, fn := range s.observers {
 		fn(rec)
 	}
@@ -298,7 +341,7 @@ func (s *Session) Step(ctx context.Context) (EpochRecord, error) {
 // step is one iteration of the historical Run loop body, operating on
 // the session's Platform.
 func (s *Session) step() (EpochRecord, error) {
-	e := s.epoch
+	e := s.Epoch()
 	n := s.cfg.Sim.Cores
 	st := s.st
 	budget, err := s.budgetFor(e)
@@ -369,8 +412,12 @@ func (s *Session) step() (EpochRecord, error) {
 // Result finalizes and returns the run aggregate over the epochs
 // executed so far (all of them, for a run driven to ErrDone; a prefix,
 // for a cancelled run). Finalizing ends the session: subsequent Step
-// calls return ErrDone. Result is idempotent.
+// calls return ErrDone. Result is idempotent and serializes against
+// Step — a concurrent caller blocks until the in-flight epoch
+// completes, then finalizes, rather than racing it.
 func (s *Session) Result() *Result {
+	s.stepMu.Lock()
+	defer s.stepMu.Unlock()
 	if !s.finalized {
 		s.finalized = true
 		s.res.TotalTimeNs = float64(len(s.res.Epochs)) * s.cfg.Sim.EpochNs

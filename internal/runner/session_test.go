@@ -3,8 +3,11 @@ package runner
 import (
 	"context"
 	"errors"
+	"math"
 	"reflect"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -272,6 +275,117 @@ func TestResultFinalizesSession(t *testing.T) {
 	}
 }
 
+// A Step issued while another is in flight must get the typed
+// ErrConcurrentStep, not a data race. Calling Step from inside an
+// observer is the deterministic way to guarantee the overlap: the
+// observer runs while the outer Step still holds the session.
+func TestConcurrentStepTypedError(t *testing.T) {
+	cfg := fastCfg(t, "MID1", 4, 0.6, nil)
+	cfg.Epochs = 2
+	var s *Session
+	var innerErrs []error
+	s, err := NewSession(cfg, WithObserver(func(EpochRecord) {
+		_, err := s.Step(context.Background())
+		innerErrs = append(innerErrs, err)
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	drive(t, s)
+	if len(innerErrs) != cfg.Epochs {
+		t.Fatalf("observer ran %d times, want %d", len(innerErrs), cfg.Epochs)
+	}
+	for i, err := range innerErrs {
+		if !errors.Is(err, ErrConcurrentStep) {
+			t.Errorf("re-entrant step %d: error %v, want ErrConcurrentStep", i, err)
+		}
+	}
+}
+
+// Two goroutines hammering Step on one session: the mutual exclusion
+// must hold under -race, every epoch must execute exactly once, and
+// the interleaved result must be bit-identical to a single-driver run
+// — losing a race never skips or duplicates an epoch.
+func TestConcurrentSteppersRaceClean(t *testing.T) {
+	cfg := fastCfg(t, "MID1", 4, 0.6, nil)
+	cfg.Epochs = 12
+	solo, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSession(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var (
+		wg      sync.WaitGroup
+		stepped atomic.Int64
+		refused atomic.Int64
+	)
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				_, err := s.Step(context.Background())
+				switch {
+				case err == nil:
+					stepped.Add(1)
+				case errors.Is(err, ErrConcurrentStep):
+					refused.Add(1)
+					runtime.Gosched()
+				case errors.Is(err, ErrDone):
+					return
+				default:
+					t.Errorf("unexpected step error: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := stepped.Load(); got != int64(cfg.Epochs) {
+		t.Errorf("%d successful steps across drivers, want %d (plus %d typed refusals)",
+			got, cfg.Epochs, refused.Load())
+	}
+	if !reflect.DeepEqual(s.Result(), solo) {
+		t.Error("contended session diverged from the single-driver run")
+	}
+}
+
+// Result called concurrently with a stepping goroutine serializes
+// instead of racing: it finalizes at an epoch boundary, the stepper
+// observes ErrDone, and the result never changes afterwards.
+func TestResultConcurrentWithStep(t *testing.T) {
+	cfg := fastCfg(t, "MID1", 4, 0.6, nil)
+	cfg.Epochs = 200 // long enough that finalization usually lands mid-run
+	s, err := NewSession(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stepErr := make(chan error, 1)
+	go func() {
+		for {
+			if _, err := s.Step(context.Background()); err != nil {
+				stepErr <- err
+				return
+			}
+		}
+	}()
+	time.Sleep(5 * time.Millisecond)
+	res := s.Result()
+	n := len(res.Epochs)
+	if err := <-stepErr; !errors.Is(err, ErrDone) {
+		t.Fatalf("stepper exited with %v, want ErrDone", err)
+	}
+	if again := s.Result(); again != res || len(again.Epochs) != n {
+		t.Error("Result changed after concurrent finalization")
+	}
+	if n == 0 || n > cfg.Epochs {
+		t.Errorf("finalized with %d epochs, want 1..%d", n, cfg.Epochs)
+	}
+}
+
 // Fail-fast validation: broken configs are rejected before any
 // simulation, with the typed, errors.Is-able ErrInvalidConfig.
 func TestErrInvalidConfigTyped(t *testing.T) {
@@ -283,9 +397,15 @@ func TestErrInvalidConfigTyped(t *testing.T) {
 		{"zero epochs", func(c *Config) { c.Epochs = 0 }},
 		{"negative epochs", func(c *Config) { c.Epochs = -3 }},
 		{"zero budget", func(c *Config) { c.BudgetFrac = 0 }},
+		{"negative budget", func(c *Config) { c.BudgetFrac = -0.25 }},
+		{"NaN budget", func(c *Config) { c.BudgetFrac = math.NaN() }},
 		{"budget above one", func(c *Config) { c.BudgetFrac = 1.5 }},
 		{"empty mix", func(c *Config) { c.Mix = workload.MixSpec{Name: "empty"} }},
+		{"unknown application", func(c *Config) {
+			c.Mix = workload.MixSpec{Name: "bogus", Apps: [4]string{"no-such-app", "gcc", "gzip", "eon"}}
+		}},
 		{"zero cores", func(c *Config) { c.Sim.Cores = 0 }},
+		{"negative cores", func(c *Config) { c.Sim.Cores = -8 }},
 		{"cores not multiple of 4", func(c *Config) { c.Sim.Cores = 6 }},
 		{"bad epoch geometry", func(c *Config) { c.Sim.ProfileNs = c.Sim.EpochNs * 2 }},
 	}
@@ -305,5 +425,15 @@ func TestErrInvalidConfigTyped(t *testing.T) {
 	cfg.BudgetSchedule = func(int) float64 { return 0.7 }
 	if _, err := Run(cfg); err != nil {
 		t.Errorf("schedule-driven run rejected: %v", err)
+	}
+	// SetBudgetFrac applies the same range validation, typed.
+	s, err := NewSession(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []float64{0, -0.3, 1.2, math.NaN()} {
+		if err := s.SetBudgetFrac(f); !errors.Is(err, ErrInvalidConfig) {
+			t.Errorf("SetBudgetFrac(%g): %v, want ErrInvalidConfig", f, err)
+		}
 	}
 }

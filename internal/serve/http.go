@@ -1,0 +1,223 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"repro/internal/runner"
+)
+
+// NewHandler returns the fastcapd HTTP API over m:
+//
+//	POST   /sessions                 create a session (Request JSON) → Status
+//	GET    /sessions                 list resident sessions
+//	GET    /sessions/{id}            one session's Status
+//	GET    /sessions/{id}/stream     NDJSON per-epoch records, live; ?from=N resumes
+//	POST   /sessions/{id}/budget     {"budget_frac": f} → live retarget
+//	GET    /sessions/{id}/result     finalized runner.Result (terminal sessions)
+//	GET    /sessions/{id}/recording  captured replay.Recording (record=true sessions)
+//	DELETE /sessions/{id}            cancel and remove
+//	GET    /healthz                  liveness
+//
+// Each stream line is exactly the JSON encoding of a runner.EpochRecord
+// — byte-identical to marshaling the same epoch of a solo runner.Run —
+// so consumers can diff a service stream against a local run.
+func NewHandler(m *Manager) http.Handler {
+	h := &handler{m: m}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", h.health)
+	mux.HandleFunc("POST /sessions", h.create)
+	mux.HandleFunc("GET /sessions", h.list)
+	mux.HandleFunc("GET /sessions/{id}", h.status)
+	mux.HandleFunc("GET /sessions/{id}/stream", h.stream)
+	mux.HandleFunc("POST /sessions/{id}/budget", h.budget)
+	mux.HandleFunc("GET /sessions/{id}/result", h.result)
+	mux.HandleFunc("GET /sessions/{id}/recording", h.recording)
+	mux.HandleFunc("DELETE /sessions/{id}", h.del)
+	return mux
+}
+
+type handler struct {
+	m *Manager
+}
+
+// maxBodyBytes bounds request bodies; session requests are tiny.
+const maxBodyBytes = 1 << 20
+
+// writeErr maps typed service errors onto HTTP statuses with a JSON
+// error body.
+func writeErr(w http.ResponseWriter, err error) {
+	code := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, ErrNotFound), errors.Is(err, ErrNoRecording):
+		code = http.StatusNotFound
+	case errors.Is(err, runner.ErrInvalidConfig):
+		code = http.StatusBadRequest
+	case errors.Is(err, ErrNotFinished):
+		code = http.StatusConflict
+	case errors.Is(err, ErrTooManySessions):
+		code = http.StatusTooManyRequests
+	case errors.Is(err, ErrDraining):
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+// decodeBody strictly decodes a JSON request body: unknown fields are
+// configuration typos, not forward compatibility, at this API's scale.
+func decodeBody(r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("%w: request body: %w", runner.ErrInvalidConfig, err)
+	}
+	return nil
+}
+
+func (h *handler) health(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"ok": true, "sessions": h.m.Count()})
+}
+
+func (h *handler) create(w http.ResponseWriter, r *http.Request) {
+	var req Request
+	if err := decodeBody(r, &req); err != nil {
+		writeErr(w, err)
+		return
+	}
+	st, err := h.m.Create(req)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	w.Header().Set("Location", "/sessions/"+st.ID)
+	writeJSON(w, http.StatusCreated, st)
+}
+
+func (h *handler) list(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, h.m.List())
+}
+
+func (h *handler) status(w http.ResponseWriter, r *http.Request) {
+	st, err := h.m.Status(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// stream writes the session's per-epoch records as NDJSON, following
+// the live run until it reaches a terminal state (or the client goes
+// away). ?from=N starts mid-stream — a reconnecting consumer resumes
+// where it left off, records being stable once emitted.
+func (h *handler) stream(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	from := 0
+	if v := r.URL.Query().Get("from"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			writeErr(w, fmt.Errorf("%w: stream cursor %q, want a non-negative integer", runner.ErrInvalidConfig, v))
+			return
+		}
+		from = n
+	}
+	// Resolve the id before committing the 200 and the NDJSON header.
+	if _, err := h.m.Status(id); err != nil {
+		writeErr(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	for cursor := from; ; cursor++ {
+		rec, err := h.m.Next(r.Context(), id, cursor)
+		if err != nil {
+			// io.EOF: clean end of stream. Context errors: the client left.
+			// ErrNotFound: deleted mid-stream. All end the response; HTTP
+			// has no status left to change.
+			return
+		}
+		if err := enc.Encode(rec); err != nil {
+			return
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+}
+
+// budgetRequest is the body of POST /sessions/{id}/budget.
+type budgetRequest struct {
+	BudgetFrac float64 `json:"budget_frac"`
+}
+
+func (h *handler) budget(w http.ResponseWriter, r *http.Request) {
+	var req budgetRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeErr(w, err)
+		return
+	}
+	if err := h.m.SetBudget(r.PathValue("id"), req.BudgetFrac); err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]float64{"budget_frac": req.BudgetFrac})
+}
+
+func (h *handler) result(w http.ResponseWriter, r *http.Request) {
+	res, err := h.m.Result(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (h *handler) recording(w http.ResponseWriter, r *http.Request) {
+	// WriteRecording validates (exists, recorded, terminal) before its
+	// first write, so deferring the header keeps error statuses honest
+	// while the recording itself streams straight to the connection.
+	w.Header().Set("Content-Type", "application/json")
+	dw := &headerDeferringWriter{w: w}
+	if err := h.m.WriteRecording(r.PathValue("id"), dw); err != nil && !dw.wrote {
+		// Mid-stream write failures (client gone, encode error after the
+		// first byte) can only be ended, not re-statused — appending an
+		// error object onto a partial 200 body would corrupt the JSON.
+		writeErr(w, err)
+		return
+	}
+}
+
+// headerDeferringWriter commits the 200 lazily on first write, letting
+// WriteRecording's validation errors still pick their own status code.
+type headerDeferringWriter struct {
+	w     http.ResponseWriter
+	wrote bool
+}
+
+func (d *headerDeferringWriter) Write(p []byte) (int, error) {
+	if !d.wrote {
+		d.wrote = true
+		d.w.WriteHeader(http.StatusOK)
+	}
+	return d.w.Write(p)
+}
+
+func (h *handler) del(w http.ResponseWriter, r *http.Request) {
+	if err := h.m.Close(r.PathValue("id")); err != nil {
+		writeErr(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}

@@ -1,0 +1,169 @@
+package serve
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/policy"
+	"repro/internal/runner"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Serving-layer sanity bounds on a single session: requests beyond
+// them are rejected with runner.ErrInvalidConfig. They exist because
+// the HTTP surface is unauthenticated — the library imposes no such
+// limits. MaxEpochCells bounds Epochs × Cores, the size driver of the
+// session's flat record buffers (~50 MB at the limit); MaxEpochMs
+// bounds how long one epoch (the cancellation granularity) can occupy
+// a scheduler worker.
+const (
+	MaxEpochs     = 100_000
+	MaxCores      = 1024
+	MaxEpochCells = 2_000_000
+	MaxEpochMs    = 10_000
+)
+
+// Request describes one capping session to create — the JSON body of
+// POST /sessions. Zero-valued optional fields take the defaults noted
+// below; Mix and BudgetFrac must be set. Epochs, Cores and EpochMs are
+// additionally bounded by MaxEpochs / MaxCores / MaxEpochMs.
+type Request struct {
+	// Mix is the Table III workload name (ILP1..MIX4). Required.
+	Mix string `json:"mix"`
+	// Policy is the capping algorithm: FastCap, CPU-only, Freq-Par,
+	// Eql-Pwr, Eql-Freq, MaxBIPS, Greedy, or baseline (no capping).
+	// Defaults to FastCap.
+	Policy string `json:"policy,omitempty"`
+	// BudgetFrac is the power budget as a fraction of peak, in (0, 1].
+	BudgetFrac float64 `json:"budget_frac"`
+	// Cores is the machine size, a positive multiple of 4. Default 16.
+	Cores int `json:"cores,omitempty"`
+	// Epochs is the run length. Default 40.
+	Epochs int `json:"epochs,omitempty"`
+	// EpochMs is the control epoch length in milliseconds (the paper
+	// uses 5; the profiling window is a tenth, capped at 300 µs).
+	// Default 1.
+	EpochMs float64 `json:"epoch_ms,omitempty"`
+	// Seed seeds the simulation. Default 1.
+	Seed int64 `json:"seed,omitempty"`
+	// OoO selects idealized out-of-order cores.
+	OoO bool `json:"ooo,omitempty"`
+	// Controllers is the memory controller count; values above 1 split
+	// the default bank population across controllers. Default 1.
+	Controllers int `json:"controllers,omitempty"`
+	// SkewedAccess skews the per-core controller access distribution
+	// (meaningful with Controllers > 1).
+	SkewedAccess bool `json:"skewed_access,omitempty"`
+	// Record captures the session's measurement windows via
+	// internal/replay; the trace is served at /sessions/{id}/recording
+	// once the session finishes.
+	Record bool `json:"record,omitempty"`
+}
+
+func (r Request) withDefaults() Request {
+	if r.Policy == "" {
+		r.Policy = "FastCap"
+	}
+	if r.Cores == 0 {
+		r.Cores = 16
+	}
+	if r.Epochs == 0 {
+		r.Epochs = 40
+	}
+	if r.EpochMs == 0 {
+		r.EpochMs = 1
+	}
+	if r.Seed == 0 {
+		r.Seed = 1
+	}
+	if r.Controllers == 0 {
+		r.Controllers = 1
+	}
+	return r
+}
+
+// policyByName instantiates a fresh policy per session — instances keep
+// scratch state and must never be shared across concurrent runs.
+func policyByName(name string) (policy.Policy, error) {
+	switch name {
+	case "FastCap":
+		return policy.NewFastCap(), nil
+	case "CPU-only":
+		return policy.NewCPUOnly(), nil
+	case "Freq-Par":
+		return policy.NewFreqPar(), nil
+	case "Eql-Pwr":
+		return policy.NewEqlPwr(), nil
+	case "Eql-Freq":
+		return policy.NewEqlFreq(), nil
+	case "MaxBIPS":
+		return policy.NewMaxBIPS(), nil
+	case "Greedy":
+		return policy.NewGreedy(), nil
+	case "baseline":
+		return nil, nil
+	default:
+		return nil, fmt.Errorf("%w: unknown policy %q", runner.ErrInvalidConfig, name)
+	}
+}
+
+// Config resolves the request (after defaults) into the runner
+// configuration the session executes — the exact same configuration a
+// caller would hand to runner.Run to reproduce the session solo, which
+// is how the golden tests verify the service. Validation failures wrap
+// runner.ErrInvalidConfig; the runner's own fail-fast checks (budget
+// range, mix contents, machine shape) run at session construction.
+func (r Request) Config() (runner.Config, error) {
+	r = r.withDefaults()
+	mix, err := workload.MixByName(r.Mix)
+	if err != nil {
+		return runner.Config{}, fmt.Errorf("%w: %w", runner.ErrInvalidConfig, err)
+	}
+	pol, err := policyByName(r.Policy)
+	if err != nil {
+		return runner.Config{}, err
+	}
+	// The serve layer fronts an unauthenticated HTTP surface, so beyond
+	// the runner's correctness validation it enforces sanity bounds: a
+	// non-finite or huge epoch length would wedge a scheduler worker
+	// inside one Step (cancellation is epoch-granular), and an enormous
+	// epoch count or core count would allocate the session's flat
+	// record buffers into an OOM kill before admission control runs.
+	if math.IsNaN(r.EpochMs) || math.IsInf(r.EpochMs, 0) || r.EpochMs <= 0 || r.EpochMs > MaxEpochMs {
+		return runner.Config{}, fmt.Errorf("%w: epoch length %g ms, want in (0, %g]", runner.ErrInvalidConfig, r.EpochMs, float64(MaxEpochMs))
+	}
+	if r.Epochs > MaxEpochs {
+		return runner.Config{}, fmt.Errorf("%w: epoch count %d above the serving limit %d", runner.ErrInvalidConfig, r.Epochs, MaxEpochs)
+	}
+	if r.Cores > MaxCores {
+		return runner.Config{}, fmt.Errorf("%w: core count %d above the serving limit %d", runner.ErrInvalidConfig, r.Cores, MaxCores)
+	}
+	if r.Epochs > 0 && r.Cores > 0 && r.Epochs*r.Cores > MaxEpochCells {
+		return runner.Config{}, fmt.Errorf("%w: %d epochs × %d cores above the serving limit of %d epoch-cells",
+			runner.ErrInvalidConfig, r.Epochs, r.Cores, MaxEpochCells)
+	}
+	if r.Controllers < 1 {
+		return runner.Config{}, fmt.Errorf("%w: controller count %d, want >= 1", runner.ErrInvalidConfig, r.Controllers)
+	}
+	sc := sim.DefaultConfig(r.Cores)
+	sc.EpochNs = r.EpochMs * 1e6
+	sc.ProfileNs = sc.EpochNs / 10
+	if sc.ProfileNs > 3e5 {
+		sc.ProfileNs = 3e5 // the paper's 300 µs profiling phase
+	}
+	sc.OoO = r.OoO
+	sc.Seed = r.Seed
+	if r.Controllers > 1 {
+		sc.Controllers = r.Controllers
+		sc.BanksPerController = sc.BanksPerController / r.Controllers
+		sc.SkewedAccess = r.SkewedAccess
+	}
+	return runner.Config{
+		Sim:        sc,
+		Mix:        mix,
+		BudgetFrac: r.BudgetFrac,
+		Epochs:     r.Epochs,
+		Policy:     pol,
+	}, nil
+}

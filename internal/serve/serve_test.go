@@ -1,0 +1,490 @@
+package serve_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/replay"
+	"repro/internal/runner"
+	"repro/internal/serve"
+)
+
+// quickReq is a small, fast session request; variants tweak it.
+func quickReq(mix string, cores, epochs int, budget float64) serve.Request {
+	return serve.Request{
+		Mix:        mix,
+		Policy:     "FastCap",
+		BudgetFrac: budget,
+		Cores:      cores,
+		Epochs:     epochs,
+		EpochMs:    0.5,
+	}
+}
+
+// soloRun executes the request's exact configuration directly through
+// runner.Run — the single-tenant ground truth the service must match.
+func soloRun(t *testing.T, req serve.Request) *runner.Result {
+	t.Helper()
+	cfg, err := req.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := runner.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// collect drains a session's stream through Manager.Next and returns
+// every record, then the finalized result.
+func collect(t *testing.T, m *serve.Manager, id string) ([]runner.EpochRecord, *runner.Result) {
+	t.Helper()
+	var recs []runner.EpochRecord
+	for cursor := 0; ; cursor++ {
+		rec, err := m.Next(context.Background(), id, cursor)
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			t.Fatalf("Next(%s, %d): %v", id, cursor, err)
+		}
+		recs = append(recs, rec)
+	}
+	res, err := m.Result(id)
+	if err != nil {
+		t.Fatalf("Result(%s): %v", id, err)
+	}
+	return recs, res
+}
+
+// mustJSON marshals for byte-level comparison.
+func mustJSON(t *testing.T, v any) []byte {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// The acceptance test of the serving layer, and the race-stress proof
+// of session isolation: eight concurrent sessions — different mixes,
+// policies, budgets, seeds and shapes, stepped interleaved by a pool
+// smaller than the tenant count — must each produce an epoch stream
+// and final result byte-identical to running the same configuration
+// alone through runner.Run. On a 1-CPU host wall-clock proves nothing;
+// bit-equality under -race is the parallelism proof.
+func TestConcurrentSessionsMatchSoloRuns(t *testing.T) {
+	reqs := []serve.Request{
+		quickReq("MIX3", 4, 8, 0.6),
+		quickReq("MID1", 4, 6, 0.7),
+		quickReq("MEM2", 4, 7, 0.5),
+		quickReq("ILP1", 8, 6, 0.6),
+		quickReq("MIX1", 4, 9, 0.8),
+		quickReq("MID2", 8, 5, 0.65),
+		quickReq("MEM4", 4, 6, 0.9),
+		quickReq("MIX2", 4, 10, 0.55),
+	}
+	reqs[1].Policy = "baseline"
+	reqs[2].Policy = "Eql-Pwr"
+	reqs[4].Policy = "Greedy"
+	reqs[5].Policy = "Freq-Par"
+	reqs[3].Seed = 7
+	reqs[6].Seed = 42
+	reqs[7].Record = true // capture must not perturb the run
+
+	m := serve.NewManager(serve.Options{Workers: 3, MaxSessions: 16})
+	defer m.Shutdown(context.Background())
+
+	ids := make([]string, len(reqs))
+	for i, req := range reqs {
+		st, err := m.Create(req)
+		if err != nil {
+			t.Fatalf("create %d: %v", i, err)
+		}
+		if st.State.Terminal() {
+			t.Fatalf("create %d: session born terminal (%s)", i, st.State)
+		}
+		ids[i] = st.ID
+	}
+
+	// Drain all eight streams concurrently while the pool steps them
+	// interleaved — the multi-tenant load pattern.
+	var wg sync.WaitGroup
+	type outcome struct {
+		recs []runner.EpochRecord
+		res  *runner.Result
+	}
+	outs := make([]outcome, len(reqs))
+	for i := range reqs {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			recs, res := collect(t, m, ids[i])
+			outs[i] = outcome{recs, res}
+		}()
+	}
+	wg.Wait()
+
+	for i, req := range reqs {
+		solo := soloRun(t, req)
+		if len(outs[i].recs) != len(solo.Epochs) {
+			t.Errorf("session %d: streamed %d epochs, solo ran %d", i, len(outs[i].recs), len(solo.Epochs))
+			continue
+		}
+		for e := range solo.Epochs {
+			got, want := mustJSON(t, outs[i].recs[e]), mustJSON(t, solo.Epochs[e])
+			if !bytes.Equal(got, want) {
+				t.Errorf("session %d epoch %d diverged from solo run:\nserved: %s\nsolo:   %s", i, e, got, want)
+				break
+			}
+		}
+		if got, want := mustJSON(t, outs[i].res), mustJSON(t, solo); !bytes.Equal(got, want) {
+			t.Errorf("session %d final result diverged from solo run", i)
+		}
+	}
+}
+
+// Round-robin scheduling: with one worker, a short session admitted
+// alongside a long one finishes while the long one is still mid-run —
+// the pool never runs a tenant to completion while others wait.
+func TestRoundRobinPreventsStarvation(t *testing.T) {
+	m := serve.NewManager(serve.Options{Workers: 1})
+	defer m.Shutdown(context.Background())
+
+	long, err := m.Create(quickReq("MID1", 4, 60, 0.6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	short, err := m.Create(quickReq("MIX3", 4, 5, 0.6))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Wait for the short session to finish.
+	for cursor := 0; ; cursor++ {
+		if _, err := m.Next(context.Background(), short.ID, cursor); errors.Is(err, io.EOF) {
+			break
+		} else if err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err := m.Status(long.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State.Terminal() {
+		t.Fatal("long session finished before the short one — scheduling is not round-robin")
+	}
+	// Fair alternation bounds the long session's progress near the
+	// short one's length; far beyond it would mean starvation in the
+	// other direction (the short session waited).
+	if st.EpochsDone > 20 {
+		t.Errorf("long session at %d epochs when the 5-epoch session finished — short tenant starved", st.EpochsDone)
+	}
+	if err := m.Close(long.ID); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Close cancels a live session at an epoch boundary: watchers see a
+// clean end of stream, the prefix result stays available, and the id
+// is gone from the table.
+func TestCloseCancelsLiveSession(t *testing.T) {
+	m := serve.NewManager(serve.Options{Workers: 1})
+	defer m.Shutdown(context.Background())
+
+	st, err := m.Create(quickReq("MID1", 4, 10_000, 0.6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Let at least one epoch land so the prefix is non-empty.
+	if _, err := m.Next(context.Background(), st.ID, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(st.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Status(st.ID); !errors.Is(err, serve.ErrNotFound) {
+		t.Errorf("status after close: %v, want ErrNotFound", err)
+	}
+	if err := m.Close(st.ID); !errors.Is(err, serve.ErrNotFound) {
+		t.Errorf("double close: %v, want ErrNotFound", err)
+	}
+}
+
+// Shutdown with a live context drains naturally: resident sessions run
+// to completion, new creates are refused, and results survive.
+func TestShutdownDrainsNaturally(t *testing.T) {
+	m := serve.NewManager(serve.Options{Workers: 2})
+	st, err := m.Create(quickReq("MIX3", 4, 4, 0.6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Shutdown(context.Background()); err != nil {
+		t.Fatalf("natural drain returned %v", err)
+	}
+	if _, err := m.Create(quickReq("MID1", 4, 2, 0.6)); !errors.Is(err, serve.ErrDraining) {
+		t.Errorf("create after shutdown: %v, want ErrDraining", err)
+	}
+	res, err := m.Result(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Epochs) != 4 {
+		t.Errorf("drained session has %d epochs, want 4", len(res.Epochs))
+	}
+}
+
+// Shutdown with an expiring context cancels stragglers at their next
+// epoch boundary instead of hanging.
+func TestShutdownDeadlineCancels(t *testing.T) {
+	m := serve.NewManager(serve.Options{Workers: 1})
+	st, err := m.Create(quickReq("MID1", 4, serve.MaxEpochs, 0.6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := m.Shutdown(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("forced drain returned %v, want DeadlineExceeded", err)
+	}
+	got, err := m.Status(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.State != serve.StateCanceled {
+		t.Errorf("straggler state %s, want canceled", got.State)
+	}
+	if _, err := m.Result(st.ID); err != nil {
+		t.Errorf("prefix result unavailable after forced drain: %v", err)
+	}
+}
+
+// The session limit is admission control: creates beyond MaxSessions
+// fail typed, and deleting a session frees its slot.
+func TestMaxSessionsBackpressure(t *testing.T) {
+	m := serve.NewManager(serve.Options{Workers: 1, MaxSessions: 2})
+	defer m.Shutdown(context.Background())
+
+	a, err := m.Create(quickReq("MID1", 4, 10_000, 0.6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.Create(quickReq("MID2", 4, 10_000, 0.6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Finished sessions stay resident (their results are still being
+	// served) — the limit counts them too.
+	if _, err := m.Create(quickReq("MIX3", 4, 2, 0.6)); !errors.Is(err, serve.ErrTooManySessions) {
+		t.Fatalf("third create: %v, want ErrTooManySessions", err)
+	}
+	if err := m.Close(a.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Create(quickReq("MIX3", 4, 2, 0.6)); err != nil {
+		t.Errorf("create after freeing a slot: %v", err)
+	}
+	// Don't leave the 10 000-epoch tenant for the deferred natural
+	// drain to wait out.
+	if err := m.Close(b.ID); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// SetBudget retargets a live session: a later epoch must run under the
+// new cap (the switch is epoch-granular, so we scan the stream for it).
+func TestSetBudgetRetargetsLiveSession(t *testing.T) {
+	m := serve.NewManager(serve.Options{Workers: 1})
+	defer m.Shutdown(context.Background())
+
+	st, err := m.Create(quickReq("MID1", 4, 5_000, 0.8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetBudget(st.ID, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetBudget(st.ID, 1.5); !errors.Is(err, runner.ErrInvalidConfig) {
+		t.Errorf("budget 1.5 accepted: %v", err)
+	}
+	deadline := time.After(30 * time.Second)
+	for cursor := 0; ; cursor++ {
+		select {
+		case <-deadline:
+			t.Fatal("no epoch picked up the retargeted budget")
+		default:
+		}
+		rec, err := m.Next(context.Background(), st.ID, cursor)
+		if err != nil {
+			t.Fatalf("stream ended before the retarget landed: %v", err)
+		}
+		if rec.BudgetW == 0.5*st.PeakW {
+			break
+		}
+	}
+	if err := m.Close(st.ID); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Recorded sessions expose their captured trace once terminal, and the
+// trace replays the run bit-identically — the service-side version of
+// the replay round trip.
+func TestRecordingRoundTripsThroughReplay(t *testing.T) {
+	m := serve.NewManager(serve.Options{Workers: 1})
+	defer m.Shutdown(context.Background())
+
+	req := quickReq("MIX2", 4, 5, 0.6)
+	req.Record = true
+	st, err := m.Create(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.WriteRecording(st.ID, io.Discard); !errors.Is(err, serve.ErrNotFinished) {
+		t.Errorf("recording of a live session served: %v", err)
+	}
+	_, served := collect(t, m, st.ID)
+
+	var buf bytes.Buffer
+	if err := m.WriteRecording(st.ID, &buf); err != nil {
+		t.Fatal(err)
+	}
+	// Round-trip: replay the served trace under the same config/policy.
+	recording, err := replay.ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plat, err := replay.New(recording)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := req.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ses, err := runner.NewSession(cfg, runner.WithPlatform(plat))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := ses.Step(context.Background()); err != nil {
+			if errors.Is(err, runner.ErrDone) {
+				break
+			}
+			t.Fatal(err)
+		}
+	}
+	if got, want := mustJSON(t, ses.Result()), mustJSON(t, served); !bytes.Equal(got, want) {
+		t.Error("replayed recording diverged from the served result")
+	}
+
+	// A session created without Record has nothing to serve.
+	plain, err := m.Create(quickReq("MID1", 4, 2, 0.6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	collect(t, m, plain.ID)
+	if err := m.WriteRecording(plain.ID, io.Discard); !errors.Is(err, serve.ErrNoRecording) {
+		t.Errorf("unrecorded session served a recording: %v", err)
+	}
+}
+
+// Unknown ids fail typed everywhere.
+func TestUnknownSessionTypedErrors(t *testing.T) {
+	m := serve.NewManager(serve.Options{Workers: 1})
+	defer m.Shutdown(context.Background())
+
+	if _, err := m.Status("nope"); !errors.Is(err, serve.ErrNotFound) {
+		t.Errorf("Status: %v", err)
+	}
+	if _, err := m.Next(context.Background(), "nope", 0); !errors.Is(err, serve.ErrNotFound) {
+		t.Errorf("Next: %v", err)
+	}
+	if _, err := m.Result("nope"); !errors.Is(err, serve.ErrNotFound) {
+		t.Errorf("Result: %v", err)
+	}
+	if err := m.SetBudget("nope", 0.5); !errors.Is(err, serve.ErrNotFound) {
+		t.Errorf("SetBudget: %v", err)
+	}
+	if err := m.WriteRecording("nope", io.Discard); !errors.Is(err, serve.ErrNotFound) {
+		t.Errorf("WriteRecording: %v", err)
+	}
+}
+
+// Result of a live session is refused typed; a negative cursor is a
+// config error.
+func TestLiveSessionGuards(t *testing.T) {
+	m := serve.NewManager(serve.Options{Workers: 1})
+	defer m.Shutdown(context.Background())
+
+	st, err := m.Create(quickReq("MID1", 4, 10_000, 0.6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Result(st.ID); !errors.Is(err, serve.ErrNotFinished) {
+		t.Errorf("live result: %v, want ErrNotFinished", err)
+	}
+	if _, err := m.Next(context.Background(), st.ID, -1); !errors.Is(err, runner.ErrInvalidConfig) {
+		t.Errorf("negative cursor: %v, want ErrInvalidConfig", err)
+	}
+	// An abandoned watch returns the context's error, not a record.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := m.Next(ctx, st.ID, 1_000_000); !errors.Is(err, context.Canceled) {
+		t.Errorf("abandoned watch: %v, want context.Canceled", err)
+	}
+	if err := m.Close(st.ID); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The serve-layer validation table: every rejected request carries the
+// typed, errors.Is-able runner.ErrInvalidConfig, before any session
+// state is created.
+func TestCreateValidationTable(t *testing.T) {
+	m := serve.NewManager(serve.Options{Workers: 1})
+	defer m.Shutdown(context.Background())
+
+	good := quickReq("MIX3", 4, 4, 0.6)
+	cases := []struct {
+		name   string
+		mutate func(*serve.Request)
+	}{
+		{"unknown mix", func(r *serve.Request) { r.Mix = "NOPE" }},
+		{"empty mix", func(r *serve.Request) { r.Mix = "" }},
+		{"unknown policy", func(r *serve.Request) { r.Policy = "YOLO" }},
+		{"zero budget", func(r *serve.Request) { r.BudgetFrac = 0 }},
+		{"negative budget", func(r *serve.Request) { r.BudgetFrac = -0.4 }},
+		{"budget above one", func(r *serve.Request) { r.BudgetFrac = 1.01 }},
+		{"negative epochs", func(r *serve.Request) { r.Epochs = -1 }},
+		{"negative cores", func(r *serve.Request) { r.Cores = -4 }},
+		{"cores not multiple of 4", func(r *serve.Request) { r.Cores = 10 }},
+		{"negative epoch length", func(r *serve.Request) { r.EpochMs = -1 }},
+		{"infinite epoch length", func(r *serve.Request) { r.EpochMs = math.Inf(1) }},
+		{"epoch length above limit", func(r *serve.Request) { r.EpochMs = 2 * serve.MaxEpochMs }},
+		{"epochs above limit", func(r *serve.Request) { r.Epochs = serve.MaxEpochs + 1 }},
+		{"cores above limit", func(r *serve.Request) { r.Cores = 2 * serve.MaxCores }},
+		{"epoch cells above limit", func(r *serve.Request) { r.Epochs = 50_000; r.Cores = 64 }},
+		{"negative controllers", func(r *serve.Request) { r.Controllers = -2 }},
+	}
+	for _, tc := range cases {
+		req := good
+		tc.mutate(&req)
+		if _, err := m.Create(req); !errors.Is(err, runner.ErrInvalidConfig) {
+			t.Errorf("%s: Create error %v, want ErrInvalidConfig", tc.name, err)
+		}
+	}
+	if got := len(m.List()); got != 0 {
+		t.Errorf("%d sessions resident after rejected creates, want 0", got)
+	}
+}
