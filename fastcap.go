@@ -327,6 +327,10 @@ var (
 	ErrTooManySessions = serve.ErrTooManySessions
 	// ErrSessionRunning guards results/recordings of live sessions.
 	ErrSessionRunning = serve.ErrNotFinished
+	// ErrSessionFinished rejects operations that can no longer take
+	// effect — retargeting the budget of a session that is already
+	// terminal (or stepping its final epoch).
+	ErrSessionFinished = serve.ErrFinished
 	// ErrNoRecording reports a session created without Record.
 	ErrNoRecording = serve.ErrNoRecording
 )

@@ -56,7 +56,7 @@ func writeErr(w http.ResponseWriter, err error) {
 		code = http.StatusNotFound
 	case errors.Is(err, runner.ErrInvalidConfig):
 		code = http.StatusBadRequest
-	case errors.Is(err, ErrNotFinished):
+	case errors.Is(err, ErrNotFinished), errors.Is(err, ErrFinished):
 		code = http.StatusConflict
 	case errors.Is(err, ErrTooManySessions):
 		code = http.StatusTooManyRequests

@@ -350,4 +350,11 @@ func TestHTTPQuickstartBodies(t *testing.T) {
 	if res.PolicyName != "FastCap" {
 		t.Errorf("policy %q", res.PolicyName)
 	}
+	// The run is over: a retarget can no longer take effect and must
+	// conflict instead of returning a hollow 200.
+	late := doJSON(t, "POST", srv.URL+"/sessions/"+st.ID+"/budget", map[string]float64{"budget_frac": 0.5})
+	late.Body.Close()
+	if late.StatusCode != http.StatusConflict {
+		t.Errorf("retarget of a finished session: %d, want 409", late.StatusCode)
+	}
 }

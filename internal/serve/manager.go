@@ -72,6 +72,9 @@ var (
 	ErrTooManySessions = errors.New("serve: session limit reached")
 	// ErrNotFinished guards results and recordings of live sessions.
 	ErrNotFinished = errors.New("serve: session still running")
+	// ErrFinished rejects operations that can no longer take effect —
+	// retargeting the budget of a session already in a terminal state.
+	ErrFinished = errors.New("serve: session already finished")
 	// ErrNoRecording reports a session created without Record.
 	ErrNoRecording = errors.New("serve: session has no recording")
 )
@@ -136,6 +139,10 @@ type session struct {
 	runErr error
 	result *runner.Result
 	closed bool // deleted: settle instead of stepping when next popped
+	// deadlineCut marks that the drain deadline canceled this session
+	// while it was live; if it then settles canceled (rather than
+	// finishing its in-flight epoch cleanly), the drain was cut short.
+	deadlineCut bool
 }
 
 // status snapshots the session. Callers must not hold s.mu.
@@ -185,6 +192,10 @@ type Manager struct {
 	nextID   uint64
 	draining bool
 	stopped  bool
+	// drainCut records that some session settled canceled because of
+	// the drain deadline. Sticky — set at settle time so a client
+	// deleting the session afterwards cannot make the drain look clean.
+	drainCut bool
 
 	wg sync.WaitGroup
 }
@@ -317,10 +328,23 @@ func numericID(id string) uint64 {
 // SetBudget retargets a live session: from its next epoch the cap is
 // f × peak. Delegates to Session.SetBudgetFrac, which is safe against
 // a concurrent in-flight epoch and deterministic in when it applies.
+// Terminal sessions have no next epoch, so the retarget is refused
+// with ErrFinished rather than silently accepted.
 func (m *Manager) SetBudget(id string, f float64) error {
 	s, err := m.get(id)
 	if err != nil {
 		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.state.Terminal() {
+		return fmt.Errorf("%w: %q is %s", ErrFinished, id, s.state)
+	}
+	// A session stepping its final epoch is as good as terminal for a
+	// retarget: the cap resolves at each epoch's start, so with no epoch
+	// left after the in-flight one the new value could never apply.
+	if s.state == StateRunning && len(s.recs) == s.cfg.Epochs-1 {
+		return fmt.Errorf("%w: %q is in its final epoch", ErrFinished, id)
 	}
 	return s.ses.SetBudgetFrac(f)
 }
@@ -432,8 +456,9 @@ func (m *Manager) WriteRecording(id string, w io.Writer) error {
 // the worker pool exits. If ctx ends first, the remaining sessions are
 // canceled — they stop at their next epoch boundary, keeping every
 // stream consistent — and Shutdown still waits for the pool to settle.
-// Returns ctx's error if the drain was cut short, nil for a full
-// natural drain.
+// Returns ctx's error only when the deadline actually cut a live
+// session short; a drain that finished naturally returns nil even if
+// ctx happened to expire right as (or after) the last session ended.
 func (m *Manager) Shutdown(ctx context.Context) error {
 	m.mu.Lock()
 	m.draining = true
@@ -442,6 +467,11 @@ func (m *Manager) Shutdown(ctx context.Context) error {
 	stop := context.AfterFunc(ctx, func() {
 		m.mu.Lock()
 		for _, s := range m.sessions {
+			s.mu.Lock()
+			if !s.state.Terminal() && !s.closed {
+				s.deadlineCut = true
+			}
+			s.mu.Unlock()
 			s.cancel()
 		}
 		m.mu.Unlock()
@@ -454,10 +484,20 @@ func (m *Manager) Shutdown(ctx context.Context) error {
 	}
 	m.stopped = true
 	m.cond.Broadcast()
+	// Judge the drain by its outcome, not by when the deadline fired: a
+	// session the deadline canceled mid-final-epoch that still finished
+	// cleanly is done, not cut. drainCut is recorded when such a session
+	// settles canceled (see stepOnce), not scanned from the table here,
+	// so a client deleting the canceled session before this point cannot
+	// make the drain look clean.
+	cut := m.drainCut
 	m.mu.Unlock()
 
 	m.wg.Wait()
-	return ctx.Err()
+	if cut {
+		return ctx.Err()
+	}
+	return nil
 }
 
 // allTerminalLocked reports whether every resident session is done
@@ -517,7 +557,7 @@ func (m *Manager) stepOnce(s *session) {
 			s.finishLocked(StateCanceled, context.Canceled)
 		}
 		s.mu.Unlock()
-		m.notify()
+		m.notify(s.cutShort())
 		return
 	}
 	s.state = StateRunning
@@ -548,10 +588,21 @@ func (m *Manager) stepOnce(s *session) {
 	s.mu.Unlock()
 
 	if terminal {
-		m.notify()
+		m.notify(s.cutShort())
 		return
 	}
 	m.requeue(s)
+}
+
+// cutShort reports whether the session's settled outcome means the
+// drain deadline cut it short: it ended canceled by the deadline's
+// cancel, not by a client delete (a deleted session was abandoned, so
+// the rest of the drain still counts as natural). Callers must not
+// hold s.mu.
+func (s *session) cutShort() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.state == StateCanceled && s.deadlineCut && !s.closed
 }
 
 // requeue returns a still-live session to the tail of the fair queue.
@@ -562,9 +613,13 @@ func (m *Manager) requeue(s *session) {
 	m.mu.Unlock()
 }
 
-// notify wakes drain waiters after a session reaches a terminal state.
-func (m *Manager) notify() {
+// notify wakes drain waiters after a session reaches a terminal state,
+// recording first whether its outcome cut the drain short.
+func (m *Manager) notify(cut bool) {
 	m.mu.Lock()
+	if cut {
+		m.drainCut = true
+	}
 	m.cond.Broadcast()
 	m.mu.Unlock()
 }

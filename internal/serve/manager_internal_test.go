@@ -1,0 +1,103 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/internal/runner"
+)
+
+// A retarget against a session whose final epoch is already in flight
+// can never take effect — it must be refused like a terminal session,
+// not acknowledged with a hollow success. The window is transient under
+// the real scheduler, so this test builds the session state by hand.
+func TestSetBudgetMidFinalEpoch(t *testing.T) {
+	m := NewManager(Options{Workers: 1})
+	defer m.Shutdown(context.Background())
+
+	cfg, err := Request{Mix: "MIX3", BudgetFrac: 0.6, Cores: 4, Epochs: 2, EpochMs: 0.5}.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ses, err := runner.NewSession(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	s := &session{id: "t1", cfg: cfg, ses: ses, ctx: ctx, cancel: cancel, state: StateRunning}
+	s.cond = sync.NewCond(&s.mu)
+	s.recs = make([]runner.EpochRecord, cfg.Epochs-1) // epoch 2 of 2 in flight
+	m.mu.Lock()
+	m.sessions[s.id] = s
+	m.mu.Unlock()
+	// The session never enters the run queue, so remove it before the
+	// deferred Shutdown would wait forever for it to turn terminal.
+	defer func() {
+		m.mu.Lock()
+		delete(m.sessions, s.id)
+		m.mu.Unlock()
+	}()
+
+	if err := m.SetBudget(s.id, 0.5); !errors.Is(err, ErrFinished) {
+		t.Errorf("retarget mid-final-epoch: %v, want ErrFinished", err)
+	}
+	// Queued at the same cursor the final epoch has not started yet —
+	// the retarget lands at its beginning and must be accepted.
+	s.mu.Lock()
+	s.state = StateQueued
+	s.mu.Unlock()
+	if err := m.SetBudget(s.id, 0.5); err != nil {
+		t.Errorf("retarget before the final epoch starts: %v", err)
+	}
+}
+
+// A session the drain deadline cut short still counts as cut even when
+// a client deletes it before Shutdown checks: the verdict is recorded
+// sticky at settle time, not scanned from the session table. The settle
+// ordering is scheduler-transient, so the deadline's work (mark + ctx
+// cancel) is staged by hand and a real worker settles the session.
+func TestShutdownCutSurvivesClientDelete(t *testing.T) {
+	m := NewManager(Options{Workers: 1})
+
+	cfg, err := Request{Mix: "MIX3", BudgetFrac: 0.6, Cores: 4, Epochs: 5, EpochMs: 0.5}.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ses, err := runner.NewSession(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sctx, cancel := context.WithCancel(context.Background())
+	s := &session{id: "t9", cfg: cfg, ses: ses, ctx: sctx, cancel: cancel, state: StateQueued, deadlineCut: true}
+	s.cond = sync.NewCond(&s.mu)
+	cancel() // the deadline already canceled it, mid-drain
+	m.mu.Lock()
+	m.sessions[s.id] = s
+	m.runq = append(m.runq, s)
+	m.cond.Broadcast()
+	m.mu.Unlock()
+
+	// A worker pops it and settles it canceled.
+	s.mu.Lock()
+	for !s.state.Terminal() {
+		s.cond.Wait()
+	}
+	settled := s.state
+	s.mu.Unlock()
+	if settled != StateCanceled {
+		t.Fatalf("deadline-canceled session settled %s, want canceled", settled)
+	}
+
+	// The client deletes the cut session before Shutdown gets to look.
+	if err := m.Close(s.id); err != nil {
+		t.Fatal(err)
+	}
+	ctx, done := context.WithCancel(context.Background())
+	done()
+	if err := m.Shutdown(ctx); !errors.Is(err, context.Canceled) {
+		t.Errorf("cut drain after client delete reported %v, want context.Canceled", err)
+	}
+}

@@ -16,12 +16,16 @@ import (
 // limits. MaxEpochCells bounds Epochs × Cores, the size driver of the
 // session's flat record buffers (~50 MB at the limit); MaxEpochMs
 // bounds how long one epoch (the cancellation granularity) can occupy
-// a scheduler worker.
+// a scheduler worker; MaxControllers bounds the per-controller memsim
+// build and the Cores × Controllers access matrix (the largest default
+// machine has 64 banks, so more controllers than that cannot each own
+// a bank anyway).
 const (
-	MaxEpochs     = 100_000
-	MaxCores      = 1024
-	MaxEpochCells = 2_000_000
-	MaxEpochMs    = 10_000
+	MaxEpochs      = 100_000
+	MaxCores       = 1024
+	MaxEpochCells  = 2_000_000
+	MaxEpochMs     = 10_000
+	MaxControllers = 64
 )
 
 // Request describes one capping session to create — the JSON body of
@@ -146,6 +150,9 @@ func (r Request) Config() (runner.Config, error) {
 	if r.Controllers < 1 {
 		return runner.Config{}, fmt.Errorf("%w: controller count %d, want >= 1", runner.ErrInvalidConfig, r.Controllers)
 	}
+	if r.Controllers > MaxControllers {
+		return runner.Config{}, fmt.Errorf("%w: controller count %d above the serving limit %d", runner.ErrInvalidConfig, r.Controllers, MaxControllers)
+	}
 	sc := sim.DefaultConfig(r.Cores)
 	sc.EpochNs = r.EpochMs * 1e6
 	sc.ProfileNs = sc.EpochNs / 10
@@ -155,8 +162,17 @@ func (r Request) Config() (runner.Config, error) {
 	sc.OoO = r.OoO
 	sc.Seed = r.Seed
 	if r.Controllers > 1 {
+		// Splitting the default bank population must leave every
+		// controller at least one bank — a zero quotient would make
+		// sim.New silently substitute 32 banks per controller and build
+		// a machine far larger than the request described.
+		banks := sc.BanksPerController / r.Controllers
+		if banks < 1 {
+			return runner.Config{}, fmt.Errorf("%w: %d controllers split %d banks to none each",
+				runner.ErrInvalidConfig, r.Controllers, sc.BanksPerController)
+		}
 		sc.Controllers = r.Controllers
-		sc.BanksPerController = sc.BanksPerController / r.Controllers
+		sc.BanksPerController = banks
 		sc.SkewedAccess = r.SkewedAccess
 	}
 	return runner.Config{

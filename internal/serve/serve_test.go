@@ -337,6 +337,40 @@ func TestSetBudgetRetargetsLiveSession(t *testing.T) {
 	}
 }
 
+// Retargeting a session that already reached a terminal state is a
+// typed refusal — the new cap could never take effect, so a 200 would
+// lie to the client.
+func TestSetBudgetFinishedSession(t *testing.T) {
+	m := serve.NewManager(serve.Options{Workers: 1})
+	defer m.Shutdown(context.Background())
+
+	st, err := m.Create(quickReq("MIX3", 4, 2, 0.6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	collect(t, m, st.ID) // run to completion
+	if err := m.SetBudget(st.ID, 0.5); !errors.Is(err, serve.ErrFinished) {
+		t.Errorf("retarget of a done session: %v, want ErrFinished", err)
+	}
+}
+
+// A drain that finished naturally reports nil even when ctx is already
+// dead by the time Shutdown checks — only a deadline that actually cut
+// a live session short is an error.
+func TestShutdownCompletedDrainNotCutShort(t *testing.T) {
+	m := serve.NewManager(serve.Options{Workers: 1})
+	st, err := m.Create(quickReq("MIX3", 4, 3, 0.6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	collect(t, m, st.ID) // terminal before the drain begins
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // expired, but there is nothing left to cancel
+	if err := m.Shutdown(ctx); err != nil {
+		t.Errorf("completed drain reported cut short: %v", err)
+	}
+}
+
 // Recorded sessions expose their captured trace once terminal, and the
 // trace replays the run bit-identically — the service-side version of
 // the replay round trip.
@@ -476,6 +510,11 @@ func TestCreateValidationTable(t *testing.T) {
 		{"cores above limit", func(r *serve.Request) { r.Cores = 2 * serve.MaxCores }},
 		{"epoch cells above limit", func(r *serve.Request) { r.Epochs = 50_000; r.Cores = 64 }},
 		{"negative controllers", func(r *serve.Request) { r.Controllers = -2 }},
+		{"controllers above limit", func(r *serve.Request) { r.Controllers = serve.MaxControllers + 1 }},
+		// 48 passes the absolute limit but splits the 4-core machine's 32
+		// banks to zero per controller — must reject, not silently build
+		// a bigger machine than asked for.
+		{"controllers split banks to none", func(r *serve.Request) { r.Controllers = 48 }},
 	}
 	for _, tc := range cases {
 		req := good
