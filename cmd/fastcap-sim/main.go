@@ -21,6 +21,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"repro/internal/policy"
 	"repro/internal/report"
@@ -48,7 +50,15 @@ func main() {
 		jsonPath  = flag.String("json", "", "also write the full result record as JSON to this file ('-' = stdout)")
 	)
 	flag.Parse()
+	// Keep the Go runtime from killing the process with SIGPIPE when a
+	// -stream consumer (head, a disconnected pipe) goes away: with the
+	// signal ignored, writes return EPIPE as an ordinary error and the
+	// run winds down cleanly at the next epoch boundary.
+	signal.Ignore(syscall.SIGPIPE)
 	if err := run(*mixName, *polName, *budget, *cores, *epochs, *epochMs, *ooo, *ctls, *skew, *seed, *perEpoch, *stream, *noBaselin, *jsonPath); err != nil {
+		if errors.Is(err, syscall.EPIPE) {
+			return // closed pipe: the consumer has everything it wanted
+		}
 		fmt.Fprintln(os.Stderr, "fastcap-sim:", err)
 		os.Exit(1)
 	}
@@ -151,6 +161,12 @@ func run(mixName, polName string, budget float64, cores, epochs int, epochMs flo
 	}
 	err = finish(ctx, out, ses, cfg, series && !stream, noBaseline, jsonPath)
 	if streamErr != nil {
+		if errors.Is(streamErr, syscall.EPIPE) {
+			// The consumer closed the stream; that ends the run, it does
+			// not fail it. Skip the summary — nobody is reading stdout —
+			// and exit zero.
+			return streamErr
+		}
 		return fmt.Errorf("streaming telemetry: %w", streamErr)
 	}
 	return err

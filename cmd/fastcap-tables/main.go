@@ -32,6 +32,7 @@ func main() {
 		overhead = flag.Bool("overhead", false, "algorithm overhead measurement")
 		validate = flag.Bool("validate", false, "model-accuracy validation (power <10%, Eq.1 response)")
 		ablation = flag.Bool("ablation", false, "quantization-guard ablation")
+		hetero   = flag.Bool("hetero", false, "heterogeneous-machine sweep (big.LITTLE and binned cores)")
 		cacheCmp = flag.Bool("cache", false, "shared-L2 contention model vs Table III calibration")
 		cores    = flag.Int("cores", 16, "default core count")
 		epochs   = flag.Int("epochs", 20, "epochs per run")
@@ -69,7 +70,7 @@ func main() {
 		}
 	}
 	if *all {
-		for _, k := range []string{"table1", "table2", "table3", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "overhead", "epochs-study", "validate", "ablation", "cache"} {
+		for _, k := range []string{"table1", "table2", "table3", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "overhead", "epochs-study", "validate", "ablation", "cache", "hetero"} {
 			want[k] = true
 		}
 	}
@@ -81,6 +82,9 @@ func main() {
 	}
 	if *ablation {
 		want["ablation"] = true
+	}
+	if *hetero {
+		want["hetero"] = true
 	}
 	if *cacheCmp {
 		want["cache"] = true
@@ -117,6 +121,7 @@ func main() {
 		{"validate", g.validate},
 		{"ablation", g.ablation},
 		{"cache", g.cacheContention},
+		{"hetero", g.hetero},
 	}
 	done := map[string]bool{}
 	for _, s := range steps {
@@ -452,6 +457,31 @@ func (g *generator) ablation() error {
 			report.F(r.OverBudgetEpochsPct, 0), report.F(r.AvgPerf, 3), report.F(r.WorstPerf, 3))
 	}
 	return tbl.Render(os.Stdout)
+}
+
+func (g *generator) hetero() error {
+	rows, err := g.lab.Heterogeneity()
+	if err != nil {
+		return err
+	}
+	tbl := &report.Table{
+		Title:   "Heterogeneous machines — FastCap vs all policies, budget 60%",
+		Headers: []string{"machine", "workload", "policy", "avg pwr/peak", "max pwr/peak", "avg perf", "worst perf", "Jain"},
+	}
+	var csvRows [][]string
+	for _, r := range rows {
+		tbl.AddRow(r.Machine, r.Mix, r.Policy,
+			report.F(r.AvgPowerNorm, 3), report.F(r.MaxPowerNorm, 3),
+			report.F(r.AvgPerf, 3), report.F(r.WorstPerf, 3), report.F(r.Jain, 3))
+		csvRows = append(csvRows, []string{r.Machine, r.Mix, r.Policy,
+			report.F(r.AvgPowerNorm, 5), report.F(r.MaxPowerNorm, 5),
+			report.F(r.AvgPerf, 5), report.F(r.WorstPerf, 5), report.F(r.Jain, 5)})
+	}
+	if err := tbl.Render(os.Stdout); err != nil {
+		return err
+	}
+	return g.writeCSV("hetero.csv",
+		[]string{"machine", "workload", "policy", "avg_pwr", "max_pwr", "avg_perf", "worst_perf", "jain"}, csvRows)
 }
 
 func (g *generator) epochStudy() error {

@@ -93,8 +93,34 @@ type Ladder = dvfs.Ladder
 // DefaultCoreLadder returns 10 steps spanning 2.2–4.0 GHz at 0.65–1.2 V.
 func DefaultCoreLadder() *Ladder { return dvfs.DefaultCoreLadder() }
 
+// EfficiencyCoreLadder returns the little-core ladder (1.2–2.4 GHz) of
+// the heterogeneous machine specs.
+func EfficiencyCoreLadder() *Ladder { return dvfs.EfficiencyCoreLadder() }
+
+// BinnedCoreLadder returns the slow-bin core ladder (2.0–3.6 GHz).
+func BinnedCoreLadder() *Ladder { return dvfs.BinnedCoreLadder() }
+
+// NamedCoreLadder resolves a ladder preset: "perf", "efficiency" or
+// "binned".
+func NamedCoreLadder(name string) (*Ladder, error) { return dvfs.NamedCoreLadder(name) }
+
 // DefaultMemLadder returns 200–800 MHz in 66 MHz steps.
 func DefaultMemLadder() *Ladder { return dvfs.DefaultMemLadder() }
+
+// Heterogeneous machines: named core classes with per-class DVFS
+// ladders, power curves, ExecCPI scaling, and optional explicit app
+// placement. Set SystemConfig.Machine to build one; class counts must
+// sum to the core count, and the homogeneous path (nil Machine) is
+// bit-identical to earlier releases.
+type (
+	// MachineSpec describes an asymmetric machine as named core classes.
+	MachineSpec = sim.MachineSpec
+	// CoreClass is one named group of identical cores.
+	CoreClass = sim.CoreClass
+	// MachineLayout is the per-core resolution of a machine description
+	// (ladders, power calibrations, placement).
+	MachineLayout = sim.MachineLayout
+)
 
 // Policies (paper §IV-B).
 type (
@@ -193,6 +219,12 @@ func WorkloadByName(name string) (WorkloadSpec, error) { return workload.MixByNa
 // mix for an n-core machine.
 func InstantiateWorkload(spec WorkloadSpec, n int) (*Workload, error) {
 	return workload.Instantiate(spec, n)
+}
+
+// PlaceWorkload builds a workload from an explicit application-per-core
+// placement (the heterogeneous machines' layout; rates are standalone).
+func PlaceWorkload(name string, appNames []string) (*Workload, error) {
+	return workload.InstantiatePlacement(name, appNames)
 }
 
 // Experiment runner (paper §III-C epoch protocol).
@@ -311,6 +343,11 @@ type (
 	ServeOptions = serve.Options
 	// SessionRequest is the create-session payload (POST /sessions).
 	SessionRequest = serve.Request
+	// SessionMachineRequest is the JSON machine spec of a session
+	// request (named core classes).
+	SessionMachineRequest = serve.MachineRequest
+	// SessionClassRequest is one core class of a machine request.
+	SessionClassRequest = serve.ClassRequest
 	// SessionStatus is one session's externally visible snapshot.
 	SessionStatus = serve.Status
 	// SessionState is the lifecycle state machine position.

@@ -54,6 +54,19 @@ type Inputs struct {
 	// MaxZRatio bounds think-time dilation: z_i ≤ z̄_i·MaxZRatio, i.e.
 	// f_max/f_min of the core ladder. Must be ≥ 1.
 	MaxZRatio float64
+	// MaxZRatios, when non-nil, gives each core its own dilation bound
+	// (heterogeneous machines, where every core class has its own ladder
+	// and hence its own f_max/f_min). len must equal len(ZBar) and every
+	// entry must be ≥ 1; MaxZRatio is then ignored.
+	MaxZRatios []float64
+}
+
+// maxZ returns core i's think-time dilation bound.
+func (in *Inputs) maxZ(i int) float64 {
+	if in.MaxZRatios != nil {
+		return in.MaxZRatios[i]
+	}
+	return in.MaxZRatio
 }
 
 // Validate reports the first structural problem with the inputs, or nil.
@@ -90,7 +103,16 @@ func (in *Inputs) Validate() error {
 			return fmt.Errorf("fastcap: candidates not strictly ascending at %d", i)
 		}
 	}
-	if in.MaxZRatio < 1 {
+	if in.MaxZRatios != nil {
+		if len(in.MaxZRatios) != n {
+			return fmt.Errorf("fastcap: len(MaxZRatios)=%d, want %d", len(in.MaxZRatios), n)
+		}
+		for i, r := range in.MaxZRatios {
+			if math.IsNaN(r) || r < 1 {
+				return fmt.Errorf("fastcap: core %d MaxZRatio %g < 1", i, r)
+			}
+		}
+	} else if in.MaxZRatio < 1 {
 		return fmt.Errorf("fastcap: MaxZRatio %g < 1", in.MaxZRatio)
 	}
 	if in.Budget <= 0 {
@@ -213,7 +235,7 @@ func (s *Solver) solveForSb(in *Inputs, sbIdx int) dSolution {
 	powerOnly := func(d float64) float64 {
 		p := in.Power.Ps + in.Power.Mem.At(xm)
 		for i := 0; i < n; i++ {
-			z := zOfD(in.ZBar[i], in.C[i], rMin[i], r[i], d, in.MaxZRatio)
+			z := zOfD(in.ZBar[i], in.C[i], rMin[i], r[i], d, in.maxZ(i))
 			p += in.Power.Cores[i].At(in.ZBar[i] / z)
 		}
 		return p
@@ -225,7 +247,7 @@ func (s *Solver) solveForSb(in *Inputs, sbIdx int) dSolution {
 	for i := 0; i < n; i++ {
 		tMin := in.ZBar[i] + in.C[i] + rMin[i]
 		dHi = math.Min(dHi, tMin/(in.ZBar[i]+in.C[i]+r[i]))
-		dLo = math.Min(dLo, tMin/(in.ZBar[i]*in.MaxZRatio+in.C[i]+r[i]))
+		dLo = math.Min(dLo, tMin/(in.ZBar[i]*in.maxZ(i)+in.C[i]+r[i]))
 	}
 	if dLo < dFloor {
 		dLo = dFloor
@@ -278,7 +300,7 @@ func (s *Solver) finish(in *Inputs, best dSolution, bestIdx, evals int) Result {
 	sb := in.SbCandidates[bestIdx]
 	z := make([]float64, n)
 	for i := 0; i < n; i++ {
-		z[i] = zOfD(in.ZBar[i], in.C[i], s.rMin[i], in.Response(i, sb), best.d, in.MaxZRatio)
+		z[i] = zOfD(in.ZBar[i], in.C[i], s.rMin[i], in.Response(i, sb), best.d, in.maxZ(i))
 	}
 	return Result{
 		D:              best.d,
@@ -478,16 +500,37 @@ func (s *Solver) guardPop() guardEntry {
 // max-heap keyed by performance ratio (instead of a linear argmax),
 // with lazy deletion of stale entries.
 func (s *Solver) Quantize(in *Inputs, res Result, coreL, memL *dvfs.Ladder, guard bool) Assignment {
+	return s.quantize(in, res, nil, coreL, memL, guard)
+}
+
+// QuantizePerCore is Quantize for heterogeneous machines: coreLs[i] is
+// core i's own DVFS ladder, so every quantized step lands on the ladder
+// of the core it is applied to. The guard sheds by the same fairness
+// order (the core closest to its best-case performance first), with
+// each candidate evaluated against its own ladder.
+func (s *Solver) QuantizePerCore(in *Inputs, res Result, coreLs []*dvfs.Ladder, memL *dvfs.Ladder, guard bool) Assignment {
+	return s.quantize(in, res, coreLs, nil, memL, guard)
+}
+
+// quantize is the shared implementation: perCore supplies per-core
+// ladders when non-nil, otherwise every core uses shared.
+func (s *Solver) quantize(in *Inputs, res Result, perCore []*dvfs.Ladder, shared *dvfs.Ladder, memL *dvfs.Ladder, guard bool) Assignment {
+	lad := func(i int) *dvfs.Ladder {
+		if perCore != nil {
+			return perCore[i]
+		}
+		return shared
+	}
 	n := len(res.Z)
 	steps := make([]int, n)
 	for i := 0; i < n; i++ {
-		steps[i] = coreL.NearestNorm(in.ZBar[i] / res.Z[i])
+		steps[i] = lad(i).NearestNorm(in.ZBar[i] / res.Z[i])
 	}
 	memStep := memL.NearestNorm(in.SbBar / res.Sb)
 
 	pw := in.Power.Ps + in.Power.Mem.At(memL.NormFreq(memStep))
 	for i := 0; i < n; i++ {
-		pw += in.Power.Cores[i].At(coreL.NormFreq(steps[i]))
+		pw += in.Power.Cores[i].At(lad(i).NormFreq(steps[i]))
 	}
 	if !guard || pw <= in.Budget {
 		return Assignment{CoreSteps: steps, MemStep: memStep, PredictedPower: pw}
@@ -503,7 +546,7 @@ func (s *Solver) Quantize(in *Inputs, res Result, coreL, memL *dvfs.Ladder, guar
 		s.rCur[i] = in.Response(i, sbCur)
 	}
 	ratioAt := func(i, step int) float64 {
-		z := in.ZBar[i] * coreL.Max() / coreL.Freq(step)
+		z := in.ZBar[i] * lad(i).Max() / lad(i).Freq(step)
 		return s.num[i] / (z + in.C[i] + s.rCur[i])
 	}
 	s.heap = s.heap[:0]
@@ -533,9 +576,9 @@ func (s *Solver) Quantize(in *Inputs, res Result, coreL, memL *dvfs.Ladder, guar
 			}
 			break // everything at the floor; nothing more to shed
 		}
-		pw -= in.Power.Cores[shed].At(coreL.NormFreq(steps[shed]))
+		pw -= in.Power.Cores[shed].At(lad(shed).NormFreq(steps[shed]))
 		steps[shed]--
-		pw += in.Power.Cores[shed].At(coreL.NormFreq(steps[shed]))
+		pw += in.Power.Cores[shed].At(lad(shed).NormFreq(steps[shed]))
 		if steps[shed] > 0 {
 			s.guardPush(guardEntry{ratio: ratioAt(shed, steps[shed]), core: int32(shed), step: int32(steps[shed])})
 		}

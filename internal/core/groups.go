@@ -110,7 +110,7 @@ func (in *GroupedInputs) solveGroupedForSb(sbIdx int) (dSolution, []float64) {
 	xm := in.SbBar / sb
 
 	zAt := func(i int, d float64) float64 {
-		return zOfD(in.ZBar[i], in.C[i], rMin[i], r[i], d, in.MaxZRatio)
+		return zOfD(in.ZBar[i], in.C[i], rMin[i], r[i], d, in.maxZ(i))
 	}
 	globalPower := func(d float64) float64 {
 		p := in.Power.Ps + in.Power.Mem.At(xm)
@@ -131,7 +131,7 @@ func (in *GroupedInputs) solveGroupedForSb(sbIdx int) (dSolution, []float64) {
 	for i := 0; i < n; i++ {
 		tMin := in.ZBar[i] + in.C[i] + rMin[i]
 		dHi = math.Min(dHi, tMin/(in.ZBar[i]+in.C[i]+r[i]))
-		dLo = math.Min(dLo, tMin/(in.ZBar[i]*in.MaxZRatio+in.C[i]+r[i]))
+		dLo = math.Min(dLo, tMin/(in.ZBar[i]*in.maxZ(i)+in.C[i]+r[i]))
 	}
 	if dLo < dFloor {
 		dLo = dFloor

@@ -1,0 +1,145 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dvfs"
+	"repro/internal/power"
+)
+
+// randLadder builds a small valid ladder with a random step count,
+// frequency range and proportional voltages.
+func randLadder(rng *rand.Rand) *dvfs.Ladder {
+	steps := 3 + rng.Intn(10)
+	fMin := 0.5 + 2*rng.Float64()
+	fMax := fMin * (1.3 + 1.5*rng.Float64())
+	l, err := dvfs.NewUniformLadder(steps, fMin, fMax, 0.5, 0.6+0.6*rng.Float64())
+	if err != nil {
+		panic(err)
+	}
+	return l
+}
+
+// randHeteroInputs draws a machine with per-core ladders plus matching
+// optimizer inputs whose budget lies somewhere between floor and peak
+// power (sometimes outside, to exercise both guard outcomes).
+func randHeteroInputs(rng *rand.Rand) (*Inputs, []*dvfs.Ladder, *dvfs.Ladder) {
+	n := 2 + rng.Intn(6)
+	ladders := make([]*dvfs.Ladder, n)
+	for i := range ladders {
+		ladders[i] = randLadder(rng)
+	}
+	memL := randLadder(rng)
+
+	in := &Inputs{
+		ZBar:       make([]float64, n),
+		C:          make([]float64, n),
+		MaxZRatios: make([]float64, n),
+		SbBar:      5 + 10*rng.Float64(),
+		Budget:     0, // set below
+	}
+	in.Power.Ps = 5 + 5*rng.Float64()
+	floor, peak := in.Power.Ps, in.Power.Ps
+	for i := 0; i < n; i++ {
+		in.ZBar[i] = 50 + 500*rng.Float64()
+		in.C[i] = 10 * rng.Float64()
+		in.MaxZRatios[i] = ladders[i].StepRange()
+		m := power.Model{Scale: 1 + 5*rng.Float64(), Exp: 2 + rng.Float64(), Static: 0.2 + 0.5*rng.Float64()}
+		in.Power.Cores = append(in.Power.Cores, m)
+		floor += m.At(ladders[i].NormFreq(0))
+		peak += m.Peak()
+	}
+	in.Power.Mem = power.Model{Scale: 5 + 10*rng.Float64(), Exp: 1, Static: 2 + 3*rng.Float64()}
+	floor += in.Power.Mem.At(memL.NormFreq(0))
+	peak += in.Power.Mem.Peak()
+
+	slope := rng.Float64()
+	base := 20 * rng.Float64()
+	in.Response = func(core int, sb float64) float64 { return base + slope*sb }
+	in.SbCandidates = AppendSbCandidates(nil, in.SbBar, memL)
+	// Budget drawn from slightly below floor (infeasible) to peak.
+	in.Budget = floor*0.9 + (peak-floor*0.9)*rng.Float64()
+	return in, ladders, memL
+}
+
+// Property: quantized per-core settings always lie on that core's own
+// ladder, the reported predicted power matches re-evaluating the
+// models at the assignment, and with the guard on the assignment never
+// exceeds the budget unless the whole machine is already at its floor.
+func TestQuantizePerCoreProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 300; trial++ {
+		in, ladders, memL := randHeteroInputs(rng)
+		res, err := in.Solve()
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for _, guard := range []bool{false, true} {
+			var s Solver
+			a := s.QuantizePerCore(in, res, ladders, memL, guard)
+
+			if a.MemStep < 0 || a.MemStep >= memL.Len() {
+				t.Fatalf("trial %d: memory step %d outside its %d-step ladder", trial, a.MemStep, memL.Len())
+			}
+			recomputed := in.Power.Ps + in.Power.Mem.At(memL.NormFreq(a.MemStep))
+			for i, st := range a.CoreSteps {
+				if st < 0 || st >= ladders[i].Len() {
+					t.Fatalf("trial %d: core %d step %d outside its own %d-step ladder", trial, i, st, ladders[i].Len())
+				}
+				recomputed += in.Power.Cores[i].At(ladders[i].NormFreq(st))
+			}
+			if math.Abs(recomputed-a.PredictedPower) > 1e-6 {
+				t.Fatalf("trial %d: predicted power %.9f, recomputed %.9f", trial, a.PredictedPower, recomputed)
+			}
+			if !guard {
+				continue
+			}
+			if a.PredictedPower <= in.Budget+1e-9 {
+				continue
+			}
+			// Over budget with the guard on is only legal at the floor.
+			if a.MemStep != 0 {
+				t.Fatalf("trial %d: guard left memory at step %d while over budget", trial, a.MemStep)
+			}
+			for i, st := range a.CoreSteps {
+				if st != 0 {
+					t.Fatalf("trial %d: guard left core %d at step %d while over budget", trial, i, st)
+				}
+			}
+		}
+	}
+}
+
+// The shared-ladder Quantize and QuantizePerCore with N copies of that
+// ladder must agree exactly.
+func TestQuantizePerCoreMatchesShared(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 100; trial++ {
+		in, _, memL := randHeteroInputs(rng)
+		shared := dvfs.DefaultCoreLadder()
+		ladders := make([]*dvfs.Ladder, len(in.ZBar))
+		for i := range ladders {
+			ladders[i] = shared
+			in.MaxZRatios[i] = shared.StepRange()
+		}
+		res, err := in.Solve()
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for _, guard := range []bool{false, true} {
+			var s1, s2 Solver
+			a := s1.Quantize(in, res, shared, memL, guard)
+			b := s2.QuantizePerCore(in, res, ladders, memL, guard)
+			if a.MemStep != b.MemStep || a.PredictedPower != b.PredictedPower {
+				t.Fatalf("trial %d: shared vs per-core quantize diverged: %+v vs %+v", trial, a, b)
+			}
+			for i := range a.CoreSteps {
+				if a.CoreSteps[i] != b.CoreSteps[i] {
+					t.Fatalf("trial %d: core %d step %d vs %d", trial, i, a.CoreSteps[i], b.CoreSteps[i])
+				}
+			}
+		}
+	}
+}

@@ -83,6 +83,50 @@ func DefaultCoreLadder() *Ladder {
 	return l
 }
 
+// EfficiencyCoreLadder returns the little-core ladder used by the
+// heterogeneous (big.LITTLE-style) machine specs: 8 equally spaced
+// steps covering 1.2–2.4 GHz at 0.55–0.95 V. Compared to the paper's
+// big-core ladder it trades the top half of the frequency range for a
+// much lower voltage envelope.
+func EfficiencyCoreLadder() *Ladder {
+	l, err := NewUniformLadder(8, 1.2, 2.4, 0.55, 0.95)
+	if err != nil {
+		panic(err) // constants above are valid by construction
+	}
+	return l
+}
+
+// BinnedCoreLadder returns the slow-bin variant of the paper's core
+// ladder: the same 10 steps and voltage envelope, with every frequency
+// derated to 2.0–3.6 GHz — a part from the same design whose silicon
+// did not bin to the full 4.0 GHz.
+func BinnedCoreLadder() *Ladder {
+	l, err := NewUniformLadder(10, 2.0, 3.6, 0.65, 1.2)
+	if err != nil {
+		panic(err)
+	}
+	return l
+}
+
+// NamedCoreLadder resolves a core-class ladder preset by name — the
+// vocabulary the serving layer and machine specs accept:
+//
+//	"perf" (or ""): the paper's 2.2–4.0 GHz big-core ladder
+//	"efficiency":   the 1.2–2.4 GHz little-core ladder
+//	"binned":       the 2.0–3.6 GHz slow-bin ladder
+func NamedCoreLadder(name string) (*Ladder, error) {
+	switch name {
+	case "", "perf":
+		return DefaultCoreLadder(), nil
+	case "efficiency":
+		return EfficiencyCoreLadder(), nil
+	case "binned":
+		return BinnedCoreLadder(), nil
+	default:
+		return nil, fmt.Errorf("dvfs: unknown ladder preset %q (want perf, efficiency, or binned)", name)
+	}
+}
+
 // DefaultMemLadder returns the paper's memory bus ladder: 200–800 MHz in
 // 66 MHz steps (0.200, 0.266, ..., 0.800 GHz — ten steps). Bus and DRAM
 // chips scale frequency only, so the voltage column is held at the DDR3
@@ -124,6 +168,9 @@ func (l *Ladder) MaxStep() int { return len(l.freqs) - 1 }
 
 // Freqs returns a copy of all frequencies, ascending.
 func (l *Ladder) Freqs() []float64 { return append([]float64(nil), l.freqs...) }
+
+// Volts returns a copy of all voltages, aligned with Freqs.
+func (l *Ladder) Volts() []float64 { return append([]float64(nil), l.volts...) }
 
 // NormFreq returns Freq(i)/Max(), the frequency scaling factor in (0, 1].
 func (l *Ladder) NormFreq(i int) float64 { return l.freqs[i] / l.Max() }

@@ -1,0 +1,41 @@
+package dvfs
+
+import "testing"
+
+func TestNamedCoreLadderPresets(t *testing.T) {
+	cases := []struct {
+		name       string
+		wantSteps  int
+		wantMinGHz float64
+		wantMaxGHz float64
+	}{
+		{"", 10, 2.2, 4.0},
+		{"perf", 10, 2.2, 4.0},
+		{"efficiency", 8, 1.2, 2.4},
+		{"binned", 10, 2.0, 3.6},
+	}
+	for _, c := range cases {
+		l, err := NamedCoreLadder(c.name)
+		if err != nil {
+			t.Fatalf("NamedCoreLadder(%q): %v", c.name, err)
+		}
+		if err := l.Validate(); err != nil {
+			t.Errorf("preset %q invalid: %v", c.name, err)
+		}
+		if l.Len() != c.wantSteps || l.Min() != c.wantMinGHz || l.Max() != c.wantMaxGHz {
+			t.Errorf("preset %q: %d steps %g–%g GHz, want %d steps %g–%g",
+				c.name, l.Len(), l.Min(), l.Max(), c.wantSteps, c.wantMinGHz, c.wantMaxGHz)
+		}
+	}
+	if _, err := NamedCoreLadder("quantum"); err == nil {
+		t.Error("unknown preset accepted")
+	}
+	// The little ladder must sit strictly below the big one so
+	// heterogeneity tests can tell the classes apart.
+	if EfficiencyCoreLadder().Max() >= DefaultCoreLadder().Max() {
+		t.Error("efficiency ladder reaches the big-core maximum")
+	}
+	if BinnedCoreLadder().Max() >= DefaultCoreLadder().Max() {
+		t.Error("binned ladder reaches the full-bin maximum")
+	}
+}

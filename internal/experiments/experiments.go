@@ -197,8 +197,14 @@ func (l *Lab) run(mix workload.MixSpec, cfg sim.Config, frac float64, pol policy
 // baseline returns the cached all-max run for (mix, cfg), simulating it
 // at most once even when figures race for the same key (singleflight).
 func (l *Lab) baseline(mix workload.MixSpec, cfg sim.Config) (*runner.Result, error) {
-	key := fmt.Sprintf("%s/n%d/ooo%v/ctl%d/skew%v/e%d/len%g",
-		mix.Name, cfg.Cores, cfg.OoO, cfg.Controllers, cfg.SkewedAccess, l.Opt.Epochs, cfg.EpochNs)
+	machine := ""
+	if cfg.Machine != nil {
+		// Key by content, not name: unnamed or name-colliding specs must
+		// not share another machine's all-max baseline.
+		machine = cfg.Machine.Fingerprint()
+	}
+	key := fmt.Sprintf("%s/n%d/ooo%v/ctl%d/skew%v/e%d/len%g/mach%s",
+		mix.Name, cfg.Cores, cfg.OoO, cfg.Controllers, cfg.SkewedAccess, l.Opt.Epochs, cfg.EpochNs, machine)
 	l.mu.Lock()
 	if l.baselines == nil {
 		l.baselines = map[string]*baselineCall{}

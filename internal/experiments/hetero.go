@@ -1,0 +1,144 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/cpusim"
+	"repro/internal/dvfs"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// littlePower calibrates an efficiency core: a fraction of the big
+// core's dynamic draw with a lower leakage floor, in line with the
+// big.LITTLE parts the ROADMAP points at.
+func littlePower() cpusim.PowerConfig {
+	return cpusim.PowerConfig{DynMaxW: 1.5, StaticW: 0.2, GateFrac: 0.12}
+}
+
+// BigLittleConfig builds an asymmetric machine of nBig paper-class
+// cores (2.2–4.0 GHz, default power) and nLittle efficiency cores
+// (1.2–2.4 GHz, ~1/3 the dynamic power, 25% higher ExecCPI), on the
+// default memory system for the total core count.
+func BigLittleConfig(o Options, nBig, nLittle int) sim.Config {
+	cfg := o.SimConfig(nBig + nLittle)
+	cfg.Machine = &sim.MachineSpec{
+		Name: fmt.Sprintf("bigLITTLE-%d+%d", nBig, nLittle),
+		Classes: []sim.CoreClass{
+			{Name: "big", Count: nBig},
+			{Name: "little", Count: nLittle,
+				Ladder:       dvfs.EfficiencyCoreLadder(),
+				Power:        littlePower(),
+				ExecCPIScale: 1.25},
+		},
+	}
+	return cfg
+}
+
+// BinnedConfig builds a machine of nFast full-bin cores and nSlow
+// slow-bin cores: the same design, with the slow bin derated to
+// 2.0–3.6 GHz and a slightly lower peak dynamic power.
+func BinnedConfig(o Options, nFast, nSlow int) sim.Config {
+	cfg := o.SimConfig(nFast + nSlow)
+	cfg.Machine = &sim.MachineSpec{
+		Name: fmt.Sprintf("binned-%d+%d", nFast, nSlow),
+		Classes: []sim.CoreClass{
+			{Name: "fast", Count: nFast},
+			{Name: "slow", Count: nSlow,
+				Ladder: dvfs.BinnedCoreLadder(),
+				Power:  cpusim.PowerConfig{DynMaxW: 4.2, StaticW: 0.5, GateFrac: 0.15}},
+		},
+	}
+	return cfg
+}
+
+// HeteroRow is one (machine, mix, policy) cell of the heterogeneity
+// sweep: power control and fairness on an asymmetric machine, with
+// performance normalized to the same machine's all-max baseline.
+type HeteroRow struct {
+	Machine string
+	Mix     string
+	Policy  string
+	// AvgPowerNorm / MaxPowerNorm are run-average and worst single-epoch
+	// power over peak (cap compliance).
+	AvgPowerNorm float64
+	MaxPowerNorm float64
+	// AvgPerf / WorstPerf / Jain summarize normalized per-application
+	// performance; on an asymmetric machine fairness across classes is
+	// the whole story, so Jain is reported alongside the Fig. 9 columns.
+	AvgPerf   float64
+	WorstPerf float64
+	Jain      float64
+}
+
+// Heterogeneity sweeps FastCap against every comparison policy on
+// asymmetric machines: a 4+12 big.LITTLE part and an 8+8 binned-core
+// part at the default core count's budget of 60%, plus a small 2+2
+// big.LITTLE machine where MaxBIPS's exhaustive search is tractable.
+// All runs fan out on the Lab's worker pool; rows are assembled in
+// submission order, so output is identical at any worker count.
+func (l *Lab) Heterogeneity() ([]HeteroRow, error) {
+	basePols := []string{"FastCap", "CPU-only", "Freq-Par", "Eql-Pwr", "Eql-Freq", "Greedy"}
+	smallPols := append(append([]string(nil), basePols...), "MaxBIPS")
+	scenarios := []struct {
+		cfg   sim.Config
+		mixes []string
+		pols  []string
+	}{
+		{BigLittleConfig(l.Opt, 4, 12), []string{"MIX3", "MEM2"}, basePols},
+		{BinnedConfig(l.Opt, 8, 8), []string{"MIX3"}, basePols},
+		{BigLittleConfig(l.Opt, 2, 2), []string{"MIX3"}, smallPols},
+	}
+
+	type job struct {
+		cfg sim.Config
+		mix string
+		pol string
+	}
+	var jobs []job
+	for _, sc := range scenarios {
+		for _, mix := range sc.mixes {
+			for _, pol := range sc.pols {
+				jobs = append(jobs, job{cfg: sc.cfg, mix: mix, pol: pol})
+			}
+		}
+	}
+
+	rows := make([]HeteroRow, len(jobs))
+	err := l.parallelFor(len(jobs), func(i int) error {
+		j := jobs[i]
+		mix, err := workload.MixByName(j.mix)
+		if err != nil {
+			return err
+		}
+		pol, err := newPolicy(j.pol)
+		if err != nil {
+			return err
+		}
+		res, base, err := l.runPair(mix, j.cfg, 0.60, pol)
+		if err != nil {
+			return fmt.Errorf("%s: %w", j.cfg.Machine.Name, err)
+		}
+		norm, err := res.NormalizedPerf(base)
+		if err != nil {
+			return err
+		}
+		s := stats.SummarizePerf(norm)
+		rows[i] = HeteroRow{
+			Machine:      j.cfg.Machine.Name,
+			Mix:          j.mix,
+			Policy:       res.PolicyName,
+			AvgPowerNorm: res.AvgPowerW() / res.PeakW,
+			MaxPowerNorm: res.MaxEpochPowerW() / res.PeakW,
+			AvgPerf:      s.Avg,
+			WorstPerf:    s.Worst,
+			Jain:         s.Jain,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return rows, nil
+}

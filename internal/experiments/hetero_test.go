@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+)
+
+// The heterogeneity sweep must be deterministic at any worker count —
+// the same submission-order reassembly guarantee every other figure
+// has — and its rows must cover every (machine, policy) cell.
+func TestHeterogeneityDeterministic(t *testing.T) {
+	run := func(workers int) []HeteroRow {
+		t.Helper()
+		lab := NewLab(Options{Epochs: 3, EpochNs: 5e5, Workers: workers})
+		rows, err := lab.Heterogeneity()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rows
+	}
+	serial := run(1)
+	parallel := run(8)
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatal("Heterogeneity rows differ between Workers=1 and Workers=8")
+	}
+
+	machines := map[string]bool{}
+	policies := map[string]bool{}
+	for _, r := range serial {
+		machines[r.Machine] = true
+		policies[r.Policy] = true
+		if !(r.AvgPowerNorm > 0 && r.AvgPowerNorm < 1) {
+			t.Errorf("%s/%s/%s: implausible avg power %g of peak", r.Machine, r.Mix, r.Policy, r.AvgPowerNorm)
+		}
+		if r.WorstPerf < r.AvgPerf {
+			t.Errorf("%s/%s/%s: worst perf %g better than average %g", r.Machine, r.Mix, r.Policy, r.WorstPerf, r.AvgPerf)
+		}
+		if !(r.Jain > 0 && r.Jain <= 1+1e-9) {
+			t.Errorf("%s/%s/%s: Jain index %g outside (0, 1]", r.Machine, r.Mix, r.Policy, r.Jain)
+		}
+	}
+	for _, m := range []string{"bigLITTLE-4+12", "binned-8+8", "bigLITTLE-2+2"} {
+		if !machines[m] {
+			t.Errorf("sweep missing machine %s", m)
+		}
+	}
+	for _, p := range []string{"FastCap", "CPU-only", "Freq-Par", "Eql-Pwr", "Eql-Freq", "Greedy", "MaxBIPS"} {
+		if !policies[p] {
+			t.Errorf("sweep missing policy %s", p)
+		}
+	}
+}

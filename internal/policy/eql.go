@@ -1,6 +1,11 @@
 package policy
 
-import "math"
+import (
+	"math"
+	"sort"
+
+	"repro/internal/qmodel"
+)
 
 // EqlPwr assigns every core an equal share of the core power budget, as
 // proposed by Sharkey et al. [16], extended (as in the paper) with
@@ -32,10 +37,12 @@ func (EqlPwr) Decide(s *Snapshot) (Decision, error) {
 		share := (s.BudgetW - s.Power.Mem.At(s.MemLadder.NormFreq(m)) - s.Power.Ps) / float64(n)
 		steps := make([]int, n)
 		for i := 0; i < n; i++ {
-			// Highest step whose predicted power fits the share.
+			// Highest step of the core's own ladder whose predicted power
+			// fits the share.
+			lad := s.ladder(i)
 			st := 0
-			for k := s.CoreLadder.MaxStep(); k >= 0; k-- {
-				if s.Power.Cores[i].At(s.CoreLadder.NormFreq(k)) <= share {
+			for k := lad.MaxStep(); k >= 0; k-- {
+				if s.Power.Cores[i].At(lad.NormFreq(k)) <= share {
 					st = k
 					break
 				}
@@ -78,6 +85,9 @@ func (EqlFreq) Decide(s *Snapshot) (Decision, error) {
 	}
 	n := s.N()
 	mc := s.multi()
+	if s.heterogeneous() {
+		return eqlFreqHetero(s, mc)
+	}
 	bestD := math.Inf(-1)
 	bestF, bestM := 0, 0
 	found := false
@@ -97,6 +107,57 @@ func (EqlFreq) Decide(s *Snapshot) (Decision, error) {
 		return Decision{CoreSteps: make([]int, n), MemStep: 0}, nil
 	}
 	return Decision{CoreSteps: uniformSteps(n, bestF), MemStep: bestM}, nil
+}
+
+// eqlFreqHetero is Eql-Freq on a machine with mixed ladders, where no
+// literal common frequency exists. The policy's spirit — one chip-wide
+// setting, no per-core harvesting — carries over as one common
+// *normalized* frequency: each candidate normalized level (the union of
+// every distinct ladder's levels) maps to the nearest step of each
+// core's own ladder, and the best feasible objective D wins.
+func eqlFreqHetero(s *Snapshot, mc *qmodel.Multi) (Decision, error) {
+	n := s.N()
+	norms := candidateNorms(s)
+	bestD := math.Inf(-1)
+	var best Decision
+	steps := make([]int, n)
+	for m := 0; m < s.MemLadder.Len(); m++ {
+		for _, x := range norms {
+			for i := 0; i < n; i++ {
+				steps[i] = s.ladder(i).NearestNorm(x)
+			}
+			if s.PredictPower(steps, m) > s.BudgetW {
+				continue
+			}
+			if d := s.objectiveD(steps, m, mc); d > bestD {
+				bestD = d
+				best = Decision{CoreSteps: append([]int(nil), steps...), MemStep: m}
+			}
+		}
+	}
+	if best.CoreSteps == nil {
+		return Decision{CoreSteps: make([]int, n), MemStep: 0}, nil
+	}
+	return best, nil
+}
+
+// candidateNorms collects the distinct normalized frequency levels of
+// every core ladder in the snapshot, ascending.
+func candidateNorms(s *Snapshot) []float64 {
+	seen := map[float64]bool{}
+	var norms []float64
+	for i := 0; i < s.N(); i++ {
+		lad := s.ladder(i)
+		for k := 0; k < lad.Len(); k++ {
+			x := lad.NormFreq(k)
+			if !seen[x] {
+				seen[x] = true
+				norms = append(norms, x)
+			}
+		}
+	}
+	sort.Float64s(norms)
+	return norms
 }
 
 func uniformSteps(n, step int) []int {

@@ -12,10 +12,11 @@ import (
 // removes nearly all per-decision allocation. A policy instance must
 // not be used from multiple goroutines.
 type solveScratch struct {
-	solver core.Solver
-	mc     qmodel.Multi
-	in     core.Inputs
-	cands  []float64
+	solver  core.Solver
+	mc      qmodel.Multi
+	in      core.Inputs
+	cands   []float64
+	zratios []float64
 }
 
 // load points the optimizer inputs at the snapshot's slices (valid for
@@ -33,8 +34,25 @@ func (sc *solveScratch) load(s *Snapshot, cands []float64) *core.Inputs {
 	sc.in.SbBar = s.SbBar
 	sc.in.SbCandidates = cands
 	sc.in.Budget = s.BudgetW
-	sc.in.MaxZRatio = s.CoreLadder.StepRange()
+	if s.heterogeneous() {
+		sc.zratios = s.maxZRatios(sc.zratios[:0])
+		sc.in.MaxZRatio = 0
+		sc.in.MaxZRatios = sc.zratios
+	} else {
+		sc.in.MaxZRatio = s.CoreLadder.StepRange()
+		sc.in.MaxZRatios = nil
+	}
 	return &sc.in
+}
+
+// quantize maps the continuous solution onto the machine's ladders —
+// the per-core form on heterogeneous machines, the shared-ladder form
+// (the exact legacy computation) otherwise.
+func (sc *solveScratch) quantize(s *Snapshot, in *core.Inputs, res core.Result, guard bool) core.Assignment {
+	if s.heterogeneous() {
+		return sc.solver.QuantizePerCore(in, res, s.CoreLadders, s.MemLadder, guard)
+	}
+	return sc.solver.Quantize(in, res, s.CoreLadder, s.MemLadder, guard)
 }
 
 // FastCap is the paper's algorithm: the O(N·log M) joint core/memory
@@ -81,7 +99,7 @@ func (f *FastCap) Decide(s *Snapshot) (Decision, error) {
 	if err != nil {
 		return Decision{}, err
 	}
-	a := f.sc.solver.Quantize(in, res, s.CoreLadder, s.MemLadder, f.Guard)
+	a := f.sc.quantize(s, in, res, f.Guard)
 	// Candidate index i corresponds to memory ladder step M-1-i; the
 	// quantizer already produced the ladder step directly.
 	return Decision{CoreSteps: a.CoreSteps, MemStep: a.MemStep}, nil
@@ -114,6 +132,6 @@ func (p *CPUOnly) Decide(s *Snapshot) (Decision, error) {
 	if err != nil {
 		return Decision{}, err
 	}
-	a := p.sc.solver.Quantize(in, res, s.CoreLadder, s.MemLadder, p.Guard)
+	a := p.sc.quantize(s, in, res, p.Guard)
 	return Decision{CoreSteps: a.CoreSteps, MemStep: s.MemLadder.MaxStep()}, nil
 }

@@ -37,7 +37,6 @@ func (p *FreqPar) Decide(s *Snapshot) (Decision, error) {
 		return Decision{}, err
 	}
 	n := s.N()
-	fMinNorm := s.CoreLadder.NormFreq(0)
 	if p.quota < 0 {
 		p.quota = float64(n) // start at all-max
 	}
@@ -60,7 +59,6 @@ func (p *FreqPar) Decide(s *Snapshot) (Decision, error) {
 		slope = 1
 	}
 	p.quota += p.Gain * (coreBudget - measured) / slope
-	p.quota = math.Max(float64(n)*fMinNorm, math.Min(float64(n), p.quota))
 
 	// Efficiency-weighted division: throughput per watt at the current
 	// operating point. Inefficient cores receive less frequency — the
@@ -68,7 +66,6 @@ func (p *FreqPar) Decide(s *Snapshot) (Decision, error) {
 	mc := s.multi()
 	sb := s.sbForMemStep(s.CurMemStep)
 	weights := make([]float64, n)
-	sumW := 0.0
 	for i := 0; i < n; i++ {
 		bips := s.IPA[i] / s.turnaround(i, s.CurCoreSteps[i], sb, mc)
 		w := s.MeasuredCoreW[i]
@@ -76,10 +73,27 @@ func (p *FreqPar) Decide(s *Snapshot) (Decision, error) {
 			w = 1e-3
 		}
 		weights[i] = bips / w
-		sumW += weights[i]
 	}
-	shares := distributeQuota(p.quota, weights, fMinNorm, 1)
 	steps := make([]int, n)
+	if s.heterogeneous() {
+		// Each core's share is normalized to its own ladder, so the
+		// per-core lower clamp is that ladder's minimum level.
+		lo := make([]float64, n)
+		loSum := 0.0
+		for i := 0; i < n; i++ {
+			lo[i] = s.ladder(i).NormFreq(0)
+			loSum += lo[i]
+		}
+		p.quota = math.Max(loSum, math.Min(float64(n), p.quota))
+		shares := distributeQuotaBounds(p.quota, weights, lo, 1)
+		for i := 0; i < n; i++ {
+			steps[i] = s.ladder(i).NearestNorm(shares[i])
+		}
+		return Decision{CoreSteps: steps, MemStep: s.MemLadder.MaxStep()}, nil
+	}
+	fMinNorm := s.CoreLadder.NormFreq(0)
+	p.quota = math.Max(float64(n)*fMinNorm, math.Min(float64(n), p.quota))
+	shares := distributeQuota(p.quota, weights, fMinNorm, 1)
 	for i := 0; i < n; i++ {
 		steps[i] = s.CoreLadder.NearestNorm(shares[i])
 	}
@@ -121,6 +135,61 @@ func distributeQuota(quota float64, weights []float64, lo, hi float64) []float64
 		return sum
 	}
 	if quota <= float64(n)*lo {
+		fill(0)
+		return shares
+	}
+	if quota >= float64(n)*hi {
+		fill(math.Inf(1))
+		return shares
+	}
+	loLam, hiLam := 0.0, hi/minW // at hiLam every share clamps to hi
+	for it := 0; it < 60; it++ {
+		mid := 0.5 * (loLam + hiLam)
+		if fill(mid) < quota {
+			loLam = mid
+		} else {
+			hiLam = mid
+		}
+	}
+	fill(hiLam)
+	return shares
+}
+
+// distributeQuotaBounds is distributeQuota with a per-core lower clamp:
+// on heterogeneous machines each core's share is normalized to its own
+// ladder, whose minimum level differs per class. Same bisection on the
+// monotone Σ clamp(λ·w_i, lo_i, hi).
+func distributeQuotaBounds(quota float64, weights, lo []float64, hi float64) []float64 {
+	n := len(weights)
+	shares := make([]float64, n)
+	w := make([]float64, n)
+	minW := math.Inf(1)
+	loSum := 0.0
+	for i, v := range weights {
+		if v <= 0 || math.IsNaN(v) {
+			v = 1e-9
+		}
+		w[i] = v
+		if v < minW {
+			minW = v
+		}
+		loSum += lo[i]
+	}
+	fill := func(lam float64) float64 {
+		sum := 0.0
+		for i := 0; i < n; i++ {
+			s := lam * w[i]
+			if s < lo[i] {
+				s = lo[i]
+			} else if s > hi {
+				s = hi
+			}
+			shares[i] = s
+			sum += s
+		}
+		return sum
+	}
+	if quota <= loSum {
 		fill(0)
 		return shares
 	}

@@ -55,11 +55,12 @@ func (p *Greedy) Decide(s *Snapshot) (Decision, error) {
 			resp[i] = mc.CoreResponse(i, sb)
 		}
 		bips := func(i, step int) float64 {
-			z := s.ZBar[i] * s.CoreLadder.Max() / s.CoreLadder.Freq(step)
+			lad := s.ladder(i)
+			z := s.ZBar[i] * lad.Max() / lad.Freq(step)
 			return s.IPA[i] / (z + s.C[i] + resp[i])
 		}
 		pw := func(i, step int) float64 {
-			return s.Power.Cores[i].At(s.CoreLadder.NormFreq(step))
+			return s.Power.Cores[i].At(s.ladder(i).NormFreq(step))
 		}
 
 		steps := make([]int, n)
@@ -76,7 +77,7 @@ func (p *Greedy) Decide(s *Snapshot) (Decision, error) {
 
 		h := &upgradeHeap{}
 		mk := func(i int) (upgrade, bool) {
-			if steps[i] >= s.CoreLadder.MaxStep() {
+			if steps[i] >= s.ladder(i).MaxStep() {
 				return upgrade{}, false
 			}
 			dPw := pw(i, steps[i]+1) - pw(i, steps[i])

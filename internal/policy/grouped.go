@@ -15,6 +15,11 @@ import (
 type GroupedFastCap struct {
 	Guard  bool
 	Groups []core.BudgetGroup
+
+	// solver carries guard scratch across Decide calls (one instance
+	// drives one run), matching the solveScratch reuse of the other
+	// FastCap-family policies.
+	solver core.Solver
 }
 
 // NewGroupedFastCap builds the policy for the given socket budgets.
@@ -40,7 +45,12 @@ func (p *GroupedFastCap) Decide(s *Snapshot) (Decision, error) {
 	if err != nil {
 		return Decision{}, err
 	}
-	a := gi.Quantize(res, s.CoreLadder, s.MemLadder, p.Guard)
+	var a core.Assignment
+	if s.heterogeneous() {
+		a = p.solver.QuantizePerCore(&gi.Inputs, res, s.CoreLadders, s.MemLadder, p.Guard)
+	} else {
+		a = gi.Quantize(res, s.CoreLadder, s.MemLadder, p.Guard)
+	}
 	if p.Guard {
 		p.enforceGroups(s, a.CoreSteps)
 	}
@@ -55,7 +65,7 @@ func (p *GroupedFastCap) enforceGroups(s *Snapshot, steps []int) {
 		power := func() float64 {
 			sum := 0.0
 			for _, i := range g.Cores {
-				sum += s.Power.Cores[i].At(s.CoreLadder.NormFreq(steps[i]))
+				sum += s.Power.Cores[i].At(s.ladder(i).NormFreq(steps[i]))
 			}
 			return sum
 		}

@@ -1,0 +1,144 @@
+package policy
+
+import (
+	"testing"
+
+	"repro/internal/dvfs"
+)
+
+// heteroSnap converts the standard test snapshot to a mixed-ladder
+// machine: even cores keep the big ladder, odd cores get the little
+// one (whose power models are scaled down to match).
+func heteroSnap(n int, budgetFrac float64) *Snapshot {
+	s := snap(n, budgetFrac)
+	big := s.CoreLadder
+	little := dvfs.EfficiencyCoreLadder()
+	s.CoreLadders = make([]*dvfs.Ladder, n)
+	for i := 0; i < n; i++ {
+		if i%2 == 0 {
+			s.CoreLadders[i] = big
+		} else {
+			s.CoreLadders[i] = little
+			s.Power.Cores[i].Scale = 1.4
+			s.Power.Cores[i].Static = 0.2
+			s.MeasuredCoreW[i] = 1.1
+			s.CurCoreSteps[i] = little.MaxStep()
+		}
+	}
+	s.CoreLadder = nil // heterogeneous snapshots carry only per-core ladders
+	s.BudgetW = budgetFrac * s.Power.Peak()
+	return s
+}
+
+// checkHeteroDecision verifies each core's step against its own ladder.
+func checkHeteroDecision(t *testing.T, s *Snapshot, d Decision) {
+	t.Helper()
+	if len(d.CoreSteps) != s.N() {
+		t.Fatalf("decision has %d core steps for %d cores", len(d.CoreSteps), s.N())
+	}
+	for i, st := range d.CoreSteps {
+		if st < 0 || st >= s.CoreLadders[i].Len() {
+			t.Errorf("core %d step %d outside its own %d-step ladder", i, st, s.CoreLadders[i].Len())
+		}
+	}
+	if d.MemStep < 0 || d.MemStep >= s.MemLadder.Len() {
+		t.Errorf("mem step %d out of range", d.MemStep)
+	}
+}
+
+// Every policy must produce decisions whose steps respect per-core
+// ladders on a heterogeneous snapshot, across budgets.
+func TestAllPoliciesHeteroLadders(t *testing.T) {
+	pols := append(allPolicies(), NewGreedy())
+	for _, p := range pols {
+		for _, frac := range []float64{0.4, 0.6, 0.8, 1.0} {
+			s := heteroSnap(16, frac)
+			d, err := p.Decide(s)
+			if err != nil {
+				t.Fatalf("%s at %.0f%%: %v", p.Name(), frac*100, err)
+			}
+			checkHeteroDecision(t, s, d)
+		}
+	}
+	// MaxBIPS separately: its exhaustive search bounds the core count.
+	for _, frac := range []float64{0.5, 0.9} {
+		s := heteroSnap(4, frac)
+		d, err := NewMaxBIPS().Decide(s)
+		if err != nil {
+			t.Fatalf("MaxBIPS at %.0f%%: %v", frac*100, err)
+		}
+		checkHeteroDecision(t, s, d)
+	}
+}
+
+// FastCap's guarded quantization must keep the model-predicted power
+// at or under the budget on mixed ladders whenever the floor allows.
+func TestFastCapHeteroGuardRespectsBudget(t *testing.T) {
+	for _, frac := range []float64{0.4, 0.5, 0.6, 0.8} {
+		s := heteroSnap(16, frac)
+		d, err := NewFastCap().Decide(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		floor := true
+		for _, st := range d.CoreSteps {
+			if st != 0 {
+				floor = false
+				break
+			}
+		}
+		if pw := s.PredictPower(d.CoreSteps, d.MemStep); pw > s.BudgetW+1e-9 && !(floor && d.MemStep == 0) {
+			t.Errorf("budget %.0f%%: predicted %.2f W over cap %.2f W off the floor", frac*100, pw, s.BudgetW)
+		}
+	}
+}
+
+// A heterogeneous snapshot missing a per-core ladder is rejected.
+func TestHeteroSnapshotValidation(t *testing.T) {
+	s := heteroSnap(8, 0.6)
+	s.CoreLadders[3] = nil
+	if err := s.Validate(); err == nil {
+		t.Error("nil per-core ladder accepted")
+	}
+	s = heteroSnap(8, 0.6)
+	s.CoreLadders = s.CoreLadders[:7]
+	if err := s.Validate(); err == nil {
+		t.Error("short CoreLadders accepted")
+	}
+	s = heteroSnap(8, 0.6)
+	s.CoreLadders = nil // CoreLadder was cleared too: no ladder at all
+	if err := s.Validate(); err == nil {
+		t.Error("snapshot with no ladders accepted")
+	}
+}
+
+// Eql-Freq's heterogeneous form must still behave like "one chip-wide
+// setting": on a machine where all ladders are the same values but
+// distinct pointers, it must agree with the homogeneous code path.
+func TestEqlFreqHeteroMatchesUniform(t *testing.T) {
+	for _, frac := range []float64{0.5, 0.7, 1.0} {
+		hom := snap(12, frac)
+		dHom, err := NewEqlFreq().Decide(hom)
+		if err != nil {
+			t.Fatal(err)
+		}
+		het := snap(12, frac)
+		het.CoreLadders = make([]*dvfs.Ladder, het.N())
+		for i := range het.CoreLadders {
+			het.CoreLadders[i] = dvfs.DefaultCoreLadder() // distinct pointers, same values
+		}
+		het.CoreLadder = nil
+		dHet, err := NewEqlFreq().Decide(het)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dHom.MemStep != dHet.MemStep {
+			t.Errorf("budget %.0f%%: mem step %d vs %d", frac*100, dHom.MemStep, dHet.MemStep)
+		}
+		for i := range dHom.CoreSteps {
+			if dHom.CoreSteps[i] != dHet.CoreSteps[i] {
+				t.Errorf("budget %.0f%%: core %d step %d vs %d", frac*100, i, dHom.CoreSteps[i], dHet.CoreSteps[i])
+			}
+		}
+	}
+}

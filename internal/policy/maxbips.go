@@ -36,16 +36,19 @@ func (p *MaxBIPS) Decide(s *Snapshot) (Decision, error) {
 	if n > p.MaxCores {
 		return Decision{}, fmt.Errorf("maxbips: %d cores exceeds exhaustive-search bound %d (O(F^N))", n, p.MaxCores)
 	}
-	f := s.CoreLadder.Len()
 	mc := s.multi()
 
-	// Precompute per-core power and per-(core, memstep) turn-around
-	// denominators so the inner loop is cheap.
+	// Precompute per-core ladder sizes, power and per-(core, memstep)
+	// turn-around denominators so the inner loop is cheap. Each core's
+	// step space is its own ladder (heterogeneous machines mix sizes).
+	f := make([]int, n)
 	pw := make([][]float64, n)
 	for i := 0; i < n; i++ {
-		pw[i] = make([]float64, f)
-		for k := 0; k < f; k++ {
-			pw[i][k] = s.Power.Cores[i].At(s.CoreLadder.NormFreq(k))
+		lad := s.ladder(i)
+		f[i] = lad.Len()
+		pw[i] = make([]float64, f[i])
+		for k := 0; k < f[i]; k++ {
+			pw[i][k] = s.Power.Cores[i].At(lad.NormFreq(k))
 		}
 	}
 
@@ -69,7 +72,8 @@ func (p *MaxBIPS) Decide(s *Snapshot) (Decision, error) {
 			bips := 0.0
 			for i := 0; i < n; i++ {
 				total += pw[i][steps[i]]
-				z := s.ZBar[i] * s.CoreLadder.Max() / s.CoreLadder.Freq(steps[i])
+				lad := s.ladder(i)
+				z := s.ZBar[i] * lad.Max() / lad.Freq(steps[i])
 				bips += s.IPA[i] / (z + s.C[i] + resp[i])
 			}
 			if total <= s.BudgetW && bips > bestBIPS {
@@ -77,11 +81,11 @@ func (p *MaxBIPS) Decide(s *Snapshot) (Decision, error) {
 				bestSteps = append(bestSteps[:0], steps...)
 				bestMem = m
 			}
-			// Odometer increment over the F^N space.
+			// Odometer increment over the ΠF_i space.
 			j := 0
 			for ; j < n; j++ {
 				steps[j]++
-				if steps[j] < f {
+				if steps[j] < f[j] {
 					break
 				}
 				steps[j] = 0

@@ -41,9 +41,14 @@ type Snapshot struct {
 	AccessProb [][]float64
 	// SbBar is the minimum bus transfer time, ns.
 	SbBar float64
-	// Ladders.
-	CoreLadder *dvfs.Ladder
-	MemLadder  *dvfs.Ladder
+	// Ladders. CoreLadder is the shared core ladder of a homogeneous
+	// machine; on a heterogeneous machine CoreLadders[i] is core i's own
+	// ladder (all entries non-nil) and CoreLadder may be nil. Policies
+	// must go through ladder(i) — never index a shared ladder directly —
+	// so each core's steps always land on its own ladder.
+	CoreLadder  *dvfs.Ladder
+	CoreLadders []*dvfs.Ladder
+	MemLadder   *dvfs.Ladder
 	// BudgetW is the full-system cap in watts.
 	BudgetW float64
 	// Measured powers from the profiling window (feedback policies).
@@ -71,8 +76,20 @@ func (s *Snapshot) Validate() error {
 	if len(s.MemStats) == 0 {
 		return fmt.Errorf("policy: no controller stats")
 	}
-	if s.CoreLadder == nil || s.MemLadder == nil {
-		return fmt.Errorf("policy: missing ladders")
+	if s.MemLadder == nil {
+		return fmt.Errorf("policy: missing memory ladder")
+	}
+	if s.CoreLadders != nil {
+		if len(s.CoreLadders) != n {
+			return fmt.Errorf("policy: %d core ladders for %d cores", len(s.CoreLadders), n)
+		}
+		for i, l := range s.CoreLadders {
+			if l == nil {
+				return fmt.Errorf("policy: core %d has no ladder", i)
+			}
+		}
+	} else if s.CoreLadder == nil {
+		return fmt.Errorf("policy: missing core ladder")
 	}
 	if s.SbBar <= 0 || s.BudgetW <= 0 {
 		return fmt.Errorf("policy: non-positive SbBar or budget")
@@ -94,6 +111,19 @@ type Policy interface {
 	Decide(s *Snapshot) (Decision, error)
 }
 
+// ladder returns core i's DVFS ladder: its own on a heterogeneous
+// machine, the shared one otherwise.
+func (s *Snapshot) ladder(i int) *dvfs.Ladder {
+	if s.CoreLadders != nil {
+		return s.CoreLadders[i]
+	}
+	return s.CoreLadder
+}
+
+// heterogeneous reports whether cores carry their own ladders. Policies
+// whose homogeneous code path must stay bit-identical branch on this.
+func (s *Snapshot) heterogeneous() bool { return s.CoreLadders != nil }
+
 // multi builds the weighted response model from the snapshot.
 func (s *Snapshot) multi() *qmodel.Multi {
 	return &qmodel.Multi{Stats: s.MemStats, Access: s.AccessProb}
@@ -108,7 +138,7 @@ func (s *Snapshot) response() core.ResponseFunc {
 // inputs assembles the FastCap optimizer inputs; sbCandidates may be
 // restricted (CPU-only passes just {SbBar}).
 func (s *Snapshot) inputs(sbCandidates []float64) *core.Inputs {
-	return &core.Inputs{
+	in := &core.Inputs{
 		ZBar:         s.ZBar,
 		C:            s.C,
 		Power:        s.Power,
@@ -116,8 +146,21 @@ func (s *Snapshot) inputs(sbCandidates []float64) *core.Inputs {
 		SbBar:        s.SbBar,
 		SbCandidates: sbCandidates,
 		Budget:       s.BudgetW,
-		MaxZRatio:    s.CoreLadder.StepRange(),
 	}
+	if s.heterogeneous() {
+		in.MaxZRatios = s.maxZRatios(nil)
+	} else {
+		in.MaxZRatio = s.CoreLadder.StepRange()
+	}
+	return in
+}
+
+// maxZRatios appends each core's own f_max/f_min dilation bound to dst.
+func (s *Snapshot) maxZRatios(dst []float64) []float64 {
+	for i := 0; i < s.N(); i++ {
+		dst = append(dst, s.ladder(i).StepRange())
+	}
+	return dst
 }
 
 // sbForMemStep converts a memory ladder step to its bus transfer time.
@@ -125,10 +168,11 @@ func (s *Snapshot) sbForMemStep(step int) float64 {
 	return s.SbBar * s.MemLadder.Max() / s.MemLadder.Freq(step)
 }
 
-// turnaround returns core i's mean turn-around time at a core ladder
-// step and bus transfer time sb.
+// turnaround returns core i's mean turn-around time at a step of its
+// own core ladder and bus transfer time sb.
 func (s *Snapshot) turnaround(i, coreStep int, sb float64, mc *qmodel.Multi) float64 {
-	z := s.ZBar[i] * s.CoreLadder.Max() / s.CoreLadder.Freq(coreStep)
+	lad := s.ladder(i)
+	z := s.ZBar[i] * lad.Max() / lad.Freq(coreStep)
 	return z + s.C[i] + mc.CoreResponse(i, sb)
 }
 
@@ -137,11 +181,12 @@ func (s *Snapshot) minTurnaround(i int, mc *qmodel.Multi) float64 {
 	return s.ZBar[i] + s.C[i] + mc.CoreResponse(i, s.SbBar)
 }
 
-// PredictPower evaluates the fitted models at a full assignment.
+// PredictPower evaluates the fitted models at a full assignment; each
+// core's step is interpreted on that core's own ladder.
 func (s *Snapshot) PredictPower(coreSteps []int, memStep int) float64 {
 	p := s.Power.Ps + s.Power.Mem.At(s.MemLadder.NormFreq(memStep))
 	for i, st := range coreSteps {
-		p += s.Power.Cores[i].At(s.CoreLadder.NormFreq(st))
+		p += s.Power.Cores[i].At(s.ladder(i).NormFreq(st))
 	}
 	return p
 }

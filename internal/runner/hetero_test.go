@@ -1,0 +1,218 @@
+package runner_test
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/cpusim"
+	"repro/internal/dvfs"
+	"repro/internal/policy"
+	"repro/internal/runner"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// heteroConfig is a 2 big + 2 little machine on a fast epoch.
+func heteroConfig(t *testing.T) runner.Config {
+	t.Helper()
+	mix, err := workload.MixByName("MIX3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := sim.DefaultConfig(4)
+	sc.EpochNs = 5e5
+	sc.ProfileNs = 5e4
+	sc.Machine = &sim.MachineSpec{
+		Name: "bigLITTLE-2+2",
+		Classes: []sim.CoreClass{
+			{Name: "big", Count: 2},
+			{Name: "little", Count: 2,
+				Ladder:       dvfs.EfficiencyCoreLadder(),
+				Power:        cpusim.PowerConfig{DynMaxW: 1.5, StaticW: 0.2, GateFrac: 0.12},
+				ExecCPIScale: 1.25},
+		},
+	}
+	return runner.Config{Sim: sc, Mix: mix, BudgetFrac: 0.6, Epochs: 6, Policy: policy.NewFastCap()}
+}
+
+// The golden back-compat guarantee of the MachineSpec seam: a
+// homogeneous config expressed as a machine spec — one class, or
+// several classes that all resolve to the same ladder and power —
+// produces a byte-identical Result to the legacy (nil Machine) path.
+func TestMachineSpecHomogeneousGolden(t *testing.T) {
+	mix, err := workload.MixByName("MIX3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := func() runner.Config {
+		sc := sim.DefaultConfig(8)
+		sc.EpochNs = 5e5
+		sc.ProfileNs = 5e4
+		return runner.Config{Sim: sc, Mix: mix, BudgetFrac: 0.6, Epochs: 5, Policy: policy.NewFastCap()}
+	}
+	legacy, err := runner.Run(base())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	specs := map[string]*sim.MachineSpec{
+		// Everything inherited from the config defaults.
+		"one inherited class": {Name: "flat", Classes: []sim.CoreClass{{Name: "all", Count: 8}}},
+		// The same machine spelled out explicitly: a different ladder
+		// pointer with identical values and the default power written out.
+		"one explicit class": {Name: "flat", Classes: []sim.CoreClass{{
+			Name: "all", Count: 8, Ladder: dvfs.DefaultCoreLadder(), Power: cpusim.DefaultPower(), ExecCPIScale: 1,
+		}}},
+		// A partition into classes that are all identical.
+		"two identical classes": {Name: "flat", Classes: []sim.CoreClass{
+			{Name: "left", Count: 4}, {Name: "right", Count: 4},
+		}},
+	}
+	for name, spec := range specs {
+		t.Run(name, func(t *testing.T) {
+			cfg := base()
+			cfg.Policy = policy.NewFastCap() // fresh scratch per run
+			cfg.Sim.Machine = spec
+			got, err := runner.Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, legacy) {
+				t.Errorf("machine-spec run diverged from the legacy homogeneous run")
+			}
+		})
+	}
+}
+
+// Every epoch's decision must land each core on its own class ladder,
+// and identical heterogeneous runs must be deterministic.
+func TestHeteroStepsOnOwnLadders(t *testing.T) {
+	cfg := heteroConfig(t)
+	layout, err := cfg.Sim.Layout()
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() *runner.Result {
+		t.Helper()
+		c := cfg
+		c.Policy = policy.NewFastCap()
+		res, err := runner.Run(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	res := run()
+	if len(res.Epochs) != cfg.Epochs {
+		t.Fatalf("ran %d epochs, want %d", len(res.Epochs), cfg.Epochs)
+	}
+	for _, e := range res.Epochs {
+		for i, st := range e.CoreSteps {
+			if st < 0 || st >= layout.Ladder(i).Len() {
+				t.Fatalf("epoch %d core %d step %d outside its ladder of %d steps", e.Epoch, i, st, layout.Ladder(i).Len())
+			}
+		}
+		if e.PredictedPowerW > e.BudgetW+1e-9 {
+			t.Errorf("epoch %d predicted %.3f W over the %.3f W cap", e.Epoch, e.PredictedPowerW, e.BudgetW)
+		}
+	}
+	if again := run(); !reflect.DeepEqual(again, res) {
+		t.Error("identical heterogeneous runs diverged")
+	}
+}
+
+// Every comparison policy must run on the asymmetric machine and keep
+// each core's step on that core's own ladder.
+func TestHeteroAllPolicies(t *testing.T) {
+	pols := []policy.Policy{
+		policy.NewFastCap(), policy.NewCPUOnly(), policy.NewFreqPar(),
+		policy.NewEqlPwr(), policy.NewEqlFreq(), policy.NewGreedy(), policy.NewMaxBIPS(),
+	}
+	cfg := heteroConfig(t)
+	layout, err := cfg.Sim.Layout()
+	if err != nil {
+		t.Fatal(err)
+	}
+	littleMax := layout.Ladder(2).Len() - 1
+	bigMax := layout.Ladder(0).Len() - 1
+	if littleMax >= bigMax {
+		t.Fatalf("test machine wants a smaller little ladder (big %d, little %d)", bigMax, littleMax)
+	}
+	for _, pol := range pols {
+		t.Run(pol.Name(), func(t *testing.T) {
+			c := cfg
+			c.Policy = pol
+			res, err := runner.Run(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, e := range res.Epochs {
+				for i, st := range e.CoreSteps {
+					if st < 0 || st >= layout.Ladder(i).Len() {
+						t.Fatalf("%s: epoch %d core %d step %d outside its %d-step ladder",
+							pol.Name(), e.Epoch, i, st, layout.Ladder(i).Len())
+					}
+				}
+			}
+		})
+	}
+}
+
+// Explicit placement machines run without a Table III mix and name the
+// Result after the machine.
+func TestHeteroPlacementWorkload(t *testing.T) {
+	sc := sim.DefaultConfig(4)
+	sc.EpochNs = 5e5
+	sc.ProfileNs = 5e4
+	sc.Machine = &sim.MachineSpec{
+		Name: "pinned",
+		Classes: []sim.CoreClass{
+			{Name: "big", Count: 2, Apps: []string{"swim", "crafty"}},
+			{Name: "little", Count: 2, Ladder: dvfs.EfficiencyCoreLadder(), Apps: []string{"ammp"}},
+		},
+	}
+	cfg := runner.Config{Sim: sc, BudgetFrac: 0.6, Epochs: 3, Policy: policy.NewFastCap()}
+	res, err := runner.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mix != "pinned" {
+		t.Errorf("placement run mix label %q, want machine name", res.Mix)
+	}
+	if len(res.Epochs) != 3 {
+		t.Errorf("ran %d epochs, want 3", len(res.Epochs))
+	}
+}
+
+// Machine-spec validation failures surface as ErrInvalidConfig.
+func TestHeteroValidation(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*runner.Config)
+	}{
+		{"counts mismatch", func(c *runner.Config) { c.Sim.Machine.Classes[0].Count = 1 }},
+		{"negative CPI scale", func(c *runner.Config) { c.Sim.Machine.Classes[1].ExecCPIScale = -2 }},
+		{"duplicate class name", func(c *runner.Config) { c.Sim.Machine.Classes[1].Name = "big" }},
+		{"unnamed class", func(c *runner.Config) { c.Sim.Machine.Classes[0].Name = "" }},
+		{"partial placement", func(c *runner.Config) { c.Sim.Machine.Classes[0].Apps = []string{"swim"} }},
+		{"placement not dividing count", func(c *runner.Config) {
+			c.Sim.Machine.Classes[0].Apps = []string{"swim", "ammp", "gap"}
+			c.Sim.Machine.Classes[1].Apps = []string{"vpr"}
+		}},
+		{"unknown placed app", func(c *runner.Config) {
+			c.Sim.Machine.Classes[0].Apps = []string{"nonesuch"}
+			c.Sim.Machine.Classes[1].Apps = []string{"ammp"}
+		}},
+		{"negative class power", func(c *runner.Config) { c.Sim.Machine.Classes[1].Power.DynMaxW = -1 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := heteroConfig(t)
+			tc.mutate(&cfg)
+			if _, err := runner.NewSession(cfg); !errors.Is(err, runner.ErrInvalidConfig) {
+				t.Errorf("got %v, want ErrInvalidConfig", err)
+			}
+		})
+	}
+}

@@ -175,6 +175,7 @@ func combineBreakdown(prof, rest sim.Profile) (coresW, memW float64) {
 type controllerState struct {
 	cfg          Config
 	plat         Platform
+	layout       *sim.MachineLayout
 	coreFitters  []*power.Fitter
 	memFitter    *power.Fitter
 	lastZBar     []float64
@@ -186,11 +187,12 @@ type controllerState struct {
 	snap policy.Snapshot
 }
 
-func newControllerState(cfg Config, wl *workload.Workload, plat Platform) *controllerState {
+func newControllerState(cfg Config, wl *workload.Workload, plat Platform, layout *sim.MachineLayout) *controllerState {
 	n := cfg.Sim.Cores
 	st := &controllerState{
 		cfg:          cfg,
 		plat:         plat,
+		layout:       layout,
 		lastZBar:     make([]float64, n),
 		lastIPA:      make([]float64, n),
 		curCoreSteps: make([]int, n),
@@ -198,11 +200,12 @@ func newControllerState(cfg Config, wl *workload.Workload, plat Platform) *contr
 	}
 	for i := 0; i < n; i++ {
 		app := wl.Apps[i]
-		guess := cfg.Sim.CorePower.DynMaxW * app.Activity
-		st.coreFitters = append(st.coreFitters, power.NewCoreFitter(cfg.Sim.CorePower.StaticW, guess))
+		pc := layout.Power(i)
+		guess := pc.DynMaxW * app.Activity
+		st.coreFitters = append(st.coreFitters, power.NewCoreFitter(pc.StaticW, guess))
 		st.lastZBar[i] = 500 // neutral prior until first profile
 		st.lastIPA[i] = app.InstrPerMiss()
-		st.curCoreSteps[i] = cfg.Sim.CoreLadder.MaxStep()
+		st.curCoreSteps[i] = layout.Ladder(i).MaxStep()
 	}
 	nCtl := float64(cfg.Sim.Controllers)
 	st.memFitter = power.NewMemFitter(
@@ -215,9 +218,8 @@ func newControllerState(cfg Config, wl *workload.Workload, plat Platform) *contr
 // observe feeds the profiling window's measurements to the fitters and
 // refreshes the Eq. 9 estimates.
 func (st *controllerState) observe(prof sim.Profile) {
-	coreMax := st.cfg.Sim.CoreLadder.Max()
 	for i, cp := range prof.Cores {
-		st.coreFitters[i].Observe(cp.FreqGHz/coreMax, cp.PowerW)
+		st.coreFitters[i].Observe(cp.FreqGHz/st.layout.Ladder(i).Max(), cp.PowerW)
 		if cp.ZBarNs > 0 {
 			st.lastZBar[i] = cp.ZBarNs
 		}
@@ -250,7 +252,8 @@ func (st *controllerState) snapshot(prof sim.Profile, budgetW float64) *policy.S
 	}
 	s.AccessProb = st.plat.AccessProb()
 	s.SbBar = st.plat.SbBarNs()
-	s.CoreLadder = st.cfg.Sim.CoreLadder
+	s.CoreLadder = st.layout.Uniform()
+	s.CoreLadders = st.layout.Ladders()
 	s.MemLadder = st.cfg.Sim.MemLadder
 	s.BudgetW = budgetW
 	s.MeasuredCoreW = s.MeasuredCoreW[:0]

@@ -9,7 +9,6 @@ import (
 	"sync/atomic"
 
 	"repro/internal/sim"
-	"repro/internal/workload"
 )
 
 // Platform is the minimal machine surface the §III-C controller needs:
@@ -163,6 +162,8 @@ type Session struct {
 // validateConfig fail-fasts on configuration the controller can reject
 // without building anything. hasTrace relaxes the static BudgetFrac
 // check, matching Run's historical contract for schedule-driven runs.
+// A machine spec with explicit app placement supplies the workload
+// itself, so the mix check is skipped for it.
 func validateConfig(cfg Config, hasTrace bool) error {
 	if cfg.Epochs <= 0 {
 		return fmt.Errorf("%w: epoch count %d, want > 0", ErrInvalidConfig, cfg.Epochs)
@@ -170,20 +171,36 @@ func validateConfig(cfg Config, hasTrace bool) error {
 	if !hasTrace && (math.IsNaN(cfg.BudgetFrac) || cfg.BudgetFrac <= 0 || cfg.BudgetFrac > 1) {
 		return fmt.Errorf("%w: budget fraction %g outside (0, 1]", ErrInvalidConfig, cfg.BudgetFrac)
 	}
-	empty := true
-	for _, a := range cfg.Mix.Apps {
-		if a != "" {
-			empty = false
-			break
+	if !machineHasPlacement(cfg.Sim.Machine) {
+		empty := true
+		for _, a := range cfg.Mix.Apps {
+			if a != "" {
+				empty = false
+				break
+			}
 		}
-	}
-	if empty {
-		return fmt.Errorf("%w: workload mix %q names no applications", ErrInvalidConfig, cfg.Mix.Name)
+		if empty {
+			return fmt.Errorf("%w: workload mix %q names no applications", ErrInvalidConfig, cfg.Mix.Name)
+		}
 	}
 	if cfg.Sim.Cores <= 0 {
 		return fmt.Errorf("%w: core count %d, want > 0", ErrInvalidConfig, cfg.Sim.Cores)
 	}
 	return nil
+}
+
+// machineHasPlacement reports whether the machine spec pins apps to
+// core classes (full placement is enforced by the spec's own Validate).
+func machineHasPlacement(m *sim.MachineSpec) bool {
+	if m == nil {
+		return false
+	}
+	for _, cl := range m.Classes {
+		if len(cl.Apps) > 0 {
+			return true
+		}
+	}
+	return false
 }
 
 // NewSession validates the configuration, builds the platform (unless
@@ -200,7 +217,15 @@ func NewSession(cfg Config, opts ...SessionOption) (*Session, error) {
 	if err := validateConfig(cfg, o.trace != nil); err != nil {
 		return nil, err
 	}
-	wl, err := workload.Instantiate(cfg.Mix, cfg.Sim.Cores)
+	layout, err := cfg.Sim.Layout()
+	if err != nil {
+		return nil, fmt.Errorf("%w: %w", ErrInvalidConfig, err)
+	}
+	name := cfg.Mix.Name
+	if name == "" && cfg.Sim.Machine != nil {
+		name = cfg.Sim.Machine.Name
+	}
+	wl, err := layout.Workload(cfg.Mix, name, cfg.Sim.Cores)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %w", ErrInvalidConfig, err)
 	}
@@ -226,7 +251,7 @@ func NewSession(cfg Config, opts ...SessionOption) (*Session, error) {
 	peak := plat.PeakPowerW()
 
 	res := &Result{
-		Mix:        cfg.Mix.Name,
+		Mix:        wl.Spec.Name,
 		Cores:      cfg.Sim.Cores,
 		PeakW:      peak,
 		BudgetW:    cfg.BudgetFrac * peak,
@@ -241,7 +266,7 @@ func NewSession(cfg Config, opts ...SessionOption) (*Session, error) {
 	s := &Session{
 		cfg:        cfg,
 		plat:       plat,
-		st:         newControllerState(cfg, wl, plat),
+		st:         newControllerState(cfg, wl, plat, layout),
 		res:        res,
 		peak:       peak,
 		observers:  o.observers,

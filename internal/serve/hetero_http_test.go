@@ -1,0 +1,250 @@
+package serve_test
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"testing"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// quickMachineReq is quickReq on a 2+2 big.LITTLE machine.
+func quickMachineReq(mix string, epochs int) serve.Request {
+	req := quickReq(mix, 4, epochs, 0.6)
+	req.Machine = &serve.MachineRequest{
+		Name: "bigLITTLE-2+2",
+		Classes: []serve.ClassRequest{
+			{Name: "big", Count: 2},
+			{Name: "little", Count: 2, Ladder: "efficiency", DynMaxW: 1.5, StaticW: 0.2, GateFrac: 0.12, ExecCPIScale: 1.25},
+		},
+	}
+	return req
+}
+
+// Stream cursor edge cases: a negative or malformed ?from is a 400
+// before any NDJSON is committed, and a cursor past the end of a
+// finished session's stream terminates immediately with an empty body
+// instead of hanging.
+func TestHTTPStreamCursorEdgeCases(t *testing.T) {
+	srv, m := newServer(t, serve.Options{Workers: 1})
+	st := decodeStatus(t, doJSON(t, "POST", srv.URL+"/sessions", quickReq("MIX3", 4, 3, 0.6)))
+
+	// Let the session finish so past-end cursors exercise the terminal
+	// path, not the live-wait path.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		cur, err := m.Status(st.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cur.State.Terminal() {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("session never finished: %+v", cur)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	for _, tc := range []struct {
+		name string
+		from string
+		code int
+	}{
+		{"negative cursor", "-1", http.StatusBadRequest},
+		{"very negative cursor", "-9999999999999999999", http.StatusBadRequest},
+		{"malformed cursor", "three", http.StatusBadRequest},
+		{"float cursor", "1.5", http.StatusBadRequest},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			resp := doJSON(t, "GET", srv.URL+"/sessions/"+st.ID+"/stream?from="+tc.from, nil)
+			defer resp.Body.Close()
+			if resp.StatusCode != tc.code {
+				t.Errorf("from=%s status %d, want %d", tc.from, resp.StatusCode, tc.code)
+			}
+		})
+	}
+
+	// Past end-of-stream on the finished session: clean, prompt, empty.
+	for _, from := range []string{"3", "100", "9223372036854775807"} {
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			resp := doJSON(t, "GET", srv.URL+"/sessions/"+st.ID+"/stream?from="+from, nil)
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("from=%s status %d, want 200", from, resp.StatusCode)
+			}
+			body, err := io.ReadAll(resp.Body)
+			if err != nil {
+				t.Errorf("from=%s read: %v", from, err)
+			}
+			if len(body) != 0 {
+				t.Errorf("from=%s yielded %d bytes past end of stream", from, len(body))
+			}
+		}()
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			t.Fatalf("stream from=%s past end of finished session hung", from)
+		}
+	}
+}
+
+// A heterogeneous machine session over HTTP streams byte-identically
+// to the solo runner.Run of the same request.
+func TestHTTPMachineSessionGolden(t *testing.T) {
+	srv, _ := newServer(t, serve.Options{Workers: 2})
+	req := quickMachineReq("MIX3", 4)
+	solo := soloRun(t, req)
+
+	resp := doJSON(t, "POST", srv.URL+"/sessions", req)
+	if resp.StatusCode != http.StatusCreated {
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		t.Fatalf("create status %d: %s", resp.StatusCode, body)
+	}
+	st := decodeStatus(t, resp)
+
+	stream := doJSON(t, "GET", srv.URL+"/sessions/"+st.ID+"/stream", nil)
+	defer stream.Body.Close()
+	body, err := io.ReadAll(stream.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []byte
+	for _, e := range solo.Epochs {
+		want = append(want, mustJSON(t, e)...)
+		want = append(want, '\n')
+	}
+	if !bytes.Equal(body, want) {
+		t.Errorf("machine session stream diverged from solo run:\nserved: %s\nsolo:   %s", body, want)
+	}
+}
+
+// A full-placement machine needs no Table III mix; the status labels
+// the session with the machine name.
+func TestHTTPMachinePlacementWithoutMix(t *testing.T) {
+	srv, _ := newServer(t, serve.Options{Workers: 1})
+	req := serve.Request{
+		Policy:     "FastCap",
+		BudgetFrac: 0.6,
+		Cores:      4,
+		Epochs:     2,
+		EpochMs:    0.5,
+		Machine: &serve.MachineRequest{
+			Name: "pinned",
+			Classes: []serve.ClassRequest{
+				{Name: "big", Count: 2, Apps: []string{"swim", "crafty"}},
+				{Name: "little", Count: 2, Ladder: "efficiency", Apps: []string{"ammp"}},
+			},
+		},
+	}
+	resp := doJSON(t, "POST", srv.URL+"/sessions", req)
+	if resp.StatusCode != http.StatusCreated {
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		t.Fatalf("create status %d: %s", resp.StatusCode, body)
+	}
+	st := decodeStatus(t, resp)
+	if st.Mix != "pinned" {
+		t.Errorf("placement session mix label %q, want machine name", st.Mix)
+	}
+}
+
+// A class that overrides only dyn_max_w inherits the default leakage
+// and gating fields instead of running with literal zeros — otherwise
+// the machine's peak (and thus every watts budget) silently deflates.
+func TestHTTPMachinePartialPowerInherits(t *testing.T) {
+	partial := quickReq("MIX3", 4, 2, 0.6)
+	partial.Machine = &serve.MachineRequest{Classes: []serve.ClassRequest{
+		{Name: "all", Count: 4, DynMaxW: 4.2},
+	}}
+	full := quickReq("MIX3", 4, 2, 0.6)
+	full.Machine = &serve.MachineRequest{Classes: []serve.ClassRequest{
+		{Name: "all", Count: 4, DynMaxW: 4.2, StaticW: 0.5, GateFrac: 0.15},
+	}}
+	pc, err := partial.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc, err := full.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := pc.Sim.Machine.Classes[0].Power
+	want := fc.Sim.Machine.Classes[0].Power
+	if got != want {
+		t.Errorf("partial power spec resolved to %+v, want defaults filled in: %+v", got, want)
+	}
+}
+
+// Machine request validation: every malformed spec is a 400 with no
+// session left behind.
+func TestHTTPMachineValidation(t *testing.T) {
+	srv, m := newServer(t, serve.Options{Workers: 1})
+	base := func() serve.Request { return quickMachineReq("MIX3", 2) }
+
+	cases := []struct {
+		name   string
+		mutate func(*serve.Request)
+	}{
+		{"counts do not sum to cores", func(r *serve.Request) { r.Machine.Classes[0].Count = 3 }},
+		{"zero-count class", func(r *serve.Request) { r.Machine.Classes[0].Count = 0; r.Machine.Classes[1].Count = 4 }},
+		{"no classes", func(r *serve.Request) { r.Machine.Classes = nil }},
+		{"unknown ladder preset", func(r *serve.Request) { r.Machine.Classes[1].Ladder = "quantum" }},
+		{"preset and explicit ladder", func(r *serve.Request) {
+			r.Machine.Classes[1].LadderSteps = 4
+			r.Machine.Classes[1].FMinGHz, r.Machine.Classes[1].FMaxGHz = 1, 2
+			r.Machine.Classes[1].VMinV, r.Machine.Classes[1].VMaxV = 0.6, 1
+		}},
+		{"explicit ladder above step limit", func(r *serve.Request) {
+			r.Machine.Classes[1].Ladder = ""
+			r.Machine.Classes[1].LadderSteps = serve.MaxLadderSteps + 1
+		}},
+		{"explicit ladder with bad range", func(r *serve.Request) {
+			r.Machine.Classes[1].Ladder = ""
+			r.Machine.Classes[1].LadderSteps = 4
+			r.Machine.Classes[1].FMinGHz, r.Machine.Classes[1].FMaxGHz = 2, 1
+			r.Machine.Classes[1].VMinV, r.Machine.Classes[1].VMaxV = 0.6, 1
+		}},
+		{"duplicate class names", func(r *serve.Request) { r.Machine.Classes[1].Name = "big" }},
+		{"unnamed class", func(r *serve.Request) { r.Machine.Classes[0].Name = "" }},
+		{"negative CPI scale", func(r *serve.Request) { r.Machine.Classes[1].ExecCPIScale = -1 }},
+		{"partial placement", func(r *serve.Request) { r.Machine.Classes[0].Apps = []string{"swim"} }},
+		{"placement not dividing count", func(r *serve.Request) {
+			r.Machine.Classes[0].Apps = []string{"swim"}
+			r.Machine.Classes[1].Apps = []string{"ammp", "gap", "vpr"}
+		}},
+		{"unknown placed app", func(r *serve.Request) {
+			r.Machine.Classes[0].Apps = []string{"doom"}
+			r.Machine.Classes[1].Apps = []string{"ammp"}
+		}},
+		{"no mix and no placement", func(r *serve.Request) { r.Mix = "" }},
+		{"too many classes", func(r *serve.Request) {
+			r.Cores = 4 * (serve.MaxCoreClasses + 1)
+			var cls []serve.ClassRequest
+			for i := 0; i < serve.MaxCoreClasses+1; i++ {
+				cls = append(cls, serve.ClassRequest{Name: string(rune('a' + i)), Count: 4})
+			}
+			r.Machine.Classes = cls
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			req := base()
+			tc.mutate(&req)
+			resp := doJSON(t, "POST", srv.URL+"/sessions", req)
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Errorf("status %d, want 400 (%s)", resp.StatusCode, body)
+			}
+		})
+	}
+	if n := m.Count(); n != 0 {
+		t.Errorf("%d sessions resident after rejected creates, want 0", n)
+	}
+}

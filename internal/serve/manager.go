@@ -149,10 +149,16 @@ type session struct {
 func (s *session) status() Status {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	mixName := s.cfg.Mix.Name
+	if mixName == "" && s.cfg.Sim.Machine != nil {
+		// Placement-only sessions have no Table III mix; label with the
+		// machine whose placement defines the workload.
+		mixName = s.cfg.Sim.Machine.Name
+	}
 	st := Status{
 		ID:         s.id,
 		State:      s.state,
-		Mix:        s.cfg.Mix.Name,
+		Mix:        mixName,
 		Policy:     s.req.Policy,
 		Cores:      s.cfg.Sim.Cores,
 		Epochs:     s.cfg.Epochs,

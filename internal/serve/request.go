@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/cpusim"
+	"repro/internal/dvfs"
 	"repro/internal/policy"
 	"repro/internal/runner"
 	"repro/internal/sim"
@@ -26,6 +28,11 @@ const (
 	MaxEpochCells  = 2_000_000
 	MaxEpochMs     = 10_000
 	MaxControllers = 64
+	// MaxCoreClasses bounds a heterogeneous machine request's class
+	// list, and MaxLadderSteps each class's explicit ladder — both size
+	// per-session allocations on an unauthenticated surface.
+	MaxCoreClasses = 16
+	MaxLadderSteps = 64
 )
 
 // Request describes one capping session to create — the JSON body of
@@ -63,6 +70,120 @@ type Request struct {
 	// internal/replay; the trace is served at /sessions/{id}/recording
 	// once the session finishes.
 	Record bool `json:"record,omitempty"`
+	// Machine, when set, builds a heterogeneous machine from named core
+	// classes instead of the homogeneous default; class counts must sum
+	// to Cores. When every class pins apps, Mix may be omitted.
+	Machine *MachineRequest `json:"machine,omitempty"`
+}
+
+// MachineRequest is the JSON form of a heterogeneous machine spec.
+type MachineRequest struct {
+	// Name labels the machine in results ("bigLITTLE-4+12"); defaults
+	// to "custom".
+	Name string `json:"name,omitempty"`
+	// Classes in core-index order.
+	Classes []ClassRequest `json:"classes"`
+}
+
+// ClassRequest describes one core class. The ladder comes either from
+// a named preset (Ladder) or an explicit uniform ladder (LadderSteps +
+// frequency/voltage range) — setting both is rejected. Zero-valued
+// power fields inherit the default core calibration.
+type ClassRequest struct {
+	Name  string `json:"name"`
+	Count int    `json:"count"`
+	// Ladder is a preset name: "perf" (the paper's 2.2–4.0 GHz ladder,
+	// the default), "efficiency" (1.2–2.4 GHz), or "binned"
+	// (2.0–3.6 GHz).
+	Ladder string `json:"ladder,omitempty"`
+	// Explicit uniform ladder: LadderSteps equally spaced frequencies in
+	// [FMinGHz, FMaxGHz] at voltages in [VMinV, VMaxV].
+	LadderSteps int     `json:"ladder_steps,omitempty"`
+	FMinGHz     float64 `json:"fmin_ghz,omitempty"`
+	FMaxGHz     float64 `json:"fmax_ghz,omitempty"`
+	VMinV       float64 `json:"vmin_v,omitempty"`
+	VMaxV       float64 `json:"vmax_v,omitempty"`
+	// Power calibration; each zero-valued field inherits the default
+	// core calibration individually (an all-zero triple inherits it
+	// whole), so a class may override just dyn_max_w without silently
+	// zeroing its leakage floor.
+	DynMaxW  float64 `json:"dyn_max_w,omitempty"`
+	StaticW  float64 `json:"static_w,omitempty"`
+	GateFrac float64 `json:"gate_frac,omitempty"`
+	// ExecCPIScale multiplies app CPI on this class (0 means 1).
+	ExecCPIScale float64 `json:"exec_cpi_scale,omitempty"`
+	// Apps pins applications to this class's cores (all classes or
+	// none; count must be a multiple of len(Apps)).
+	Apps []string `json:"apps,omitempty"`
+}
+
+// hasPlacement reports whether any class pins apps.
+func (m *MachineRequest) hasPlacement() bool {
+	for _, c := range m.Classes {
+		if len(c.Apps) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// spec resolves the request into a sim.MachineSpec, applying the
+// serving layer's resource bounds before any ladder is built.
+func (m *MachineRequest) spec() (*sim.MachineSpec, error) {
+	if len(m.Classes) == 0 {
+		return nil, fmt.Errorf("%w: machine has no core classes", runner.ErrInvalidConfig)
+	}
+	if len(m.Classes) > MaxCoreClasses {
+		return nil, fmt.Errorf("%w: %d core classes above the serving limit %d", runner.ErrInvalidConfig, len(m.Classes), MaxCoreClasses)
+	}
+	name := m.Name
+	if name == "" {
+		name = "custom"
+	}
+	spec := &sim.MachineSpec{Name: name}
+	for _, c := range m.Classes {
+		if c.LadderSteps < 0 || c.LadderSteps > MaxLadderSteps {
+			return nil, fmt.Errorf("%w: class %q ladder steps %d outside [1, %d]", runner.ErrInvalidConfig, c.Name, c.LadderSteps, MaxLadderSteps)
+		}
+		var ladder *dvfs.Ladder
+		var err error
+		switch {
+		case c.LadderSteps > 0 && c.Ladder != "":
+			return nil, fmt.Errorf("%w: class %q sets both a ladder preset and an explicit ladder", runner.ErrInvalidConfig, c.Name)
+		case c.LadderSteps > 0:
+			ladder, err = dvfs.NewUniformLadder(c.LadderSteps, c.FMinGHz, c.FMaxGHz, c.VMinV, c.VMaxV)
+		default:
+			ladder, err = dvfs.NamedCoreLadder(c.Ladder)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("%w: class %q ladder: %w", runner.ErrInvalidConfig, c.Name, err)
+		}
+		pw := cpusim.PowerConfig{DynMaxW: c.DynMaxW, StaticW: c.StaticW, GateFrac: c.GateFrac}
+		if pw != (cpusim.PowerConfig{}) {
+			// Partial power specs fill omitted fields from the default
+			// calibration; the layout's whole-struct inheritance would
+			// otherwise take literal zeros and deflate the machine peak.
+			def := cpusim.DefaultPower()
+			if pw.DynMaxW == 0 {
+				pw.DynMaxW = def.DynMaxW
+			}
+			if pw.StaticW == 0 {
+				pw.StaticW = def.StaticW
+			}
+			if pw.GateFrac == 0 {
+				pw.GateFrac = def.GateFrac
+			}
+		}
+		spec.Classes = append(spec.Classes, sim.CoreClass{
+			Name:         c.Name,
+			Count:        c.Count,
+			Ladder:       ladder,
+			Power:        pw,
+			ExecCPIScale: c.ExecCPIScale,
+			Apps:         c.Apps,
+		})
+	}
+	return spec, nil
 }
 
 func (r Request) withDefaults() Request {
@@ -120,9 +241,15 @@ func policyByName(name string) (policy.Policy, error) {
 // range, mix contents, machine shape) run at session construction.
 func (r Request) Config() (runner.Config, error) {
 	r = r.withDefaults()
-	mix, err := workload.MixByName(r.Mix)
-	if err != nil {
-		return runner.Config{}, fmt.Errorf("%w: %w", runner.ErrInvalidConfig, err)
+	var mix workload.MixSpec
+	if r.Mix == "" && r.Machine != nil && r.Machine.hasPlacement() {
+		// Full placement supplies the workload; no Table III mix needed.
+	} else {
+		var err error
+		mix, err = workload.MixByName(r.Mix)
+		if err != nil {
+			return runner.Config{}, fmt.Errorf("%w: %w", runner.ErrInvalidConfig, err)
+		}
 	}
 	pol, err := policyByName(r.Policy)
 	if err != nil {
@@ -174,6 +301,16 @@ func (r Request) Config() (runner.Config, error) {
 		sc.Controllers = r.Controllers
 		sc.BanksPerController = banks
 		sc.SkewedAccess = r.SkewedAccess
+	}
+	if r.Machine != nil {
+		spec, err := r.Machine.spec()
+		if err != nil {
+			return runner.Config{}, err
+		}
+		if n := spec.TotalCores(); n != r.Cores {
+			return runner.Config{}, fmt.Errorf("%w: machine classes describe %d cores, request has %d", runner.ErrInvalidConfig, n, r.Cores)
+		}
+		sc.Machine = spec
 	}
 	return runner.Config{
 		Sim:        sc,

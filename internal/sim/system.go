@@ -32,6 +32,12 @@ type Config struct {
 	CoreLadder *dvfs.Ladder
 	MemLadder  *dvfs.Ladder
 
+	// Machine, when non-nil, describes a heterogeneous machine of named
+	// core classes (per-class ladders, power curves, ExecCPI scaling and
+	// app placement). Class counts must sum to Cores. Nil keeps the
+	// legacy homogeneous machine: every core on CoreLadder/CorePower.
+	Machine *MachineSpec
+
 	EpochNs   float64
 	ProfileNs float64
 
@@ -87,6 +93,7 @@ type System struct {
 	Workload *workload.Workload
 
 	accessProb [][]float64
+	layout     *MachineLayout
 	epoch      int
 
 	lastCore []cpusim.Counters
@@ -115,11 +122,15 @@ func New(cfg Config, wl *workload.Workload) (*System, error) {
 	if cfg.EpochNs <= 0 || cfg.ProfileNs <= 0 || cfg.ProfileNs >= cfg.EpochNs {
 		return nil, fmt.Errorf("sim: invalid epoch/profile lengths %g/%g", cfg.EpochNs, cfg.ProfileNs)
 	}
-	if cfg.CoreLadder == nil || cfg.MemLadder == nil {
-		return nil, fmt.Errorf("sim: missing DVFS ladders")
+	if cfg.MemLadder == nil {
+		return nil, fmt.Errorf("sim: missing memory DVFS ladder")
+	}
+	layout, err := cfg.Layout()
+	if err != nil {
+		return nil, err
 	}
 	eng := engine.New()
-	s := &System{Cfg: cfg, Eng: eng, Workload: wl}
+	s := &System{Cfg: cfg, Eng: eng, Workload: wl, layout: layout}
 
 	banks := cfg.BanksPerController
 	if banks <= 0 {
@@ -152,13 +163,17 @@ func New(cfg Config, wl *workload.Workload) (*System, error) {
 		}
 		s.accessProb[i] = probs
 
+		app := wl.Apps[i]
+		if scale := layout.ExecCPIScale(i); scale != 1 {
+			app.ExecCPI *= scale
+		}
 		core, err := cpusim.New(cpusim.Config{
 			ID:          i,
-			App:         wl.Apps[i],
+			App:         app,
 			Engine:      eng,
 			Controllers: s.Ctls,
 			AccessProb:  probs,
-			FreqMax:     cfg.CoreLadder.Max(),
+			FreqMax:     layout.Ladder(i).Max(),
 			OoO:         cfg.OoO,
 			Seed:        cfg.Seed,
 		})
@@ -175,6 +190,10 @@ func New(cfg Config, wl *workload.Workload) (*System, error) {
 // AccessProb returns the per-core controller access distribution
 // ([core][controller]), which policies use for weighted response times.
 func (s *System) AccessProb() [][]float64 { return s.accessProb }
+
+// Layout exposes the machine's per-core resolution — the class seam
+// (ladders, power calibrations, placement) the controller consumes.
+func (s *System) Layout() *MachineLayout { return s.layout }
 
 // Epoch returns the index of the epoch currently executing.
 func (s *System) Epoch() int { return s.epoch }
@@ -237,17 +256,17 @@ func (s *System) measureWindow(p *Profile, windowNs float64) {
 		p.Cores = p.Cores[:len(s.Cores)]
 	}
 	total := s.Cfg.PsW
-	vMax := s.Cfg.CoreLadder.Volt(s.Cfg.CoreLadder.MaxStep())
 	for i, c := range s.Cores {
 		cur := c.Counters()
 		delta := cur.Sub(s.lastCore[i])
 		s.lastCore[i] = cur
-		voltNorm := s.Cfg.CoreLadder.VoltAtFreq(c.Freq()) / vMax
-		pw := c.Power(delta, windowNs, voltNorm, s.Cfg.CorePower)
+		lad := s.layout.Ladder(i)
+		voltNorm := lad.VoltAtFreq(c.Freq()) / lad.Volt(lad.MaxStep())
+		pw := c.Power(delta, windowNs, voltNorm, s.layout.Power(i))
 		zbar := 0.0
 		ipa := 0.0
 		if delta.Misses > 0 {
-			zbar = delta.BusyNs / float64(delta.Misses) * (c.Freq() / s.Cfg.CoreLadder.Max())
+			zbar = delta.BusyNs / float64(delta.Misses) * (c.Freq() / lad.Max())
 			ipa = delta.Instructions / float64(delta.Misses)
 		}
 		p.Cores[i] = CoreProfile{
@@ -303,10 +322,11 @@ func (s *System) Apply(coreSteps []int, memStep int) error {
 		return fmt.Errorf("sim: memory step %d out of range", memStep)
 	}
 	for i, step := range coreSteps {
-		if step < 0 || step >= s.Cfg.CoreLadder.Len() {
+		lad := s.layout.Ladder(i)
+		if step < 0 || step >= lad.Len() {
 			return fmt.Errorf("sim: core %d step %d out of range", i, step)
 		}
-		s.Cores[i].SetFreq(s.Cfg.CoreLadder.Freq(step))
+		s.Cores[i].SetFreq(lad.Freq(step))
 	}
 	f := s.Cfg.MemLadder.Freq(memStep)
 	for _, ctl := range s.Ctls {
@@ -349,8 +369,8 @@ func (s *System) CombinePower(profile, rest Profile) float64 {
 // plus Ps. Budgets are expressed as a fraction of this value.
 func (s *System) PeakPowerW() float64 {
 	total := s.Cfg.PsW
-	for _, c := range s.Cores {
-		total += c.PeakPower(s.Cfg.CorePower)
+	for i, c := range s.Cores {
+		total += c.PeakPower(s.layout.Power(i))
 	}
 	for _, ctl := range s.Ctls {
 		total += ctl.PeakPower()

@@ -1,0 +1,47 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// Out-of-range and NaN handling: ranks clamp to the data range instead
+// of extrapolating, and NaN anywhere (rank or samples) yields NaN.
+func TestPercentileEdgeCases(t *testing.T) {
+	nan := math.NaN()
+	xs := []float64{4, 1, 3, 2}
+	cases := []struct {
+		name string
+		xs   []float64
+		p    float64
+		want float64 // NaN means "want NaN"
+	}{
+		{"p below zero clamps to min", xs, -10, 1},
+		{"p far below zero clamps to min", xs, math.Inf(-1), 1},
+		{"p above 100 clamps to max", xs, 250, 4},
+		{"p far above 100 clamps to max", xs, math.Inf(1), 4},
+		{"p exactly 0", xs, 0, 1},
+		{"p exactly 100", xs, 100, 4},
+		{"interior interpolation", xs, 50, 2.5},
+		{"NaN rank", xs, nan, nan},
+		{"NaN sample", []float64{1, nan, 3}, 50, nan},
+		{"all NaN samples", []float64{nan, nan}, 50, nan},
+		{"empty", nil, 50, 0},
+		{"single sample any p", []float64{7}, 99, 7},
+		{"single sample negative p", []float64{7}, -1, 7},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got := Percentile(c.xs, c.p)
+			if math.IsNaN(c.want) {
+				if !math.IsNaN(got) {
+					t.Errorf("Percentile(%v, %g) = %g, want NaN", c.xs, c.p, got)
+				}
+				return
+			}
+			if math.Abs(got-c.want) > 1e-12 {
+				t.Errorf("Percentile(%v, %g) = %g, want %g", c.xs, c.p, got, c.want)
+			}
+		})
+	}
+}

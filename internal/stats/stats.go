@@ -56,10 +56,23 @@ func StdDev(xs []float64) float64 {
 	return math.Sqrt(s / float64(len(xs)))
 }
 
-// Percentile returns the p-th percentile (0–100) by linear interpolation.
+// Percentile returns the p-th percentile by linear interpolation.
+// Out-of-range ranks clamp — p < 0 behaves as 0 (the minimum) and
+// p > 100 as 100 (the maximum) — never extrapolating beyond the data.
+// A NaN p, or any NaN sample, yields NaN: sorting NaNs produces an
+// arbitrary permutation, so any numeric answer would be silently wrong.
+// An empty slice returns 0, matching Mean.
 func Percentile(xs []float64, p float64) float64 {
 	if len(xs) == 0 {
 		return 0
+	}
+	if math.IsNaN(p) {
+		return math.NaN()
+	}
+	for _, x := range xs {
+		if math.IsNaN(x) {
+			return math.NaN()
+		}
 	}
 	ys := append([]float64(nil), xs...)
 	sort.Float64s(ys)

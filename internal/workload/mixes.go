@@ -70,14 +70,35 @@ type App struct {
 	Copy int
 }
 
+// maxInstrPerMiss caps InstrPerMiss for degenerate (zero-miss) apps: a
+// finite "effectively never misses" sentinel, so rate estimates derived
+// from it stay usable by the queuing model instead of going Inf/NaN.
+const maxInstrPerMiss = 1e9
+
 // InstrPerMiss returns the mean number of instructions between two L2
-// misses (memory accesses) of this instance.
-func (a App) InstrPerMiss() float64 { return 1000.0 / a.MPKI }
+// misses (memory accesses) of this instance. A non-positive (or NaN)
+// MPKI — an app that effectively never misses — returns the documented
+// safe value maxInstrPerMiss instead of dividing toward Inf/NaN;
+// negative rates are additionally rejected at configuration validation
+// (Instantiate / InstantiatePlacement), so this guard is the last line
+// of defense, not the API contract.
+func (a App) InstrPerMiss() float64 {
+	if !(a.MPKI > 0) { // catches <= 0 and NaN
+		return maxInstrPerMiss
+	}
+	ipm := 1000.0 / a.MPKI
+	if ipm > maxInstrPerMiss {
+		return maxInstrPerMiss
+	}
+	return ipm
+}
 
 // WritebackProb returns the probability that a miss is accompanied by a
-// dirty-line writeback.
+// dirty-line writeback, clamped to [0, 1]. Like InstrPerMiss it returns
+// a documented safe value (0) for non-positive or NaN rates rather than
+// letting a NaN reach the queuing model.
 func (a App) WritebackProb() float64 {
-	if a.MPKI <= 0 {
+	if !(a.MPKI > 0) || !(a.WPKI > 0) { // catches <= 0 and NaN on either rate
 		return 0
 	}
 	p := a.WPKI / a.MPKI
@@ -85,6 +106,18 @@ func (a App) WritebackProb() float64 {
 		p = 1
 	}
 	return p
+}
+
+// validRates rejects negative or NaN published rates at configuration
+// time so NaNs cannot reach the queuing model through calibration.
+func validRates(name string, mpki, wpki float64) error {
+	if math.IsNaN(mpki) || mpki < 0 {
+		return fmt.Errorf("workload: %s has invalid MPKI %g (want >= 0)", name, mpki)
+	}
+	if math.IsNaN(wpki) || wpki < 0 {
+		return fmt.Errorf("workload: %s has invalid WPKI %g (want >= 0)", name, wpki)
+	}
+	return nil
 }
 
 // Workload is a fully instantiated Table III mix for an N-core machine:
@@ -106,6 +139,9 @@ type Workload struct {
 func Instantiate(spec MixSpec, n int) (*Workload, error) {
 	if n <= 0 || n%4 != 0 {
 		return nil, fmt.Errorf("workload: core count %d is not a positive multiple of 4", n)
+	}
+	if err := validRates("mix "+spec.Name, spec.MPKI, spec.WPKI); err != nil {
+		return nil, err
 	}
 	profiles := make([]AppProfile, 4)
 	var wSum, wbSum float64
@@ -130,6 +166,45 @@ func Instantiate(spec MixSpec, n int) (*Workload, error) {
 			wpki := 4 * spec.WPKI * p.MemWeight * p.WriteFrac / wbSum
 			apps = append(apps, App{AppProfile: p, MPKI: mpki, WPKI: wpki, Copy: c})
 		}
+	}
+	return &Workload{Spec: spec, Apps: apps}, nil
+}
+
+// InstantiatePlacement builds a Workload from an explicit application
+// placement: appNames[i] runs on core i, with no multiple-of-4 layout
+// constraint. It is the workload form behind heterogeneous machine
+// specs, where which app lands on which core class is the experiment.
+//
+// Rates are *standalone*: each instance's MPKI is its profile's
+// MemWeight (documented as roughly the app's standalone L2 MPKI) and
+// its WPKI is MemWeight·WriteFrac — there is no published mix-level
+// rate to calibrate against for an arbitrary placement. Repeated
+// instances of the same app get distinct Copy indices so their phases
+// decorrelate, exactly as in the N/4 layout.
+func InstantiatePlacement(name string, appNames []string) (*Workload, error) {
+	if len(appNames) == 0 {
+		return nil, fmt.Errorf("workload: placement %q names no applications", name)
+	}
+	spec := MixSpec{Name: name, Class: ClassMIX}
+	for i, an := range appNames {
+		if i < len(spec.Apps) {
+			spec.Apps[i] = an
+		}
+	}
+	apps := make([]App, 0, len(appNames))
+	copies := map[string]int{}
+	for _, an := range appNames {
+		p, err := Lookup(an)
+		if err != nil {
+			return nil, err
+		}
+		mpki := p.MemWeight
+		wpki := p.MemWeight * p.WriteFrac
+		if err := validRates("app "+an, mpki, wpki); err != nil {
+			return nil, err
+		}
+		apps = append(apps, App{AppProfile: p, MPKI: mpki, WPKI: wpki, Copy: copies[an]})
+		copies[an]++
 	}
 	return &Workload{Spec: spec, Apps: apps}, nil
 }

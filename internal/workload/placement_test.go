@@ -1,0 +1,107 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+func TestInstantiatePlacement(t *testing.T) {
+	wl, err := InstantiatePlacement("pinned", []string{"swim", "crafty", "ammp", "ammp"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wl.Apps) != 4 {
+		t.Fatalf("placement built %d apps, want 4", len(wl.Apps))
+	}
+	if wl.Spec.Name != "pinned" {
+		t.Errorf("spec name %q", wl.Spec.Name)
+	}
+	for i, want := range []string{"swim", "crafty", "ammp", "ammp"} {
+		if wl.Apps[i].Name != want {
+			t.Errorf("core %d runs %q, want %q", i, wl.Apps[i].Name, want)
+		}
+		if !(wl.Apps[i].MPKI > 0) {
+			t.Errorf("core %d has MPKI %g, want > 0", i, wl.Apps[i].MPKI)
+		}
+	}
+	// Repeated instances decorrelate via distinct Copy indices.
+	if wl.Apps[2].Copy == wl.Apps[3].Copy {
+		t.Error("two copies of ammp share a Copy index")
+	}
+	// Standalone rates: MPKI is the profile's MemWeight.
+	swim, _ := Lookup("swim")
+	if wl.Apps[0].MPKI != swim.MemWeight {
+		t.Errorf("swim placement MPKI %g, want MemWeight %g", wl.Apps[0].MPKI, swim.MemWeight)
+	}
+}
+
+func TestInstantiatePlacementErrors(t *testing.T) {
+	if _, err := InstantiatePlacement("empty", nil); err == nil {
+		t.Error("empty placement accepted")
+	}
+	if _, err := InstantiatePlacement("bad", []string{"swim", "nonesuch"}); err == nil {
+		t.Error("unknown app accepted")
+	}
+}
+
+// The satellite rate guards: InstrPerMiss and WritebackProb return
+// documented safe values for degenerate rates instead of Inf/NaN, and
+// negative published rates are rejected at instantiation.
+func TestRateGuards(t *testing.T) {
+	nan := math.NaN()
+	cases := []struct {
+		name       string
+		mpki, wpki float64
+		wantIPM    float64
+		wantWB     float64
+	}{
+		{"zero MPKI", 0, 1, maxInstrPerMiss, 0},
+		{"negative MPKI", -2, 1, maxInstrPerMiss, 0},
+		{"NaN MPKI", nan, 1, maxInstrPerMiss, 0},
+		{"tiny MPKI clamps", 1e-12, 0, maxInstrPerMiss, 0},
+		{"zero WPKI", 2, 0, 500, 0},
+		{"negative WPKI", 2, -1, 500, 0},
+		{"NaN WPKI", 2, nan, 500, 0},
+		{"WPKI above MPKI clamps to 1", 2, 10, 500, 1},
+		{"normal", 4, 1, 250, 0.25},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			a := App{MPKI: c.mpki, WPKI: c.wpki}
+			if got := a.InstrPerMiss(); got != c.wantIPM {
+				t.Errorf("InstrPerMiss = %g, want %g", got, c.wantIPM)
+			}
+			if got := a.WritebackProb(); got != c.wantWB {
+				t.Errorf("WritebackProb = %g, want %g", got, c.wantWB)
+			}
+			if got := a.InstrPerMiss(); math.IsNaN(got) || math.IsInf(got, 0) {
+				t.Errorf("InstrPerMiss leaked a non-finite value %g", got)
+			}
+			if got := a.WritebackProb(); math.IsNaN(got) || got < 0 || got > 1 {
+				t.Errorf("WritebackProb leaked %g outside [0, 1]", got)
+			}
+		})
+	}
+}
+
+// Negative or NaN published mix rates are configuration errors.
+func TestInstantiateRejectsInvalidRates(t *testing.T) {
+	base := TableIII[0]
+	for _, tc := range []struct {
+		name   string
+		mutate func(*MixSpec)
+	}{
+		{"negative MPKI", func(m *MixSpec) { m.MPKI = -1 }},
+		{"NaN MPKI", func(m *MixSpec) { m.MPKI = math.NaN() }},
+		{"negative WPKI", func(m *MixSpec) { m.WPKI = -0.5 }},
+		{"NaN WPKI", func(m *MixSpec) { m.WPKI = math.NaN() }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			spec := base
+			tc.mutate(&spec)
+			if _, err := Instantiate(spec, 4); err == nil {
+				t.Error("invalid rates accepted")
+			}
+		})
+	}
+}
