@@ -10,6 +10,7 @@ import (
 	"context"
 	"testing"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/policy"
@@ -271,5 +272,50 @@ func BenchmarkSessionEpoch(b *testing.B) {
 		if res := s.Result(); len(res.Epochs) != 1 {
 			b.Fatal("short run")
 		}
+	}
+}
+
+// --- Cluster arbitration: per-epoch coordinator overhead --------------
+
+// benchClusterArbitration measures one epoch-boundary rebalance over n
+// members — the cluster coordinator's own work, excluding the member
+// simulations it schedules. Target: O(members) arithmetic, zero
+// steady-state allocations (the scratch is pre-grown by the warm-up
+// call), so arbitration cost stays invisible next to even one member's
+// epoch.
+func benchClusterArbitration(b *testing.B, arb cluster.Arbiter, n int) {
+	obs := make([]cluster.Observation, n)
+	for i := range obs {
+		obs[i] = cluster.Observation{
+			PeakW:  120,
+			FloorW: 12,
+			Weight: 1 + float64(i%3),
+			GrantW: 60 + float64(i%17),
+			PowerW: 50 + float64(i%23),
+			// A mixed fleet: every other member pressed against its cap.
+			ThrottleFrac: float64(i%2) * 0.5,
+		}
+	}
+	grants := make([]float64, n)
+	budget := 80.0 * float64(n)
+	arb.Rebalance(budget, obs, grants) // warm the scratch
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		arb.Rebalance(budget, obs, grants)
+	}
+}
+
+func BenchmarkClusterArbitration8(b *testing.B) {
+	for _, name := range []string{"static", "slack", "priority"} {
+		arb, _ := cluster.ArbiterByName(name)
+		b.Run(name, func(b *testing.B) { benchClusterArbitration(b, arb, 8) })
+	}
+}
+
+func BenchmarkClusterArbitration64(b *testing.B) {
+	for _, name := range []string{"static", "slack", "priority"} {
+		arb, _ := cluster.ArbiterByName(name)
+		b.Run(name, func(b *testing.B) { benchClusterArbitration(b, arb, 64) })
 	}
 }

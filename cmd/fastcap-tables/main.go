@@ -33,6 +33,7 @@ func main() {
 		validate = flag.Bool("validate", false, "model-accuracy validation (power <10%, Eq.1 response)")
 		ablation = flag.Bool("ablation", false, "quantization-guard ablation")
 		hetero   = flag.Bool("hetero", false, "heterogeneous-machine sweep (big.LITTLE and binned cores)")
+		clusterS = flag.Bool("cluster", false, "cluster-coordination sweep (budget arbitration across machines)")
 		cacheCmp = flag.Bool("cache", false, "shared-L2 contention model vs Table III calibration")
 		cores    = flag.Int("cores", 16, "default core count")
 		epochs   = flag.Int("epochs", 20, "epochs per run")
@@ -70,7 +71,7 @@ func main() {
 		}
 	}
 	if *all {
-		for _, k := range []string{"table1", "table2", "table3", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "overhead", "epochs-study", "validate", "ablation", "cache", "hetero"} {
+		for _, k := range []string{"table1", "table2", "table3", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "overhead", "epochs-study", "validate", "ablation", "cache", "hetero", "cluster"} {
 			want[k] = true
 		}
 	}
@@ -85,6 +86,9 @@ func main() {
 	}
 	if *hetero {
 		want["hetero"] = true
+	}
+	if *clusterS {
+		want["cluster"] = true
 	}
 	if *cacheCmp {
 		want["cache"] = true
@@ -122,6 +126,7 @@ func main() {
 		{"ablation", g.ablation},
 		{"cache", g.cacheContention},
 		{"hetero", g.hetero},
+		{"cluster", g.cluster},
 	}
 	done := map[string]bool{}
 	for _, s := range steps {
@@ -482,6 +487,32 @@ func (g *generator) hetero() error {
 	}
 	return g.writeCSV("hetero.csv",
 		[]string{"machine", "workload", "policy", "avg_pwr", "max_pwr", "avg_perf", "worst_perf", "jain"}, csvRows)
+}
+
+func (g *generator) cluster() error {
+	rows, err := g.lab.ClusterSweep()
+	if err != nil {
+		return err
+	}
+	tbl := &report.Table{
+		Title:   "Cluster coordination — global budget arbitration across machines",
+		Headers: []string{"arbiter", "budget", "member", "workload", "machine", "avg grant W", "avg power W", "avg slack W", "grant first→last W", "Ginstr"},
+	}
+	var csvRows [][]string
+	for _, r := range rows {
+		shift := fmt.Sprintf("%s → %s", report.F(r.FirstGrantW, 1), report.F(r.LastGrantW, 1))
+		tbl.AddRow(r.Arbiter, report.Pct(r.BudgetFrac), r.Member, r.Mix, r.Machine,
+			report.F(r.AvgGrantW, 1), report.F(r.AvgPowerW, 1), report.F(r.AvgSlackW, 1),
+			shift, report.F(r.GInstr, 3))
+		csvRows = append(csvRows, []string{r.Arbiter, report.F(r.BudgetFrac, 2), r.Member, r.Mix, r.Machine,
+			report.F(r.AvgGrantW, 5), report.F(r.AvgPowerW, 5), report.F(r.AvgSlackW, 5),
+			report.F(r.FirstGrantW, 5), report.F(r.LastGrantW, 5), report.F(r.GInstr, 5)})
+	}
+	if err := tbl.Render(os.Stdout); err != nil {
+		return err
+	}
+	return g.writeCSV("cluster.csv",
+		[]string{"arbiter", "budget", "member", "workload", "machine", "avg_grant_w", "avg_power_w", "avg_slack_w", "first_grant_w", "last_grant_w", "ginstr"}, csvRows)
 }
 
 func (g *generator) epochStudy() error {

@@ -18,6 +18,9 @@
 //     NewReplayPlatform;
 //   - the multi-session serving layer behind cmd/fastcapd:
 //     NewSessionManager, NewServeHandler;
+//   - cluster-level budget coordination (one global watt budget
+//     arbitrated across many sessions): NewClusterCoordinator with the
+//     static / slack-reclaiming / priority-weighted arbiters;
 //   - the simulated platform: DefaultSystemConfig, NewSystem;
 //   - Table III workloads: Workloads, WorkloadByName;
 //   - the figure-level experiment harness: NewLab.
@@ -56,6 +59,7 @@ import (
 	"io"
 	"net/http"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/dvfs"
 	"repro/internal/experiments"
@@ -381,6 +385,78 @@ func NewSessionManager(o ServeOptions) *SessionManager { return serve.NewManager
 // GET /sessions/{id}/result, GET /sessions/{id}/recording,
 // DELETE /sessions/{id}.
 func NewServeHandler(m *SessionManager) http.Handler { return serve.NewHandler(m) }
+
+// Cluster coordination: one global watt budget arbitrated across many
+// sessions at epoch boundaries — the fleet-level layer above Session.
+type (
+	// ClusterCoordinator owns a global power budget and re-partitions
+	// it across member sessions each epoch via a pluggable arbiter,
+	// stepping every member in deterministic lockstep.
+	ClusterCoordinator = cluster.Coordinator
+	// ClusterConfig bounds a coordinator: global budget, arbiter,
+	// member-step worker pool.
+	ClusterConfig = cluster.Config
+	// ClusterMember is one tenant: a Session plus its arbitration
+	// parameters (id, priority weight, guaranteed floor).
+	ClusterMember = cluster.Member
+	// ClusterArbiter re-partitions the global budget each epoch.
+	ClusterArbiter = cluster.Arbiter
+	// ClusterObservation is one member's epoch-boundary view (peak,
+	// floor, weight, grant, measured power, throttle signal).
+	ClusterObservation = cluster.Observation
+	// ClusterEpochRecord is one cluster epoch: budget in force and
+	// every member's grant/draw/slack line.
+	ClusterEpochRecord = cluster.EpochRecord
+	// ClusterMemberGrant is one member's line of a cluster epoch.
+	ClusterMemberGrant = cluster.MemberGrant
+	// ClusterMemberResult pairs a member id with its finalized run.
+	ClusterMemberResult = cluster.MemberResult
+)
+
+// Typed errors of the cluster layer.
+var (
+	// ErrClusterDone is returned by Coordinator.Step once every member
+	// finished: normal termination, not failure.
+	ErrClusterDone = cluster.ErrDone
+	// ErrUnknownClusterMember reports a Detach target that is not a
+	// member.
+	ErrUnknownClusterMember = cluster.ErrUnknownMember
+)
+
+// NewClusterCoordinator validates members and builds the fleet
+// coordinator; Step runs one arbitrated cluster epoch.
+func NewClusterCoordinator(cfg ClusterConfig, members []ClusterMember) (*ClusterCoordinator, error) {
+	return cluster.New(cfg, members)
+}
+
+// NewStaticProportionalArbiter grants fixed shares proportional to each
+// member machine's peak power.
+func NewStaticProportionalArbiter() ClusterArbiter { return cluster.NewStaticProportional() }
+
+// NewSlackReclaimArbiter shifts budget from members leaving watts on
+// the table to members pressed against their cap, with hysteresis.
+func NewSlackReclaimArbiter() ClusterArbiter { return cluster.NewSlackReclaim() }
+
+// NewPriorityWeightedArbiter grants shares proportional to
+// weight × peak.
+func NewPriorityWeightedArbiter() ClusterArbiter { return cluster.NewPriorityWeighted() }
+
+// ClusterArbiterByName resolves "static", "slack" or "priority" to a
+// fresh arbiter instance.
+func ClusterArbiterByName(name string) (ClusterArbiter, bool) { return cluster.ArbiterByName(name) }
+
+// Serving-layer cluster groups (POST /clusters on fastcapd).
+type (
+	// ClusterRequest is the create-group payload: global budget,
+	// arbiter, members.
+	ClusterRequest = serve.ClusterRequest
+	// ClusterMemberRequest is one member of a group create or attach.
+	ClusterMemberRequest = serve.ClusterMemberRequest
+	// ClusterStatus is a group's externally visible snapshot.
+	ClusterStatus = serve.ClusterStatus
+	// ClusterMemberStatus describes one group member statically.
+	ClusterMemberStatus = serve.ClusterMemberStatus
+)
 
 // Figure-level harness (paper §IV).
 type (

@@ -1,0 +1,339 @@
+package cluster
+
+import "math"
+
+// Observation is one live member's view at an epoch boundary — what the
+// arbiter knows about the member when it re-partitions the global
+// budget. GrantW and PowerW describe the epoch just completed; a member
+// with no completed epoch yet (epoch 0, or freshly attached) reports
+// GrantW == 0, which every arbiter treats as "seed me proportionally".
+type Observation struct {
+	// PeakW is the member machine's nameplate peak — the most a grant
+	// can ever be worth to it.
+	PeakW float64
+	// FloorW is the member's guaranteed minimum grant. Arbiters never
+	// allocate below it, and when the global budget cannot cover the sum
+	// of floors every member degrades to exactly its floor.
+	FloorW float64
+	// Weight is the member's priority weight (the priority-weighted
+	// arbiter's share multiplier; 1 for equal treatment).
+	Weight float64
+	// GrantW is the budget the member held during the completed epoch
+	// (0 when it has not run one yet).
+	GrantW float64
+	// PowerW is the average power the member actually drew over that
+	// epoch. GrantW − PowerW is its slack.
+	PowerW float64
+	// ThrottleFrac is the fraction of the member's cores the capping
+	// policy held below their top DVFS step during the epoch — the
+	// signal that the member could convert more budget into
+	// performance. 0 means every core ran at full frequency, so any
+	// slack is genuine.
+	ThrottleFrac float64
+}
+
+// Arbiter re-partitions the global watt budget across cluster members
+// at each epoch boundary. Implementations fill grants[i] (same order as
+// obs) with member i's next-epoch budget in watts, keeping every grant
+// inside [obs[i].FloorW, obs[i].PeakW] whenever budgetW covers the sum
+// of floors, and degrading every member to exactly its floor when it
+// does not. The Coordinator clamps out-of-range grants into
+// [floor, peak] defensively — a sloppy custom arbiter loses precision,
+// not the cluster — but a NaN grant is a fatal arbiter bug.
+//
+// Ownership follows the policy.Policy contract: an instance may keep
+// scratch between Rebalance calls, so use one instance per Coordinator
+// and never share instances across concurrent clusters. Rebalance must
+// be deterministic in (budgetW, obs) — the cluster's bit-identical
+// stream guarantee rests on it — and is expected to run in O(len(obs))
+// with no steady-state allocations.
+type Arbiter interface {
+	// Name labels the arbiter in records and tables.
+	Name() string
+	// Rebalance fills grants with next-epoch budgets for the members
+	// described by obs. len(grants) == len(obs); both may be empty.
+	Rebalance(budgetW float64, obs []Observation, grants []float64)
+}
+
+// fillScratch is the clamped proportional water-fill shared by every
+// arbiter: distribute budgetW proportionally to share_i, clamped to
+// [lo_i, hi_i], redistributing whatever clamping frees (or costs) among
+// the still-unclamped members. It is exact — at most n passes, each
+// O(n) — and allocation-free once the scratch has grown to the member
+// count.
+type fillScratch struct {
+	clamped []bool
+	lo      []float64
+	hi      []float64
+	share   []float64
+}
+
+func (f *fillScratch) grow(n int) {
+	if cap(f.clamped) < n {
+		f.clamped = make([]bool, n)
+		f.lo = make([]float64, n)
+		f.hi = make([]float64, n)
+		f.share = make([]float64, n)
+	}
+	f.clamped = f.clamped[:n]
+	f.lo = f.lo[:n]
+	f.hi = f.hi[:n]
+	f.share = f.share[:n]
+}
+
+// fill distributes budgetW over the bounds currently loaded in f.lo /
+// f.hi / f.share and writes the result to grants.
+//
+// Ceiling clamps are applied before floor clamps: a hi-clamp frees
+// budget that raises everyone else's share, so clamping a member to its
+// floor in the same pass — off the stale, pre-clamp remainder — would
+// freeze it there and leave the freed watts permanently unallocated
+// (e.g. weights 1000:1 on equal machines used to strand a third of the
+// budget). Floor clamps only shrink the others' shares, which can never
+// create a new ceiling violation, so once the floor phase starts the
+// ceiling set is final. At most 2n passes, each O(n).
+func (f *fillScratch) fill(budgetW float64, grants []float64) {
+	n := len(grants)
+	sumLo, sumHi := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		f.clamped[i] = false
+		sumLo += f.lo[i]
+		sumHi += f.hi[i]
+	}
+	// Infeasibly tight: every member degrades to its floor — a stable
+	// fixed point, not an oscillation between competing claims.
+	if budgetW <= sumLo {
+		copy(grants, f.lo)
+		return
+	}
+	// More budget than the members can use: everyone runs uncapped.
+	if budgetW >= sumHi {
+		copy(grants, f.hi)
+		return
+	}
+	for pass := 0; pass < 2*n; pass++ {
+		rem := budgetW
+		sumShare := 0.0
+		open := 0
+		for i := 0; i < n; i++ {
+			if f.clamped[i] {
+				rem -= grants[i]
+			} else {
+				sumShare += f.share[i]
+				open++
+			}
+		}
+		if open == 0 {
+			return
+		}
+		propose := func(i int) float64 {
+			// Degenerate all-zero shares split the remainder evenly.
+			if sumShare > 0 {
+				return rem * f.share[i] / sumShare
+			}
+			return rem / float64(open)
+		}
+		hiClamped := false
+		for i := 0; i < n; i++ {
+			if !f.clamped[i] && propose(i) > f.hi[i] {
+				grants[i] = f.hi[i]
+				f.clamped[i] = true
+				hiClamped = true
+			}
+		}
+		if hiClamped {
+			continue // recompute shares off the freed budget first
+		}
+		changed := false
+		for i := 0; i < n; i++ {
+			if f.clamped[i] {
+				continue
+			}
+			if g := propose(i); g < f.lo[i] {
+				grants[i] = f.lo[i]
+				f.clamped[i] = true
+				changed = true
+			} else {
+				grants[i] = g
+			}
+		}
+		if !changed {
+			return
+		}
+	}
+}
+
+// proportional loads the scratch with the member floors/peaks and a
+// weight·peak (or plain peak) share, then fills — the cold-start seed
+// and the whole of the two static arbiters.
+func (f *fillScratch) proportional(budgetW float64, obs []Observation, grants []float64, weighted bool) {
+	f.grow(len(obs))
+	for i, o := range obs {
+		f.lo[i] = o.FloorW
+		f.hi[i] = o.PeakW
+		f.share[i] = o.PeakW
+		if weighted {
+			f.share[i] = o.Weight * o.PeakW
+		}
+	}
+	f.fill(budgetW, grants)
+}
+
+// coldStart reports whether any member has no completed epoch yet — the
+// signal to reseed every grant proportionally instead of arbitrating on
+// stale (or absent) slack measurements.
+func coldStart(obs []Observation) bool {
+	for _, o := range obs {
+		if o.GrantW <= 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// StaticProportional grants each member a fixed share of the global
+// budget proportional to its machine's peak power, ignoring measured
+// draw entirely. It is the predictable baseline the reclaiming arbiter
+// is judged against.
+type StaticProportional struct{ f fillScratch }
+
+// NewStaticProportional returns the proportional-to-peak arbiter.
+func NewStaticProportional() *StaticProportional { return &StaticProportional{} }
+
+// Name implements Arbiter.
+func (*StaticProportional) Name() string { return "static" }
+
+// Rebalance implements Arbiter.
+func (a *StaticProportional) Rebalance(budgetW float64, obs []Observation, grants []float64) {
+	a.f.proportional(budgetW, obs, grants, false)
+}
+
+// PriorityWeighted grants shares proportional to weight × peak: a
+// weight-2 member gets twice the per-watt-of-peak share of a weight-1
+// member. Like StaticProportional it ignores measured draw.
+type PriorityWeighted struct{ f fillScratch }
+
+// NewPriorityWeighted returns the priority-weighted arbiter.
+func NewPriorityWeighted() *PriorityWeighted { return &PriorityWeighted{} }
+
+// Name implements Arbiter.
+func (*PriorityWeighted) Name() string { return "priority" }
+
+// Rebalance implements Arbiter.
+func (a *PriorityWeighted) Rebalance(budgetW float64, obs []Observation, grants []float64) {
+	a.f.proportional(budgetW, obs, grants, true)
+}
+
+// SlackReclaim shifts budget from members that leave watts on the table
+// to members pressed against their cap. The discriminator is the
+// member's DVFS state, not its utilization — a capping policy given a
+// non-binding budget draws its workload's natural power (which can sit
+// anywhere below the grant), so watts alone cannot separate "throttled"
+// from "satisfied". Each epoch the arbiter computes a per-member demand
+// and moves grants toward it:
+//
+//   - a member whose cores were held below their top frequency
+//     (ThrottleFrac > ThrottleBand) is power-bound; its demand grows by
+//     the Headroom factor so the policy gets room to raise frequencies;
+//   - a member running every core at full frequency cannot convert more
+//     watts; its demand settles at PowerW × Headroom and the difference
+//     to its grant returns to the pool.
+//
+// Hysteresis comes from three places: the ThrottleBand dead zone (a
+// marginally-shed core does not flip the member to "bound"), the Gain
+// factor that applies only a fraction of each demand delta per epoch,
+// and the Headroom cushion that keeps reclaimed members from being
+// squeezed to their instantaneous draw. Demands are funded in full when
+// the budget covers them (leftover distributed proportionally to
+// weight × peak, so reclaimed watts land where they help) or scaled
+// back proportionally above the floors when it does not.
+type SlackReclaim struct {
+	// ThrottleBand is the ThrottleFrac above which a member counts as
+	// power-bound. Default 0.10 (more than a tenth of its cores shed).
+	ThrottleBand float64
+	// Headroom is the demand multiplier over measured draw (and the
+	// per-epoch growth factor for power-bound members). Default 1.25.
+	Headroom float64
+	// Gain is the fraction of the demand delta applied per epoch, in
+	// (0, 1]. Default 0.5.
+	Gain float64
+
+	f      fillScratch
+	demand []float64
+}
+
+// NewSlackReclaim returns the slack-reclaiming arbiter with its default
+// hysteresis parameters.
+func NewSlackReclaim() *SlackReclaim {
+	return &SlackReclaim{ThrottleBand: 0.10, Headroom: 1.25, Gain: 0.5}
+}
+
+// Name implements Arbiter.
+func (*SlackReclaim) Name() string { return "slack" }
+
+// Rebalance implements Arbiter.
+func (a *SlackReclaim) Rebalance(budgetW float64, obs []Observation, grants []float64) {
+	n := len(obs)
+	if coldStart(obs) {
+		// Seed plain proportional-to-peak: weights express who deserves
+		// surplus, not a bigger starting share — an inflated seed would
+		// just be reclaimed again over the first epochs.
+		a.f.proportional(budgetW, obs, grants, false)
+		return
+	}
+	if cap(a.demand) < n {
+		a.demand = make([]float64, n)
+	}
+	a.demand = a.demand[:n]
+	sumFloor, sumDemand := 0.0, 0.0
+	for i, o := range obs {
+		target := o.PowerW * a.Headroom // satisfied: draw plus cushion
+		if o.ThrottleFrac > a.ThrottleBand {
+			target = o.GrantW * a.Headroom // bound: grow, rate-limited
+		}
+		d := o.GrantW + a.Gain*(target-o.GrantW)
+		d = math.Min(math.Max(d, o.FloorW), o.PeakW)
+		a.demand[i] = d
+		sumFloor += o.FloorW
+		sumDemand += d
+	}
+	if sumDemand >= budgetW {
+		// Demands outstrip the budget: fund floors, scale the rest.
+		if budgetW <= sumFloor {
+			for i, o := range obs {
+				grants[i] = o.FloorW
+			}
+			return
+		}
+		lambda := (budgetW - sumFloor) / (sumDemand - sumFloor)
+		for i, o := range obs {
+			grants[i] = o.FloorW + lambda*(a.demand[i]-o.FloorW)
+		}
+		return
+	}
+	// Budget covers every demand: demands become the floor of a
+	// proportional fill, so reclaimed slack lands with the members that
+	// can convert it (bounded by their peaks).
+	a.f.grow(n)
+	for i, o := range obs {
+		a.f.lo[i] = a.demand[i]
+		a.f.hi[i] = o.PeakW
+		a.f.share[i] = o.Weight * o.PeakW
+	}
+	a.f.fill(budgetW, grants)
+}
+
+// ArbiterByName instantiates a fresh arbiter: "static", "slack" or
+// "priority". Instances keep scratch state — never share one across
+// concurrent clusters.
+func ArbiterByName(name string) (Arbiter, bool) {
+	switch name {
+	case "static":
+		return NewStaticProportional(), true
+	case "slack":
+		return NewSlackReclaim(), true
+	case "priority":
+		return NewPriorityWeighted(), true
+	}
+	return nil, false
+}

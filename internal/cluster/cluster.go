@@ -1,0 +1,666 @@
+// Package cluster coordinates one global power budget across many
+// capping sessions — the fleet-level layer above runner. A Coordinator
+// owns N member runner.Sessions and arbitrates a shared watt budget
+// between them at epoch boundaries: each epoch it collects every
+// member's measured power from the completed window, computes slack
+// (grant minus draw), re-partitions the global budget through a
+// pluggable Arbiter, and pushes the new per-member caps through
+// SetBudgetFrac before stepping everyone's next epoch in lockstep.
+//
+// Members step concurrently on a bounded worker pool, but the protocol
+// is epoch-synchronized and every arbitration input is assembled in
+// member order, so the per-member grant stream and final results are
+// bit-identical at any worker count — the same determinism contract as
+// the experiment engine and the serving layer, extended one level up.
+//
+// The serving layer exposes Coordinators as cluster groups (POST
+// /clusters); experiments.ClusterSweep compares the arbiters.
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/runner"
+)
+
+// DefaultFloorFrac is the guaranteed minimum grant of a member that
+// does not set its own floor: 10% of the member machine's peak.
+const DefaultFloorFrac = 0.1
+
+// ErrDone is returned by Coordinator.Step once every member has
+// finished (or Results finalized the cluster). Normal termination, not
+// failure.
+var ErrDone = errors.New("cluster: all members done")
+
+// ErrConcurrentStep is returned by Step when another Step (or a
+// Results finalization) is already in flight. The arbitration loop is
+// strictly sequential; a second concurrent driver is a caller bug,
+// refused typed instead of racing.
+var ErrConcurrentStep = errors.New("cluster: concurrent Step on coordinator")
+
+// ErrUnknownMember reports a Detach target that is not (or no longer)
+// a member of the cluster.
+var ErrUnknownMember = errors.New("cluster: unknown member")
+
+// Member describes one tenant of the cluster: a session plus its
+// arbitration parameters. The Session must be exclusively owned by the
+// Coordinator from Attach/New on — nothing else may Step it.
+type Member struct {
+	// ID names the member in records and Detach calls. Required,
+	// unique within the cluster.
+	ID string
+	// Weight is the priority-weighted arbiter's share multiplier.
+	// 0 defaults to 1; otherwise it must be positive and finite.
+	Weight float64
+	// FloorFrac is the member's guaranteed minimum grant as a fraction
+	// of its machine's peak, in (0, 1]. 0 defaults to DefaultFloorFrac.
+	FloorFrac float64
+	// Session is the member's capping run.
+	Session *runner.Session
+}
+
+// Config bounds the Coordinator.
+type Config struct {
+	// BudgetW is the global power budget arbitrated across members, in
+	// watts. Required, positive and finite.
+	BudgetW float64
+	// Arbiter re-partitions the budget each epoch. Defaults to
+	// NewStaticProportional(). The instance must not be shared with
+	// another cluster.
+	Arbiter Arbiter
+	// Workers bounds how many members step their epoch concurrently.
+	// Defaults to GOMAXPROCS. Output is identical at any worker count.
+	Workers int
+}
+
+// MemberGrant is one member's line of a cluster epoch record.
+type MemberGrant struct {
+	ID string `json:"id"`
+	// Epoch is the member-local epoch index just executed (equals the
+	// cluster epoch for founding members, lags for attached ones).
+	Epoch int `json:"epoch"`
+	// GrantW is the budget the member held during this epoch; PowerW
+	// what it measured; SlackW their difference.
+	GrantW float64 `json:"grant_w"`
+	PowerW float64 `json:"power_w"`
+	SlackW float64 `json:"slack_w"`
+	// ThrottleFrac is the fraction of the member's cores its capping
+	// policy held below top frequency this epoch (the slack arbiter's
+	// power-bound signal).
+	ThrottleFrac float64 `json:"throttle_frac"`
+	// Instr is the member's total instructions retired this epoch.
+	Instr float64 `json:"instr"`
+	// Done marks the member's final epoch.
+	Done bool `json:"done,omitempty"`
+}
+
+// EpochRecord is one cluster epoch: the global budget in force, the sum
+// actually granted, and every live member's grant/draw/slack line.
+type EpochRecord struct {
+	Epoch int `json:"epoch"`
+	// BudgetW is the global budget in force; GrantedW the sum of member
+	// grants (less than BudgetW when members cannot absorb it, more
+	// only when floors force it).
+	BudgetW  float64       `json:"budget_w"`
+	GrantedW float64       `json:"granted_w"`
+	Members  []MemberGrant `json:"members"`
+}
+
+// MemberResult pairs a member with its finalized run aggregate.
+type MemberResult struct {
+	ID     string         `json:"id"`
+	Result *runner.Result `json:"result"`
+}
+
+// member is the coordinator-side state of one tenant.
+type member struct {
+	Member
+	peak     float64
+	floorW   float64
+	maxSteps []int   // each core's top ladder step (throttle reference)
+	grantW   float64 // grant in force during the last stepped epoch
+	powerW   float64 // measured average power of that epoch
+	throttle float64 // fraction of cores shed below top step
+	local    int     // member-local epochs completed
+	total    int     // the session's configured run length
+	done     bool    // ran its last epoch
+	detached bool    // removed by Detach; result finalized
+}
+
+// throttleFrac measures how many of the member's cores the epoch's
+// decision held below their top DVFS step.
+func (m *member) throttleFrac(coreSteps []int) float64 {
+	if len(coreSteps) == 0 {
+		return 0
+	}
+	shed := 0
+	for i, st := range coreSteps {
+		if st < m.maxSteps[i] {
+			shed++
+		}
+	}
+	return float64(shed) / float64(len(coreSteps))
+}
+
+// Coordinator arbitrates one global power budget across its members.
+// Step is single-driver (a concurrent Step fails typed with
+// ErrConcurrentStep); SetBudgetW, Attach, Detach and Epoch may be
+// called concurrently with Step and take effect at the next epoch
+// boundary, deterministically.
+type Coordinator struct {
+	cfg Config
+	arb Arbiter
+
+	// mu guards the retargetable budget, the pending membership ops,
+	// the members slice layout (Step mutates it only inside
+	// applyPending, which holds mu), and the done latch.
+	mu            sync.Mutex
+	budgetW       float64
+	pendingAttach []*member
+	pendingDetach []string
+	members       []*member
+	// done latches when the coordinator finalizes (every member
+	// finished, or Results was called). Attach/Detach check it under mu
+	// so a membership op can never be queued past the last boundary and
+	// silently ignored.
+	done bool
+
+	// stepMu serializes Step and Results, Session-style.
+	stepMu    sync.Mutex
+	epoch     atomic.Int64
+	total     atomic.Int64 // cluster epochs until every member is done
+	err       error        // sticky: first failure poisons the cluster
+	finalized bool
+
+	// Reused per-epoch scratch (allocation-free steady state).
+	live     []*member
+	obs      []Observation
+	grants   []float64
+	stepRecs []runner.EpochRecord
+	stepErrs []error
+
+	// grantBuf backs the records' member lines in flat chunks.
+	grantBuf []MemberGrant
+	grantOff int
+}
+
+// MemberParams normalizes and validates a member's arbitration
+// parameters: a zero weight defaults to 1, a zero floor fraction to
+// DefaultFloorFrac; NaN, infinite and out-of-range values fail with
+// runner.ErrInvalidConfig. Exported so the serving layer's pure request
+// resolution applies the exact rules the Coordinator enforces — one
+// source of truth for the bounds.
+func MemberParams(id string, weight, floorFrac float64) (float64, float64, error) {
+	if weight == 0 {
+		weight = 1
+	}
+	if math.IsNaN(weight) || math.IsInf(weight, 0) || weight <= 0 {
+		return 0, 0, fmt.Errorf("%w: member %q weight %g, want positive and finite", runner.ErrInvalidConfig, id, weight)
+	}
+	if floorFrac == 0 {
+		floorFrac = DefaultFloorFrac
+	}
+	if math.IsNaN(floorFrac) || floorFrac < 0 || floorFrac > 1 {
+		return 0, 0, fmt.Errorf("%w: member %q floor fraction %g outside (0, 1]", runner.ErrInvalidConfig, id, floorFrac)
+	}
+	return weight, floorFrac, nil
+}
+
+// validateMember normalizes and checks one member against the already
+// accepted set.
+func validateMember(m *Member, seen map[string]bool) error {
+	if m.Session == nil {
+		return fmt.Errorf("%w: member %q has no session", runner.ErrInvalidConfig, m.ID)
+	}
+	if m.ID == "" {
+		return fmt.Errorf("%w: member with empty id", runner.ErrInvalidConfig)
+	}
+	if seen[m.ID] {
+		return fmt.Errorf("%w: duplicate member id %q", runner.ErrInvalidConfig, m.ID)
+	}
+	var err error
+	if m.Weight, m.FloorFrac, err = MemberParams(m.ID, m.Weight, m.FloorFrac); err != nil {
+		return err
+	}
+	if peak := m.Session.PeakPowerW(); math.IsNaN(peak) || peak <= 0 {
+		return fmt.Errorf("%w: member %q platform peak %g W, want > 0", runner.ErrInvalidConfig, m.ID, peak)
+	}
+	seen[m.ID] = true
+	return nil
+}
+
+func newMember(m Member) *member {
+	peak := m.Session.PeakPowerW()
+	return &member{
+		Member:   m,
+		peak:     peak,
+		floorW:   m.FloorFrac * peak,
+		maxSteps: m.Session.MaxCoreSteps(),
+		total:    m.Session.TotalEpochs(),
+	}
+}
+
+// ValidBudgetW validates a global watt budget: NaN, infinite and
+// non-positive values fail with runner.ErrInvalidConfig. Exported so
+// the serving layer's pure request validation enforces exactly the
+// bounds the Coordinator does — one source of truth, like MemberParams.
+func ValidBudgetW(w float64) error {
+	if math.IsNaN(w) || math.IsInf(w, 0) || w <= 0 {
+		return fmt.Errorf("%w: global budget %g W, want positive and finite", runner.ErrInvalidConfig, w)
+	}
+	return nil
+}
+
+// New validates the configuration and members and builds a Coordinator.
+// The first Step call executes cluster epoch 0. Sessions handed in must
+// not be stepped (or finalized) by anyone else afterwards.
+func New(cfg Config, members []Member) (*Coordinator, error) {
+	if err := ValidBudgetW(cfg.BudgetW); err != nil {
+		return nil, err
+	}
+	if len(members) == 0 {
+		return nil, fmt.Errorf("%w: cluster has no members", runner.ErrInvalidConfig)
+	}
+	if cfg.Arbiter == nil {
+		cfg.Arbiter = NewStaticProportional()
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	seen := make(map[string]bool, len(members))
+	sessions := make(map[*runner.Session]bool, len(members))
+	c := &Coordinator{cfg: cfg, arb: cfg.Arbiter, budgetW: cfg.BudgetW}
+	maxTotal := 0
+	for i := range members {
+		m := members[i]
+		if err := validateMember(&m, seen); err != nil {
+			return nil, err
+		}
+		if sessions[m.Session] {
+			return nil, fmt.Errorf("%w: member %q shares a session with another member", runner.ErrInvalidConfig, m.ID)
+		}
+		sessions[m.Session] = true
+		mm := newMember(m)
+		c.members = append(c.members, mm)
+		if mm.total > maxTotal {
+			maxTotal = mm.total
+		}
+	}
+	c.total.Store(int64(maxTotal))
+	// A flat chunk backs the records' member lines; memberLines
+	// allocates fresh chunks as the run (or an attach) outgrows it. The
+	// initial chunk is capped: a full-horizon buffer for a many-member
+	// long cluster would hand an unauthenticated create hundreds of
+	// megabytes before the first epoch runs.
+	chunk := maxTotal
+	if chunk > 256 {
+		chunk = 256
+	}
+	c.grantBuf = make([]MemberGrant, chunk*len(members))
+	return c, nil
+}
+
+// Epoch returns the number of cluster epochs completed — the index the
+// next Step would execute. Safe to call concurrently with Step.
+func (c *Coordinator) Epoch() int { return int(c.epoch.Load()) }
+
+// TotalEpochs returns how many cluster epochs the current membership
+// runs for — the latest-finishing live member's horizon. Attaching
+// extends it; detaches and early finishes shrink it at the next
+// boundary. Safe to call concurrently with Step.
+func (c *Coordinator) TotalEpochs() int { return int(c.total.Load()) }
+
+// BudgetW returns the global budget currently in force (the pending
+// value after a retarget, ahead of the boundary that applies it).
+func (c *Coordinator) BudgetW() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.budgetW
+}
+
+// Name returns the arbiter's name.
+func (c *Coordinator) Name() string { return c.arb.Name() }
+
+// SetBudgetW retargets the global budget: from the next epoch on, the
+// arbiter partitions w watts. NaN, infinite and non-positive values are
+// rejected with runner.ErrInvalidConfig. Safe to call concurrently with
+// Step; the change takes effect at the next epoch boundary, never the
+// epoch in progress.
+func (c *Coordinator) SetBudgetW(w float64) error {
+	if err := ValidBudgetW(w); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.budgetW = w
+	c.mu.Unlock()
+	return nil
+}
+
+// Attach adds a member starting at the next epoch boundary. A
+// membership change reseeds every grant proportionally (the arbiter
+// restarts from the seed), keeping the post-attach allocation
+// independent of when the attach raced the epoch in progress.
+// Attaching to a finished cluster fails with ErrDone — there is no
+// boundary left for the member to join at.
+func (c *Coordinator) Attach(m Member) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.done {
+		return fmt.Errorf("%w: cannot attach %q", ErrDone, m.ID)
+	}
+	seen := make(map[string]bool, len(c.members)+len(c.pendingAttach)+1)
+	sessions := make(map[*runner.Session]bool, len(c.members)+len(c.pendingAttach))
+	for _, ex := range c.members {
+		seen[ex.ID] = true
+		sessions[ex.Session] = true
+	}
+	for _, p := range c.pendingAttach {
+		seen[p.ID] = true
+		sessions[p.Session] = true
+	}
+	if err := validateMember(&m, seen); err != nil {
+		return err
+	}
+	if sessions[m.Session] {
+		return fmt.Errorf("%w: member %q shares a session with another member", runner.ErrInvalidConfig, m.ID)
+	}
+	p := newMember(m)
+	c.pendingAttach = append(c.pendingAttach, p)
+	// Extend the horizon estimate immediately so supervisors consulting
+	// TotalEpochs (e.g. the serve layer's final-epoch retarget guard)
+	// see the extension before the boundary applies it; applyPending
+	// recomputes the exact value with the boundary's epoch index. When
+	// the attach races an in-flight Step the estimate is deliberately
+	// one epoch conservative (the member joins at the *next* boundary):
+	// a supervisor's final-epoch check then refuses with a retryable
+	// conflict for one epoch at worst, instead of accepting an
+	// operation that would silently never apply.
+	if h := int64(int(c.epoch.Load()) + p.total); h > c.total.Load() {
+		c.total.Store(h)
+	}
+	return nil
+}
+
+// Detach removes a member at the next epoch boundary: it stops being
+// stepped and its prefix result is finalized (still reported by
+// Results). Detaching a member whose attach is still pending revokes
+// the attach instead — the member never ran, never joins Results, and
+// pending=true tells the caller to erase it from its own bookkeeping.
+// Unknown ids fail with ErrUnknownMember; a finished cluster has no
+// boundary left, so Detach fails with ErrDone.
+func (c *Coordinator) Detach(id string) (pending bool, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.done {
+		return false, fmt.Errorf("%w: cannot detach %q", ErrDone, id)
+	}
+	for _, m := range c.members {
+		if m.ID == id && !m.detached {
+			c.pendingDetach = append(c.pendingDetach, id)
+			return false, nil
+		}
+	}
+	for i, p := range c.pendingAttach {
+		if p.ID == id {
+			c.pendingAttach = append(c.pendingAttach[:i], c.pendingAttach[i+1:]...)
+			return true, nil
+		}
+	}
+	return false, fmt.Errorf("%w: %q", ErrUnknownMember, id)
+}
+
+// applyPending folds queued attaches/detaches into the member set at an
+// epoch boundary and reports whether membership changed in a way that
+// requires reseeding grants (any attach).
+func (c *Coordinator) applyPending() (attached bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, id := range c.pendingDetach {
+		for _, m := range c.members {
+			if m.ID == id && !m.detached {
+				m.detached = true
+				m.Session.Result() // finalize the prefix
+			}
+		}
+	}
+	c.pendingDetach = c.pendingDetach[:0]
+	cur := int(c.epoch.Load())
+	for _, p := range c.pendingAttach {
+		c.members = append(c.members, p)
+		attached = true
+	}
+	c.pendingAttach = c.pendingAttach[:0]
+	// Recompute the horizon from the members that will actually keep
+	// running — a detach of the longest-running member shrinks it, so
+	// supervisors consulting TotalEpochs (the serve final-epoch retarget
+	// guard, status reporting) see the real remaining run, not a stale
+	// upper bound.
+	horizon := cur
+	for _, m := range c.members {
+		if m.done || m.detached {
+			continue
+		}
+		if h := cur + m.total - m.local; h > horizon {
+			horizon = h
+		}
+	}
+	c.total.Store(int64(horizon))
+	return attached
+}
+
+// Step executes one cluster epoch: apply pending membership and budget
+// changes, arbitrate the global budget across live members, push the
+// new caps, and advance every live member exactly one control epoch
+// (concurrently, up to Config.Workers at a time). It returns the
+// epoch's record, ErrDone once every member has finished, and
+// ErrConcurrentStep if another Step or Results is in flight. Any member
+// failure or context error is sticky.
+func (c *Coordinator) Step(ctx context.Context) (EpochRecord, error) {
+	if !c.stepMu.TryLock() {
+		return EpochRecord{}, ErrConcurrentStep
+	}
+	defer c.stepMu.Unlock()
+	if c.err != nil {
+		return EpochRecord{}, c.err
+	}
+	if c.finalized {
+		return EpochRecord{}, ErrDone
+	}
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			c.err = err
+			return EpochRecord{}, err
+		}
+	}
+
+	attached := false
+	for {
+		attached = c.applyPending() || attached
+		c.live = c.live[:0]
+		for _, m := range c.members {
+			if !m.done && !m.detached {
+				c.live = append(c.live, m)
+			}
+		}
+		if len(c.live) > 0 {
+			break
+		}
+		// Nobody left to step: latch done — unless an attach raced in
+		// after applyPending, in which case fold it in and keep going.
+		// The latch is taken under mu, so Attach/Detach either land
+		// before it (and are honored) or observe done and fail typed.
+		c.mu.Lock()
+		if len(c.pendingAttach) > 0 {
+			c.mu.Unlock()
+			continue
+		}
+		c.done = true
+		c.mu.Unlock()
+		c.finalized = true
+		return EpochRecord{}, ErrDone
+	}
+	budget := c.BudgetW()
+
+	// Arbitrate on the completed epoch's observations; an attach wipes
+	// the grant history so everyone reseeds from the proportional share.
+	n := len(c.live)
+	c.obs = c.obs[:0]
+	for _, m := range c.live {
+		g := m.grantW
+		if attached {
+			g = 0
+		}
+		c.obs = append(c.obs, Observation{
+			PeakW: m.peak, FloorW: m.floorW, Weight: m.Weight,
+			GrantW: g, PowerW: m.powerW, ThrottleFrac: m.throttle,
+		})
+	}
+	if cap(c.grants) < n {
+		c.grants = make([]float64, n)
+		c.stepRecs = make([]runner.EpochRecord, n)
+		c.stepErrs = make([]error, n)
+	}
+	c.grants = c.grants[:n]
+	c.stepRecs = c.stepRecs[:n]
+	c.stepErrs = c.stepErrs[:n]
+	c.arb.Rebalance(budget, c.obs, c.grants)
+
+	// Push the caps, then step everyone's epoch under them. Grants are
+	// clamped symmetrically into [floor, peak]: the built-in arbiters
+	// already respect the bounds, but Arbiter is a public seam, and a
+	// custom implementation returning an out-of-range grant should lose
+	// precision, not poison the cluster. Only NaN — no sane clamp — is
+	// a fatal arbiter bug.
+	for i, m := range c.live {
+		g := c.grants[i]
+		if math.IsNaN(g) {
+			c.err = fmt.Errorf("%w: arbiter %q granted NaN W to member %q", runner.ErrInvalidConfig, c.arb.Name(), m.ID)
+			return EpochRecord{}, c.err
+		}
+		if g < m.floorW {
+			g = m.floorW
+		}
+		if g > m.peak {
+			g = m.peak
+		}
+		if err := m.Session.SetBudgetFrac(g / m.peak); err != nil {
+			c.err = fmt.Errorf("cluster: member %q grant %g W of %g W peak: %w", m.ID, g, m.peak, err)
+			return EpochRecord{}, c.err
+		}
+		m.grantW = g
+	}
+	c.parallelStep(ctx, n)
+	for i, err := range c.stepErrs {
+		if err == nil || errors.Is(err, runner.ErrDone) {
+			continue
+		}
+		c.err = fmt.Errorf("cluster: member %q: %w", c.live[i].ID, err)
+		return EpochRecord{}, c.err
+	}
+
+	e := int(c.epoch.Load())
+	rec := EpochRecord{Epoch: e, BudgetW: budget, Members: c.memberLines(n)[:0]}
+	for i, m := range c.live {
+		if errors.Is(c.stepErrs[i], runner.ErrDone) {
+			// Defensive: a session finalized behind our back. Retire it.
+			m.done = true
+			continue
+		}
+		r := c.stepRecs[i]
+		m.powerW = r.AvgPowerW
+		m.throttle = m.throttleFrac(r.CoreSteps)
+		m.local++
+		if m.local >= m.total {
+			m.done = true
+			m.Session.Result()
+		}
+		instr := 0.0
+		for _, v := range r.Instr {
+			instr += v
+		}
+		rec.Members = append(rec.Members, MemberGrant{
+			ID: m.ID, Epoch: r.Epoch,
+			GrantW: m.grantW, PowerW: r.AvgPowerW, SlackW: m.grantW - r.AvgPowerW,
+			ThrottleFrac: m.throttle, Instr: instr, Done: m.done,
+		})
+		rec.GrantedW += m.grantW
+	}
+	c.epoch.Add(1)
+	return rec, nil
+}
+
+// memberLines carves the next n member lines out of the flat chunk,
+// falling back to a fresh chunk when attaches outgrew the original.
+func (c *Coordinator) memberLines(n int) []MemberGrant {
+	if c.grantOff+n > len(c.grantBuf) {
+		size := n * 64
+		if size < n {
+			size = n
+		}
+		c.grantBuf = make([]MemberGrant, size)
+		c.grantOff = 0
+	}
+	s := c.grantBuf[c.grantOff : c.grantOff+n : c.grantOff+n]
+	c.grantOff += n
+	return s
+}
+
+// parallelStep advances every live member one epoch on the worker pool,
+// recording each outcome at the member's index — submission order, so
+// the epoch's results are identical at any worker count.
+func (c *Coordinator) parallelStep(ctx context.Context, n int) {
+	workers := c.cfg.Workers
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			c.stepRecs[i], c.stepErrs[i] = c.live[i].Session.Step(ctx)
+		}
+		return
+	}
+	var next atomic.Int64
+	next.Store(-1)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= n {
+					return
+				}
+				c.stepRecs[i], c.stepErrs[i] = c.live[i].Session.Step(ctx)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Results finalizes every member session and returns their aggregates
+// in membership order (founding order, then attach order; detached and
+// finished members included with their prefix results). Finalizing ends
+// the cluster: subsequent Steps return ErrDone. Results serializes
+// against Step — a concurrent caller blocks until the in-flight epoch
+// completes.
+func (c *Coordinator) Results() []MemberResult {
+	c.stepMu.Lock()
+	defer c.stepMu.Unlock()
+	c.finalized = true
+	c.mu.Lock()
+	c.done = true
+	members := append([]*member(nil), c.members...)
+	c.mu.Unlock()
+	out := make([]MemberResult, len(members))
+	for i, m := range members {
+		out[i] = MemberResult{ID: m.ID, Result: m.Session.Result()}
+	}
+	return out
+}

@@ -1,0 +1,177 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/policy"
+	"repro/internal/runner"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// ClusterSweepRow is one (arbiter, budget, member) cell of the
+// cluster-coordination sweep: how each arbitration policy splits a
+// datacenter-level budget across a mixed fleet.
+type ClusterSweepRow struct {
+	Arbiter string
+	// BudgetFrac is the global budget as a fraction of the summed
+	// member peaks.
+	BudgetFrac float64
+	Member     string
+	Mix        string
+	Machine    string
+	// AvgGrantW / AvgPowerW / AvgSlackW average the member's grant,
+	// measured draw and slack over its run.
+	AvgGrantW float64
+	AvgPowerW float64
+	AvgSlackW float64
+	// FirstGrantW and LastGrantW bracket the run: their difference is
+	// the budget the arbiter migrated to (or from) the member.
+	FirstGrantW float64
+	LastGrantW  float64
+	// GInstr is the member's total instructions retired, in billions —
+	// the throughput the grant bought.
+	GInstr float64
+}
+
+// clusterMemberSpec describes one sweep-fleet tenant.
+type clusterMemberSpec struct {
+	id     string
+	mix    string
+	weight float64
+	cfg    sim.Config
+}
+
+// clusterFleet is the sweep's mixed fleet: a compute-bound 16-core
+// machine (the power-hungry tenant, weight 2 for the priority arbiter),
+// a memory-bound 16-core machine (the natural slack donor), and a
+// big.LITTLE part running a balanced mix.
+func clusterFleet(o Options) []clusterMemberSpec {
+	return []clusterMemberSpec{
+		{id: "ilp", mix: "ILP1", weight: 2, cfg: o.SimConfig(16)},
+		{id: "mem", mix: "MEM4", weight: 1, cfg: o.SimConfig(16)},
+		{id: "bl", mix: "MIX3", weight: 1, cfg: BigLittleConfig(o, 4, 4)},
+	}
+}
+
+// ClusterSweep runs the mixed fleet under every arbitration policy at
+// two global budgets (60% and 75% of the summed peaks) and reports how
+// each arbiter splits the watts. At 60% every member is power-bound and
+// the arbiters differ only in their shares; at 75% the memory-bound
+// member cannot use its proportional share, and the slack-reclaiming
+// arbiter demonstrably migrates that budget to the bottlenecked
+// compute-bound member (FirstGrantW → LastGrantW). Clusters fan out on
+// the Lab's worker pool; rows are assembled in submission order, so
+// output is identical at any worker count.
+func (l *Lab) ClusterSweep() ([]ClusterSweepRow, error) {
+	arbiters := []string{"static", "slack", "priority"}
+	budgets := []float64{0.60, 0.75}
+
+	type job struct {
+		arb  string
+		frac float64
+	}
+	var jobs []job
+	for _, frac := range budgets {
+		for _, arb := range arbiters {
+			jobs = append(jobs, job{arb: arb, frac: frac})
+		}
+	}
+
+	specs := clusterFleet(l.Opt)
+	rows := make([][]ClusterSweepRow, len(jobs))
+	err := l.parallelFor(len(jobs), func(i int) error {
+		j := jobs[i]
+		members := make([]cluster.Member, len(specs))
+		peaks := 0.0
+		for k, sp := range specs {
+			mix, err := workload.MixByName(sp.mix)
+			if err != nil {
+				return err
+			}
+			ses, err := runner.NewSession(runner.Config{
+				Sim: sp.cfg, Mix: mix, BudgetFrac: 1,
+				Epochs: l.Opt.Epochs, Policy: policy.NewFastCap(),
+			})
+			if err != nil {
+				return fmt.Errorf("cluster member %s: %w", sp.id, err)
+			}
+			peaks += ses.PeakPowerW()
+			members[k] = cluster.Member{ID: sp.id, Weight: sp.weight, Session: ses}
+		}
+		arb, ok := cluster.ArbiterByName(j.arb)
+		if !ok {
+			return fmt.Errorf("unknown arbiter %q", j.arb)
+		}
+		// Members step serially inside the coordinator: the Lab's pool
+		// already runs whole clusters in parallel.
+		coord, err := cluster.New(cluster.Config{
+			BudgetW: j.frac * peaks, Arbiter: arb, Workers: 1,
+		}, members)
+		if err != nil {
+			return err
+		}
+
+		type acc struct {
+			grant, power, slack, first, last, instr float64
+			epochs                                  int
+		}
+		accs := make(map[string]*acc, len(specs))
+		for {
+			rec, err := coord.Step(context.Background())
+			if errors.Is(err, cluster.ErrDone) {
+				break
+			}
+			if err != nil {
+				return fmt.Errorf("%s@%.0f%%: %w", j.arb, j.frac*100, err)
+			}
+			for _, mg := range rec.Members {
+				a := accs[mg.ID]
+				if a == nil {
+					a = &acc{first: mg.GrantW}
+					accs[mg.ID] = a
+				}
+				a.grant += mg.GrantW
+				a.power += mg.PowerW
+				a.slack += mg.SlackW
+				a.last = mg.GrantW
+				a.instr += mg.Instr
+				a.epochs++
+			}
+		}
+		out := make([]ClusterSweepRow, len(specs))
+		for k, sp := range specs {
+			a := accs[sp.id]
+			if a == nil || a.epochs == 0 {
+				return fmt.Errorf("%s@%.0f%%: member %s never ran", j.arb, j.frac*100, sp.id)
+			}
+			n := float64(a.epochs)
+			machine := fmt.Sprintf("%d-core", sp.cfg.Cores)
+			if sp.cfg.Machine != nil {
+				machine = sp.cfg.Machine.Name
+			}
+			out[k] = ClusterSweepRow{
+				Arbiter: j.arb, BudgetFrac: j.frac,
+				Member: sp.id, Mix: sp.mix, Machine: machine,
+				AvgGrantW: a.grant / n, AvgPowerW: a.power / n, AvgSlackW: a.slack / n,
+				FirstGrantW: a.first, LastGrantW: a.last,
+				GInstr: a.instr / 1e9,
+			}
+		}
+		rows[i] = out
+		l.log("ran cluster %-8s budget=%.0f%%  granted avg %.1fW",
+			j.arb, j.frac*100, (out[0].AvgGrantW+out[1].AvgGrantW+out[2].AvgGrantW))
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var flat []ClusterSweepRow
+	for _, r := range rows {
+		flat = append(flat, r...)
+	}
+	return flat, nil
+}

@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+)
+
+// clusterLab is a reduced-fidelity Lab for the sweep tests: 16-core
+// members keep the compute/memory draw contrast the sweep demonstrates,
+// shorter runs keep it fast.
+func clusterLab(workers int) *Lab {
+	return NewLab(Options{
+		Cores: 16, Epochs: 12, EpochNs: 5e5, Workers: workers,
+	})
+}
+
+// The acceptance assertion of the cluster layer: under the
+// slack-reclaiming arbiter at the loose budget, the compute-bound
+// member (pressed against its cap) ends the run with more watts than it
+// started with, taken from the memory-bound member that could not use
+// its proportional share. At the tight budget everyone is power-bound
+// and no such migration happens.
+func TestClusterSweepSlackShiftsTowardBottleneck(t *testing.T) {
+	rows, err := clusterLab(0).ClusterSweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 18 { // 3 arbiters × 2 budgets × 3 members
+		t.Fatalf("sweep produced %d rows, want 18", len(rows))
+	}
+	find := func(arb string, frac float64, member string) ClusterSweepRow {
+		for _, r := range rows {
+			if r.Arbiter == arb && r.BudgetFrac == frac && r.Member == member {
+				return r
+			}
+		}
+		t.Fatalf("row %s/%.2f/%s missing", arb, frac, member)
+		return ClusterSweepRow{}
+	}
+
+	ilp := find("slack", 0.75, "ilp")
+	mem := find("slack", 0.75, "mem")
+	if gained := ilp.LastGrantW - ilp.FirstGrantW; gained < 2 {
+		t.Errorf("slack@75%%: bottlenecked member gained %.2f W, want >= 2 W", gained)
+	}
+	if ceded := mem.FirstGrantW - mem.LastGrantW; ceded < 2 {
+		t.Errorf("slack@75%%: memory-bound member ceded %.2f W, want >= 2 W", ceded)
+	}
+	// The reclaimed watts bought throughput: the bottlenecked member
+	// beats its static allocation at the same budget.
+	ilpStatic := find("static", 0.75, "ilp")
+	if ilp.GInstr <= ilpStatic.GInstr {
+		t.Errorf("slack@75%%: ilp retired %.3f Ginstr vs %.3f under static — reclaim bought nothing",
+			ilp.GInstr, ilpStatic.GInstr)
+	}
+
+	// Static never moves a grant.
+	for _, member := range []string{"ilp", "mem", "bl"} {
+		r := find("static", 0.60, member)
+		if r.FirstGrantW != r.LastGrantW {
+			t.Errorf("static@60%%: member %s grant moved %.2f → %.2f W", member, r.FirstGrantW, r.LastGrantW)
+		}
+	}
+	// Priority weights bite: ilp (weight 2) gets a larger share of the
+	// tight budget than it would proportionally.
+	pri := find("priority", 0.60, "ilp")
+	sta := find("static", 0.60, "ilp")
+	if pri.AvgGrantW <= sta.AvgGrantW {
+		t.Errorf("priority@60%%: weight-2 member granted %.2f W vs %.2f under static", pri.AvgGrantW, sta.AvgGrantW)
+	}
+}
+
+// The sweep is deterministic across Lab worker counts, like every other
+// figure.
+func TestClusterSweepDeterministicAcrossWorkers(t *testing.T) {
+	serial, err := clusterLab(1).ClusterSweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := clusterLab(8).ClusterSweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Error("ClusterSweep output differs between Workers=1 and Workers=8")
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"reflect"
 	"testing"
 
+	"repro/internal/dvfs"
 	"repro/internal/policy"
 	"repro/internal/replay"
 	"repro/internal/runner"
@@ -19,12 +20,19 @@ import (
 // golden traces, so mutations explore the neighborhood of actual
 // recordings rather than random JSON.
 func seedRecording(f *testing.F, mixName string, cores, epochs int, pol policy.Policy) []byte {
+	sc := sim.DefaultConfig(cores)
+	return seedRecordingCfg(f, mixName, sc, epochs, pol)
+}
+
+// seedRecordingCfg is seedRecording over an explicit machine config, so
+// the corpus also covers heterogeneous and multi-controller traces
+// (their recordings carry per-core ladders and wider access matrices).
+func seedRecordingCfg(f *testing.F, mixName string, sc sim.Config, epochs int, pol policy.Policy) []byte {
 	f.Helper()
 	mix, err := workload.MixByName(mixName)
 	if err != nil {
 		f.Fatal(err)
 	}
-	sc := sim.DefaultConfig(cores)
 	sc.EpochNs = 5e5
 	sc.ProfileNs = 5e4
 	cfg := runner.Config{Sim: sc, Mix: mix, BudgetFrac: 0.6, Epochs: epochs, Policy: pol}
@@ -61,6 +69,20 @@ func FuzzReplayRoundTrip(f *testing.F) {
 	f.Add(seedRecording(f, "MIX2", 4, 3, policy.NewFastCap()))
 	f.Add(seedRecording(f, "MID1", 4, 2, nil))
 	f.Add(seedRecording(f, "MEM1", 8, 2, policy.NewEqlPwr()))
+	blCfg := sim.DefaultConfig(4)
+	blCfg.Machine = &sim.MachineSpec{
+		Name: "bigLITTLE-2+2",
+		Classes: []sim.CoreClass{
+			{Name: "big", Count: 2},
+			{Name: "little", Count: 2, Ladder: dvfs.EfficiencyCoreLadder(), ExecCPIScale: 1.25},
+		},
+	}
+	f.Add(seedRecordingCfg(f, "MIX3", blCfg, 2, policy.NewFastCap()))
+	ctlCfg := sim.DefaultConfig(8)
+	ctlCfg.Controllers = 2
+	ctlCfg.BanksPerController = 16
+	ctlCfg.SkewedAccess = true
+	f.Add(seedRecordingCfg(f, "MEM2", ctlCfg, 2, policy.NewFastCap()))
 	f.Add([]byte(`{"PeakW":1,"SbBarNs":2,"AccessProb":[[1]],"Epochs":[{"Profile":{"Cores":[{}]},"Rest":{},"MemStep":-1}]}`))
 	f.Add([]byte(`{}`))
 

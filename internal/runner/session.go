@@ -290,6 +290,25 @@ func NewSession(cfg Config, opts ...SessionOption) (*Session, error) {
 // to call concurrently with Step.
 func (s *Session) Epoch() int { return int(s.epoch.Load()) }
 
+// TotalEpochs returns the configured run length — how many Steps the
+// session executes before ErrDone. Supervisors (the serving layer, the
+// cluster coordinator) size buffers and detect natural completion from
+// it without consuming a Step call.
+func (s *Session) TotalEpochs() int { return s.cfg.Epochs }
+
+// MaxCoreSteps returns each core's top DVFS ladder step — the operating
+// point of an unthrottled core. Compared against an EpochRecord's
+// CoreSteps it tells a supervisor whether the capping policy had to
+// shed frequency that epoch (the cluster arbiter's throttle signal).
+// The returned slice is freshly allocated.
+func (s *Session) MaxCoreSteps() []int {
+	out := make([]int, s.cfg.Sim.Cores)
+	for i := range out {
+		out[i] = s.st.layout.Ladder(i).MaxStep()
+	}
+	return out
+}
+
 // PeakPowerW returns the platform's nameplate peak power — the
 // reference budget fractions are taken against.
 func (s *Session) PeakPowerW() float64 { return s.peak }

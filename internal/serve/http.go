@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -22,9 +23,23 @@ import (
 //	DELETE /sessions/{id}            cancel and remove
 //	GET    /healthz                  liveness
 //
-// Each stream line is exactly the JSON encoding of a runner.EpochRecord
-// — byte-identical to marshaling the same epoch of a solo runner.Run —
-// so consumers can diff a service stream against a local run.
+// and the cluster groups (one global budget arbitrated across member
+// sessions at epoch boundaries):
+//
+//	POST   /clusters                      create a group (ClusterRequest JSON) → ClusterStatus
+//	GET    /clusters                      list resident groups
+//	GET    /clusters/{id}                 one group's ClusterStatus
+//	GET    /clusters/{id}/stream          NDJSON per-epoch member-grant records; ?from=N resumes
+//	POST   /clusters/{id}/budget          {"budget_w": w} → live global retarget
+//	POST   /clusters/{id}/members         attach a member (ClusterMemberRequest JSON)
+//	DELETE /clusters/{id}/members/{mid}   detach a member at the next epoch boundary
+//	GET    /clusters/{id}/result          finalized per-member results (terminal groups)
+//	DELETE /clusters/{id}                 cancel and remove
+//
+// Each session stream line is exactly the JSON encoding of a
+// runner.EpochRecord — byte-identical to marshaling the same epoch of a
+// solo runner.Run — so consumers can diff a service stream against a
+// local run. Cluster stream lines are cluster.EpochRecord values.
 func NewHandler(m *Manager) http.Handler {
 	h := &handler{m: m}
 	mux := http.NewServeMux()
@@ -37,6 +52,15 @@ func NewHandler(m *Manager) http.Handler {
 	mux.HandleFunc("GET /sessions/{id}/result", h.result)
 	mux.HandleFunc("GET /sessions/{id}/recording", h.recording)
 	mux.HandleFunc("DELETE /sessions/{id}", h.del)
+	mux.HandleFunc("POST /clusters", h.clusterCreate)
+	mux.HandleFunc("GET /clusters", h.clusterList)
+	mux.HandleFunc("GET /clusters/{id}", h.clusterStatus)
+	mux.HandleFunc("GET /clusters/{id}/stream", h.clusterStream)
+	mux.HandleFunc("POST /clusters/{id}/budget", h.clusterBudget)
+	mux.HandleFunc("POST /clusters/{id}/members", h.clusterAttach)
+	mux.HandleFunc("DELETE /clusters/{id}/members/{mid}", h.clusterDetach)
+	mux.HandleFunc("GET /clusters/{id}/result", h.clusterResult)
+	mux.HandleFunc("DELETE /clusters/{id}", h.clusterDel)
 	return mux
 }
 
@@ -116,12 +140,13 @@ func (h *handler) status(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, st)
 }
 
-// stream writes the session's per-epoch records as NDJSON, following
-// the live run until it reaches a terminal state (or the client goes
-// away). ?from=N starts mid-stream — a reconnecting consumer resumes
-// where it left off, records being stable once emitted.
-func (h *handler) stream(w http.ResponseWriter, r *http.Request) {
-	id := r.PathValue("id")
+// streamNDJSON is the shared live-follow loop behind the session and
+// cluster stream endpoints: parse ?from, resolve the id via lookup
+// *before* committing the 200 and the NDJSON header, then encode one
+// record per line until next fails. ?from=N starts mid-stream — a
+// reconnecting consumer resumes where it left off, records being stable
+// once emitted.
+func streamNDJSON(w http.ResponseWriter, r *http.Request, lookup func() error, next func(ctx context.Context, cursor int) (any, error)) {
 	from := 0
 	if v := r.URL.Query().Get("from"); v != "" {
 		n, err := strconv.Atoi(v)
@@ -131,8 +156,7 @@ func (h *handler) stream(w http.ResponseWriter, r *http.Request) {
 		}
 		from = n
 	}
-	// Resolve the id before committing the 200 and the NDJSON header.
-	if _, err := h.m.Status(id); err != nil {
+	if err := lookup(); err != nil {
 		writeErr(w, err)
 		return
 	}
@@ -141,7 +165,7 @@ func (h *handler) stream(w http.ResponseWriter, r *http.Request) {
 	flusher, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w)
 	for cursor := from; ; cursor++ {
-		rec, err := h.m.Next(r.Context(), id, cursor)
+		rec, err := next(r.Context(), cursor)
 		if err != nil {
 			// io.EOF: clean end of stream. Context errors: the client left.
 			// ErrNotFound: deleted mid-stream. All end the response; HTTP
@@ -155,6 +179,16 @@ func (h *handler) stream(w http.ResponseWriter, r *http.Request) {
 			flusher.Flush()
 		}
 	}
+}
+
+// stream writes the session's per-epoch records as NDJSON, following
+// the live run until it reaches a terminal state (or the client goes
+// away).
+func (h *handler) stream(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	streamNDJSON(w, r,
+		func() error { _, err := h.m.Status(id); return err },
+		func(ctx context.Context, cursor int) (any, error) { return h.m.Next(ctx, id, cursor) })
 }
 
 // budgetRequest is the body of POST /sessions/{id}/budget.
@@ -216,6 +250,102 @@ func (d *headerDeferringWriter) Write(p []byte) (int, error) {
 
 func (h *handler) del(w http.ResponseWriter, r *http.Request) {
 	if err := h.m.Close(r.PathValue("id")); err != nil {
+		writeErr(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// --- cluster groups ---------------------------------------------------
+
+func (h *handler) clusterCreate(w http.ResponseWriter, r *http.Request) {
+	var req ClusterRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeErr(w, err)
+		return
+	}
+	st, err := h.m.CreateCluster(req)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	w.Header().Set("Location", "/clusters/"+st.ID)
+	writeJSON(w, http.StatusCreated, st)
+}
+
+func (h *handler) clusterList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, h.m.ListClusters())
+}
+
+func (h *handler) clusterStatus(w http.ResponseWriter, r *http.Request) {
+	st, err := h.m.ClusterStatus(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// clusterStream follows the group's per-epoch member-grant records as
+// NDJSON, the cluster-level twin of the session stream.
+func (h *handler) clusterStream(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	streamNDJSON(w, r,
+		func() error { _, err := h.m.ClusterStatus(id); return err },
+		func(ctx context.Context, cursor int) (any, error) { return h.m.ClusterNext(ctx, id, cursor) })
+}
+
+// clusterBudgetRequest is the body of POST /clusters/{id}/budget.
+type clusterBudgetRequest struct {
+	BudgetW float64 `json:"budget_w"`
+}
+
+func (h *handler) clusterBudget(w http.ResponseWriter, r *http.Request) {
+	var req clusterBudgetRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeErr(w, err)
+		return
+	}
+	if err := h.m.SetClusterBudget(r.PathValue("id"), req.BudgetW); err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]float64{"budget_w": req.BudgetW})
+}
+
+func (h *handler) clusterAttach(w http.ResponseWriter, r *http.Request) {
+	var req ClusterMemberRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeErr(w, err)
+		return
+	}
+	st, err := h.m.AttachMember(r.PathValue("id"), req)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (h *handler) clusterDetach(w http.ResponseWriter, r *http.Request) {
+	if err := h.m.DetachMember(r.PathValue("id"), r.PathValue("mid")); err != nil {
+		writeErr(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (h *handler) clusterResult(w http.ResponseWriter, r *http.Request) {
+	res, err := h.m.ClusterResult(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (h *handler) clusterDel(w http.ResponseWriter, r *http.Request) {
+	if err := h.m.CloseCluster(r.PathValue("id")); err != nil {
 		writeErr(w, err)
 		return
 	}

@@ -183,21 +183,33 @@ func (s *session) finishLocked(st State, err error) {
 	s.cond.Broadcast()
 }
 
+// runnable is one schedulable tenant of the manager pool: a session
+// (one control epoch per turn) or a cluster group (one cluster epoch —
+// every member's control epoch — per turn).
+type runnable interface {
+	turn(m *Manager)
+}
+
 // Manager owns the session table and the scheduler pool. The zero
 // value is not usable; call NewManager.
 //
-// Lock ordering: m.mu before s.mu; neither is held across an epoch
-// step, so session execution never blocks the API surface.
+// Lock ordering: m.mu before s.mu (or g.mu); neither is held across an
+// epoch step, so session execution never blocks the API surface.
 type Manager struct {
 	opt Options
 
 	mu       sync.Mutex
 	cond     *sync.Cond // runnable-queue and drain-progress signal
 	sessions map[string]*session
-	runq     []*session // fair round-robin FIFO of runnable sessions
-	nextID   uint64
-	draining bool
-	stopped  bool
+	clusters map[string]*group
+	// memberTotal counts the sessions owned by resident cluster groups;
+	// they share the MaxSessions admission budget with solo sessions.
+	memberTotal int
+	runq        []runnable // fair round-robin FIFO of runnable tenants
+	nextID      uint64
+	nextGID     uint64
+	draining    bool
+	stopped     bool
 	// drainCut records that some session settled canceled because of
 	// the drain deadline. Sticky — set at settle time so a client
 	// deleting the session afterwards cannot make the drain look clean.
@@ -206,12 +218,19 @@ type Manager struct {
 	wg sync.WaitGroup
 }
 
+// residentLoadLocked is the admission-control load: solo sessions plus
+// every cluster member. Callers hold m.mu.
+func (m *Manager) residentLoadLocked() int {
+	return len(m.sessions) + m.memberTotal
+}
+
 // NewManager starts the scheduler pool and returns an empty manager.
 // Call Shutdown to drain it.
 func NewManager(o Options) *Manager {
 	m := &Manager{
 		opt:      o.withDefaults(),
 		sessions: make(map[string]*session),
+		clusters: make(map[string]*group),
 	}
 	m.cond = sync.NewCond(&m.mu)
 	for i := 0; i < m.opt.Workers; i++ {
@@ -265,7 +284,7 @@ func (m *Manager) Create(req Request) (Status, error) {
 		cancel()
 		return Status{}, ErrDraining
 	}
-	if len(m.sessions) >= m.opt.MaxSessions {
+	if m.residentLoadLocked() >= m.opt.MaxSessions {
 		m.mu.Unlock()
 		cancel()
 		return Status{}, fmt.Errorf("%w (%d resident)", ErrTooManySessions, m.opt.MaxSessions)
@@ -302,12 +321,13 @@ func (m *Manager) Status(id string) (Status, error) {
 	return s.status(), nil
 }
 
-// Count returns the number of resident sessions — the cheap liveness
-// metric (unlike List, it takes no per-session locks).
+// Count returns the number of resident sessions, cluster members
+// included — the cheap liveness metric (unlike List, it takes no
+// per-session locks).
 func (m *Manager) Count() int {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return len(m.sessions)
+	return m.residentLoadLocked()
 }
 
 // List snapshots every resident session, ordered by creation.
@@ -480,6 +500,14 @@ func (m *Manager) Shutdown(ctx context.Context) error {
 			s.mu.Unlock()
 			s.cancel()
 		}
+		for _, g := range m.clusters {
+			g.mu.Lock()
+			if !g.state.Terminal() && !g.closed {
+				g.deadlineCut = true
+			}
+			g.mu.Unlock()
+			g.cancel()
+		}
 		m.mu.Unlock()
 	})
 	defer stop()
@@ -506,9 +534,9 @@ func (m *Manager) Shutdown(ctx context.Context) error {
 	return nil
 }
 
-// allTerminalLocked reports whether every resident session is done
-// stepping. Callers hold m.mu (taken before any s.mu, per the lock
-// order).
+// allTerminalLocked reports whether every resident session and cluster
+// group is done stepping. Callers hold m.mu (taken before any s.mu or
+// g.mu, per the lock order).
 func (m *Manager) allTerminalLocked() bool {
 	for _, s := range m.sessions {
 		s.mu.Lock()
@@ -518,33 +546,41 @@ func (m *Manager) allTerminalLocked() bool {
 			return false
 		}
 	}
+	for _, g := range m.clusters {
+		g.mu.Lock()
+		terminal := g.state.Terminal()
+		g.mu.Unlock()
+		if !terminal {
+			return false
+		}
+	}
 	return true
 }
 
 // worker is one scheduler pool goroutine: pop the head of the fair
-// queue, advance that session one epoch, requeue it at the tail.
+// queue, advance that tenant one turn, requeue it at the tail.
 func (m *Manager) worker() {
 	defer m.wg.Done()
 	for {
-		s := m.pop()
-		if s == nil {
+		r := m.pop()
+		if r == nil {
 			return
 		}
-		m.stepOnce(s)
+		r.turn(m)
 	}
 }
 
-// pop blocks for the next runnable session; nil means the manager has
+// pop blocks for the next runnable tenant; nil means the manager has
 // stopped and the queue is drained.
-func (m *Manager) pop() *session {
+func (m *Manager) pop() runnable {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	for {
 		if len(m.runq) > 0 {
-			s := m.runq[0]
+			r := m.runq[0]
 			m.runq[0] = nil // free the slot for GC as the window slides
 			m.runq = m.runq[1:]
-			return s
+			return r
 		}
 		if m.stopped {
 			return nil
@@ -552,6 +588,9 @@ func (m *Manager) pop() *session {
 		m.cond.Wait()
 	}
 }
+
+// turn implements runnable: a session's scheduling turn is one epoch.
+func (s *session) turn(m *Manager) { m.stepOnce(s) }
 
 // stepOnce is one scheduling turn: exactly one epoch of one session.
 func (m *Manager) stepOnce(s *session) {
@@ -611,10 +650,10 @@ func (s *session) cutShort() bool {
 	return s.state == StateCanceled && s.deadlineCut && !s.closed
 }
 
-// requeue returns a still-live session to the tail of the fair queue.
-func (m *Manager) requeue(s *session) {
+// requeue returns a still-live tenant to the tail of the fair queue.
+func (m *Manager) requeue(r runnable) {
 	m.mu.Lock()
-	m.runq = append(m.runq, s)
+	m.runq = append(m.runq, r)
 	m.cond.Broadcast()
 	m.mu.Unlock()
 }

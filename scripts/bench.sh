@@ -15,6 +15,8 @@
 # the first measures one epoch through the streaming Session API, the
 # second through the batch Run wrapper. Compare them across snapshots to
 # catch session-layer overhead creeping into the hot loop.
+# BenchmarkClusterArbitration{8,64} track the cluster coordinator's
+# per-epoch rebalance (target: O(members), zero steady-state allocs).
 set -eu
 
 cd "$(dirname "$0")/.."

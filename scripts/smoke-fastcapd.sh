@@ -1,0 +1,101 @@
+#!/usr/bin/env sh
+# smoke-fastcapd.sh — boot the fastcapd daemon and drive the cluster
+# HTTP surface end to end with curl: create (valid and invalid), stream,
+# live global-budget retarget, member attach/detach, per-member results,
+# delete, and a clean SIGTERM drain. Run by CI after the unit suite; the
+# in-process httptest coverage lives in internal/serve, this proves the
+# real daemon wiring (flags, listener, signal handling) serves the same
+# API.
+#
+# Usage: scripts/smoke-fastcapd.sh [port]
+set -eu
+
+PORT="${1:-8321}"
+BASE="http://127.0.0.1:$PORT"
+
+cd "$(dirname "$0")/.."
+go build -o /tmp/fastcapd-smoke ./cmd/fastcapd
+/tmp/fastcapd-smoke -addr "127.0.0.1:$PORT" -workers 2 -max-sessions 8 -drain-timeout 20s &
+PID=$!
+cleanup() { kill "$PID" 2>/dev/null || true; }
+trap cleanup EXIT
+
+i=0
+until curl -fs "$BASE/healthz" >/dev/null 2>&1; do
+    i=$((i + 1))
+    [ "$i" -lt 50 ] || { echo "fastcapd never became healthy"; exit 1; }
+    sleep 0.2
+done
+echo "healthz ok"
+
+expect_code() { # expect_code <want> <curl args...>
+    want="$1"; shift
+    got=$(curl -s -o /dev/null -w '%{http_code}' "$@")
+    if [ "$got" != "$want" ]; then
+        echo "FAIL: got HTTP $got, want $want ($*)"
+        exit 1
+    fi
+}
+
+# Malformed creates are typed 4xx, never 5xx.
+expect_code 400 -d '{"budget_w":-5,"members":[{"session":{"mix":"MIX3","budget_frac":0.6}}]}' "$BASE/clusters"
+expect_code 400 -d '{"budget_w":50,"arbiter":"chaos","members":[{"session":{"mix":"MIX3","budget_frac":0.6}}]}' "$BASE/clusters"
+expect_code 400 -d '{"budget_w":50,"members":[{"id":"a","session":{"mix":"MIX3","budget_frac":0.6}},{"id":"a","session":{"mix":"MID1","budget_frac":0.6}}]}' "$BASE/clusters"
+expect_code 429 -d '{"budget_w":50,"members":[
+  {"session":{"mix":"MIX3","budget_frac":0.6}},{"session":{"mix":"MIX3","budget_frac":0.6}},
+  {"session":{"mix":"MIX3","budget_frac":0.6}},{"session":{"mix":"MIX3","budget_frac":0.6}},
+  {"session":{"mix":"MIX3","budget_frac":0.6}},{"session":{"mix":"MIX3","budget_frac":0.6}},
+  {"session":{"mix":"MIX3","budget_frac":0.6}},{"session":{"mix":"MIX3","budget_frac":0.6}},
+  {"session":{"mix":"MIX3","budget_frac":0.6}}]}' "$BASE/clusters"
+echo "invalid creates rejected"
+
+# A long-lived group for the live-management surface.
+LONG=$(curl -fs -d '{"budget_frac":0.65,"arbiter":"slack","members":[
+  {"id":"ilp","session":{"mix":"ILP1","budget_frac":0.6,"cores":4,"epochs":5000,"epoch_ms":0.5}},
+  {"id":"mem","session":{"mix":"MEM2","budget_frac":0.6,"cores":4,"epochs":5000,"epoch_ms":0.5}}]}' \
+    "$BASE/clusters" | grep -o '"id":"c[0-9]*"' | head -1 | cut -d'"' -f4)
+[ -n "$LONG" ] || { echo "FAIL: cluster create returned no id"; exit 1; }
+echo "created $LONG"
+
+# Stream: two NDJSON member-grant records, each naming both members.
+LINES=$( (curl -Ns --max-time 20 "$BASE/clusters/$LONG/stream" || true) | head -n 2)
+[ "$(printf '%s\n' "$LINES" | wc -l)" -eq 2 ] || { echo "FAIL: stream produced fewer than 2 lines"; exit 1; }
+printf '%s' "$LINES" | grep -q '"id":"ilp"' || { echo "FAIL: stream lacks member ilp"; exit 1; }
+printf '%s' "$LINES" | grep -q '"grant_w"' || { echo "FAIL: stream lacks grants"; exit 1; }
+echo "stream ok"
+
+# Live management: retarget (good + bad), attach, detach, status.
+expect_code 200 -d '{"budget_w":55}' "$BASE/clusters/$LONG/budget"
+expect_code 400 -d '{"budget_w":-1}' "$BASE/clusters/$LONG/budget"
+expect_code 404 -d '{"budget_w":55}' "$BASE/clusters/nope/budget"
+expect_code 200 -d '{"id":"late","session":{"mix":"MID1","budget_frac":0.6,"cores":4,"epochs":5000,"epoch_ms":0.5}}' "$BASE/clusters/$LONG/members"
+expect_code 400 -d '{"id":"late","session":{"mix":"MID1","budget_frac":0.6}}' "$BASE/clusters/$LONG/members"
+expect_code 404 -X DELETE "$BASE/clusters/$LONG/members/nope"
+expect_code 204 -X DELETE "$BASE/clusters/$LONG/members/mem"
+curl -fs "$BASE/clusters/$LONG" | grep -q '"arbiter":"slack"' || { echo "FAIL: status lost the arbiter"; exit 1; }
+expect_code 409 "$BASE/clusters/$LONG/result"
+echo "retarget/attach/detach ok"
+
+# A quick group: drain its stream, fetch per-member results, delete.
+QUICK=$(curl -fs -d '{"budget_w":60,"members":[
+  {"id":"a","session":{"mix":"MIX3","budget_frac":0.6,"cores":4,"epochs":8,"epoch_ms":0.5}}]}' \
+    "$BASE/clusters" | grep -o '"id":"c[0-9]*"' | head -1 | cut -d'"' -f4)
+curl -Ns --max-time 60 "$BASE/clusters/$QUICK/stream" >/dev/null
+curl -fs "$BASE/clusters/$QUICK/result" | grep -q '"id":"a"' || { echo "FAIL: result lacks member a"; exit 1; }
+expect_code 204 -X DELETE "$BASE/clusters/$QUICK"
+expect_code 404 "$BASE/clusters/$QUICK"
+echo "result/delete ok"
+
+# Sessions still serve next to clusters.
+SID=$(curl -fs -d '{"mix":"MIX3","budget_frac":0.6,"cores":4,"epochs":4,"epoch_ms":0.5}' \
+    "$BASE/sessions" | grep -o '"id":"s[0-9]*"' | head -1 | cut -d'"' -f4)
+curl -Ns --max-time 60 "$BASE/sessions/$SID/stream" >/dev/null
+expect_code 200 "$BASE/sessions/$SID/result"
+echo "sessions ok"
+
+# Drain: delete the long group so SIGTERM settles promptly, then stop.
+expect_code 204 -X DELETE "$BASE/clusters/$LONG"
+kill -TERM "$PID"
+wait "$PID" || { echo "FAIL: fastcapd exited non-zero"; exit 1; }
+trap - EXIT
+echo "smoke ok"
