@@ -8,13 +8,17 @@ package fastcap
 
 import (
 	"context"
+	"encoding/json"
+	"fmt"
 	"testing"
 
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/dist"
 	"repro/internal/experiments"
 	"repro/internal/policy"
 	"repro/internal/runner"
+	"repro/internal/serve"
 	"repro/internal/workload"
 )
 
@@ -318,4 +322,56 @@ func BenchmarkClusterArbitration64(b *testing.B) {
 		arb, _ := cluster.ArbiterByName(name)
 		b.Run(name, func(b *testing.B) { benchClusterArbitration(b, arb, 64) })
 	}
+}
+
+// --- Distributed coordination: remote epoch cost ----------------------
+
+// BenchmarkRemoteEpoch runs an 8-member, 2-agent distributed cluster
+// over the deterministic in-memory transport and reports ns/epoch for
+// the full remote barrier: grant push, an encode/decode wire
+// round-trip per frame, each member's simulated control epoch, and the
+// report barrier. Compare against BenchmarkClusterArbitration8 (the
+// arbitration math alone) and BenchmarkSessionEpoch (one member's
+// epoch) to see what the distribution layer itself costs.
+func BenchmarkRemoteEpoch(b *testing.B) {
+	const (
+		members = 8
+		agents  = 2
+		epochs  = 8
+	)
+	spec := json.RawMessage(`{"mix":"MIX3","budget_frac":1,"cores":4,"epochs":8,"epoch_ms":0.5}`)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net := dist.NewSimNet(dist.SimConfig{Seed: 1})
+		coord, err := dist.NewCoordinator(dist.Config{
+			BudgetW: 40, Expect: members, Arbiter: cluster.NewSlackReclaim(),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for a := 0; a < agents; a++ {
+			name := fmt.Sprintf("agent%d", a)
+			specs := make([]dist.MemberSpec, 0, members/agents)
+			for m := 0; m < members/agents; m++ {
+				specs = append(specs, dist.MemberSpec{ID: fmt.Sprintf("m%d.%d", a, m), Spec: spec})
+			}
+			ag, err := dist.NewAgent(dist.AgentConfig{
+				Name: name, Members: specs, Build: serve.SessionFromSpec,
+				Send: net.Sender(name), Clock: net.Clock(name),
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			net.Register(name, ag.Handle, nil)
+			ag.Start()
+		}
+		if err := coord.Run(net); err != nil {
+			b.Fatal(err)
+		}
+		if got := len(coord.Records()); got != epochs {
+			b.Fatalf("%d cluster epochs, want %d", got, epochs)
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*epochs), "ns/epoch")
 }

@@ -13,6 +13,12 @@
 //	curl -s localhost:8080/sessions/s1/budget -d '{"budget_frac":0.5}'
 //	curl -s localhost:8080/sessions/s1/result
 //
+// The daemon is also one node of a distributed cluster: /dist/clusters
+// hosts the epoch-barrier coordinator and /dist/agents exposes local
+// sessions as remote members of a coordinator elsewhere (see
+// internal/dist). With -agent-journal set, agents journal every grant
+// and a restarted daemon recovers them to their exact pre-crash state.
+//
 // On SIGINT/SIGTERM the daemon drains: no new sessions are admitted,
 // resident sessions run to completion (bounded by -drain-timeout, after
 // which they are canceled at their next epoch boundary), streams end
@@ -30,6 +36,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/dist"
 	"repro/internal/serve"
 )
 
@@ -39,11 +46,37 @@ func main() {
 		workers  = flag.Int("workers", 0, "scheduler pool size (0 = GOMAXPROCS)")
 		maxSess  = flag.Int("max-sessions", 64, "maximum resident sessions")
 		drainFor = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown lets live sessions finish before canceling them")
+		journal  = flag.String("agent-journal", "", "directory for remote-member grant journals (empty disables crash recovery)")
 	)
 	flag.Parse()
 
+	if *journal != "" {
+		if err := os.MkdirAll(*journal, 0o755); err != nil {
+			log.Fatalf("fastcapd: agent journal dir: %v", err)
+		}
+	}
+
 	m := serve.NewManager(serve.Options{Workers: *workers, MaxSessions: *maxSess})
-	srv := &http.Server{Addr: *addr, Handler: serve.NewHandler(m)}
+	coord := dist.NewServer()
+	agents := dist.NewAgentHost(serve.SessionFromSpec, *journal)
+
+	mux := http.NewServeMux()
+	mux.Handle("/", serve.NewHandler(m))
+	coord.Register(mux)
+	agents.Register(mux)
+
+	// No WriteTimeout on purpose: /stream, /events and /feed are
+	// long-lived NDJSON follows, and a write timeout would sever them
+	// mid-run. Idle-stream liveness comes from the heartbeat lines
+	// instead; the read-side timeouts below still shed stuck or
+	// slow-loris clients.
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           mux,
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
 
 	errc := make(chan error, 1)
 	go func() {
@@ -62,6 +95,10 @@ func main() {
 
 	ctx, cancel := context.WithTimeout(context.Background(), *drainFor)
 	defer cancel()
+	// Stop the distributed layer first (agents keep their journals for
+	// restart recovery), then drain local sessions.
+	agents.Close()
+	coord.Close()
 	if err := m.Shutdown(ctx); err != nil {
 		log.Printf("fastcapd: drain cut short: %v", err)
 	}

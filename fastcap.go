@@ -61,6 +61,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/dist"
 	"repro/internal/dvfs"
 	"repro/internal/experiments"
 	"repro/internal/policy"
@@ -457,6 +458,69 @@ type (
 	// ClusterMemberStatus describes one group member statically.
 	ClusterMemberStatus = serve.ClusterMemberStatus
 )
+
+// Distributed coordination (fastcapd's /dist surface): the cluster
+// coordinator split from its members, arbitrating one watt budget over
+// the network with epoch barriers, straggler eviction and journaled
+// crash recovery. See internal/dist.
+type (
+	// DistConfig bounds a distributed coordinator (budget, quorum,
+	// straggler deadline, epoch cap).
+	DistConfig = dist.Config
+	// DistCoordinator runs the epoch-barrier protocol over a Transport.
+	DistCoordinator = dist.Coordinator
+	// DistAgentConfig wires an agent daemon: members, session builder,
+	// send path, clock, journal, announce backoff.
+	DistAgentConfig = dist.AgentConfig
+	// DistAgent hosts member sessions for a remote coordinator.
+	DistAgent = dist.Agent
+	// DistMemberSpec declares one hosted member (id, weight, floor,
+	// session spec).
+	DistMemberSpec = dist.MemberSpec
+	// DistMsg is one coordinator↔agent wire frame.
+	DistMsg = dist.Msg
+	// DistEvent is one typed membership-pressure event (join, readmit,
+	// evict, detach, abandon).
+	DistEvent = dist.Event
+	// DistSimConfig seeds the deterministic in-memory transport and its
+	// fault schedule.
+	DistSimConfig = dist.SimConfig
+	// DistFaults is the injectable fault mix: drop, duplicate, delay,
+	// agent restarts.
+	DistFaults = dist.Faults
+	// DistRestart schedules one agent crash (and optional reboot) in a
+	// simulated-transport fault plan.
+	DistRestart = dist.Restart
+	// DistSimNet is the simulated transport the chaos suite runs on.
+	DistSimNet = dist.SimNet
+	// DistBuildFunc constructs a member session from its JSON spec.
+	DistBuildFunc = dist.BuildFunc
+	// DistJournalStore persists an agent's grant history for restart
+	// recovery.
+	DistJournalStore = dist.JournalStore
+	// DistMemJournal is the in-memory journal store (tests, examples).
+	DistMemJournal = dist.MemJournal
+	// DistFileJournal is the file-backed journal store fastcapd's
+	// -agent-journal flag uses.
+	DistFileJournal = dist.FileJournal
+)
+
+// DistSessionBuilder returns the session builder distributed agents
+// use in fastcapd: member specs are the same JSON schema as
+// POST /sessions (SessionRequest).
+func DistSessionBuilder() DistBuildFunc { return serve.SessionFromSpec }
+
+// NewDistCoordinator validates cfg and builds an idle distributed
+// coordinator; Run starts the protocol over a transport.
+func NewDistCoordinator(cfg DistConfig) (*DistCoordinator, error) { return dist.NewCoordinator(cfg) }
+
+// NewDistAgent builds an agent (recovering journaled state when the
+// config's journal store holds any); Start announces its members.
+func NewDistAgent(cfg DistAgentConfig) (*DistAgent, error) { return dist.NewAgent(cfg) }
+
+// NewDistSimNet builds the seeded in-memory transport used to test
+// coordinator and agents deterministically, faults included.
+func NewDistSimNet(cfg DistSimConfig) *DistSimNet { return dist.NewSimNet(cfg) }
 
 // Figure-level harness (paper §IV).
 type (

@@ -1,6 +1,43 @@
 package cluster
 
-import "math"
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/runner"
+)
+
+// ComputeGrants runs one arbitration round: arb re-partitions budgetW
+// across the members described by obs (ids names them, for error
+// reporting), and every resulting grant is clamped symmetrically into
+// [FloorW, PeakW] — the built-in arbiters already respect the bounds,
+// but Arbiter is a public seam, and a custom implementation returning
+// an out-of-range grant should lose precision, not poison the cluster.
+// Only NaN — no sane clamp — is a fatal arbiter bug, reported as a
+// runner.ErrInvalidConfig. grants[i] holds member i's next-epoch budget
+// in watts on return.
+//
+// This is the single arbitration core shared by the in-process
+// Coordinator and the distributed coordinator (internal/dist): both
+// feed it identical (budgetW, obs) sequences, which is what makes the
+// remote grant stream byte-identical to the local one.
+func ComputeGrants(arb Arbiter, budgetW float64, ids []string, obs []Observation, grants []float64) error {
+	arb.Rebalance(budgetW, obs, grants)
+	for i := range grants {
+		g := grants[i]
+		if math.IsNaN(g) {
+			return fmt.Errorf("%w: arbiter %q granted NaN W to member %q", runner.ErrInvalidConfig, arb.Name(), ids[i])
+		}
+		if g < obs[i].FloorW {
+			g = obs[i].FloorW
+		}
+		if g > obs[i].PeakW {
+			g = obs[i].PeakW
+		}
+		grants[i] = g
+	}
+	return nil
+}
 
 // Observation is one live member's view at an epoch boundary — what the
 // arbiter knows about the member when it re-partitions the global

@@ -180,6 +180,7 @@ type Coordinator struct {
 
 	// Reused per-epoch scratch (allocation-free steady state).
 	live     []*member
+	ids      []string
 	obs      []Observation
 	grants   []float64
 	stepRecs []runner.EpochRecord
@@ -511,6 +512,7 @@ func (c *Coordinator) Step(ctx context.Context) (EpochRecord, error) {
 	// the grant history so everyone reseeds from the proportional share.
 	n := len(c.live)
 	c.obs = c.obs[:0]
+	c.ids = c.ids[:0]
 	for _, m := range c.live {
 		g := m.grantW
 		if attached {
@@ -520,6 +522,7 @@ func (c *Coordinator) Step(ctx context.Context) (EpochRecord, error) {
 			PeakW: m.peak, FloorW: m.floorW, Weight: m.Weight,
 			GrantW: g, PowerW: m.powerW, ThrottleFrac: m.throttle,
 		})
+		c.ids = append(c.ids, m.ID)
 	}
 	if cap(c.grants) < n {
 		c.grants = make([]float64, n)
@@ -529,26 +532,14 @@ func (c *Coordinator) Step(ctx context.Context) (EpochRecord, error) {
 	c.grants = c.grants[:n]
 	c.stepRecs = c.stepRecs[:n]
 	c.stepErrs = c.stepErrs[:n]
-	c.arb.Rebalance(budget, c.obs, c.grants)
+	if err := ComputeGrants(c.arb, budget, c.ids, c.obs, c.grants); err != nil {
+		c.err = err
+		return EpochRecord{}, c.err
+	}
 
-	// Push the caps, then step everyone's epoch under them. Grants are
-	// clamped symmetrically into [floor, peak]: the built-in arbiters
-	// already respect the bounds, but Arbiter is a public seam, and a
-	// custom implementation returning an out-of-range grant should lose
-	// precision, not poison the cluster. Only NaN — no sane clamp — is
-	// a fatal arbiter bug.
+	// Push the caps, then step everyone's epoch under them.
 	for i, m := range c.live {
 		g := c.grants[i]
-		if math.IsNaN(g) {
-			c.err = fmt.Errorf("%w: arbiter %q granted NaN W to member %q", runner.ErrInvalidConfig, c.arb.Name(), m.ID)
-			return EpochRecord{}, c.err
-		}
-		if g < m.floorW {
-			g = m.floorW
-		}
-		if g > m.peak {
-			g = m.peak
-		}
 		if err := m.Session.SetBudgetFrac(g / m.peak); err != nil {
 			c.err = fmt.Errorf("cluster: member %q grant %g W of %g W peak: %w", m.ID, g, m.peak, err)
 			return EpochRecord{}, c.err

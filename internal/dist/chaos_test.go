@@ -1,0 +1,238 @@
+package dist_test
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/dist"
+)
+
+// checkDegradation pins the coordinator's invariants under any fault
+// schedule:
+//
+//  1. Per-member epoch monotonicity — a member's member-local epoch
+//     index never repeats or regresses across record lines: duplicated
+//     grants are deduped, journal replay never re-executes an epoch.
+//  2. Done is terminal and lands exactly on the member's last epoch.
+//  3. Membership events alternate legally: one join, then
+//     evict/readmit pairs, with detach/abandon as sinks.
+//  4. An evicted member contributes no record line from the epoch it
+//     was evicted in until the epoch it was readmitted at (exclusive) —
+//     eviction leaves the pool immediately, readmission waits for a
+//     boundary.
+func checkDegradation(t *testing.T, fixture []fixtureMember, recs []cluster.EpochRecord, evs []dist.Event) {
+	t.Helper()
+	totals := map[string]int{}
+	for _, fm := range fixture {
+		totals[fm.id] = fm.spec.Epochs
+	}
+
+	last := map[string]int{}
+	done := map[string]bool{}
+	for _, r := range recs {
+		for _, l := range r.Members {
+			if done[l.ID] {
+				t.Errorf("epoch %d: member %q has a line after its done line", r.Epoch, l.ID)
+			}
+			if prev, ok := last[l.ID]; ok && l.Epoch <= prev {
+				t.Errorf("epoch %d: member %q member-epoch %d after %d, want strictly increasing", r.Epoch, l.ID, l.Epoch, prev)
+			}
+			last[l.ID] = l.Epoch
+			if l.Done {
+				done[l.ID] = true
+				if l.Epoch != totals[l.ID]-1 {
+					t.Errorf("member %q done at member-epoch %d, want %d", l.ID, l.Epoch, totals[l.ID]-1)
+				}
+			}
+		}
+	}
+
+	type span struct{ from, to int }
+	spans := map[string][]span{}
+	state := map[string]string{}
+	for _, ev := range evs {
+		prev := state[ev.Member]
+		switch ev.Type {
+		case "join":
+			if prev != "" {
+				t.Errorf("join of %q after %q", ev.Member, prev)
+			}
+		case "evict":
+			if prev != "join" && prev != "readmit" {
+				t.Errorf("evict of %q after %q", ev.Member, prev)
+			}
+			spans[ev.Member] = append(spans[ev.Member], span{from: ev.Epoch, to: math.MaxInt})
+		case "readmit":
+			if prev != "evict" {
+				t.Errorf("readmit of %q after %q", ev.Member, prev)
+			}
+			if ss := spans[ev.Member]; len(ss) > 0 {
+				ss[len(ss)-1].to = ev.Epoch
+			}
+		case "abandon", "detach":
+			if prev == "" {
+				t.Errorf("%s of %q with no prior membership", ev.Type, ev.Member)
+			}
+		default:
+			t.Errorf("unknown event type %q", ev.Type)
+		}
+		state[ev.Member] = ev.Type
+	}
+	for _, r := range recs {
+		for _, l := range r.Members {
+			for _, sp := range spans[l.ID] {
+				if r.Epoch >= sp.from && r.Epoch < sp.to {
+					t.Errorf("member %q has a line at epoch %d inside its eviction span [%d, %d)", l.ID, r.Epoch, sp.from, sp.to)
+				}
+			}
+		}
+	}
+}
+
+// The seeded chaos table: per-message drop, delay, duplication and
+// whole-agent mid-epoch restarts, swept individually and combined. For
+// every schedule the run must terminate without error, satisfy the
+// degradation invariants, and — run twice from the same seed — produce
+// byte-identical records, events and results. Clean under -race and
+// -shuffle=on: each run is self-contained.
+func TestDistChaosTable(t *testing.T) {
+	// DelayNs beyond the straggler deadline turns a delay fault into a
+	// missed barrier.
+	const longDelay = 15e9
+	cases := []struct {
+		name   string
+		seed   int64
+		faults dist.Faults
+		expect func(t *testing.T, coord *dist.Coordinator)
+	}{
+		{name: "drop", seed: 11, faults: dist.Faults{DropProb: 0.05}},
+		{name: "dup", seed: 13, faults: dist.Faults{DupProb: 0.30}},
+		{name: "delay", seed: 12, faults: dist.Faults{DelayProb: 0.15, DelayNs: longDelay},
+			expect: wantEvents("evict", "readmit")},
+		{name: "storm", seed: 14, faults: dist.Faults{DropProb: 0.08, DupProb: 0.15, DelayProb: 0.10, DelayNs: longDelay}},
+		{name: "restart-before-step", seed: 15,
+			faults: dist.Faults{Restarts: []dist.Restart{{Agent: "a1", Epoch: 2, RestartAfterNs: 3e9}}},
+			expect: andExpect(wantEvents("evict", "readmit"), wantAllResults)},
+		{name: "restart-after-step", seed: 16,
+			faults: dist.Faults{Restarts: []dist.Restart{{Agent: "a2", Epoch: 3, AfterStep: true, RestartAfterNs: 5e9}}},
+			expect: andExpect(wantEvents("evict", "readmit"), wantAllResults)},
+		{name: "double-restart", seed: 17,
+			faults: dist.Faults{Restarts: []dist.Restart{
+				{Agent: "a1", Epoch: 1, RestartAfterNs: 2e9},
+				{Agent: "a1", Epoch: 4, AfterStep: true, RestartAfterNs: 2e9},
+			}},
+			expect: andExpect(wantEvents("evict", "readmit"), wantAllResults)},
+		{name: "agent-dies-for-good", seed: 18,
+			faults: dist.Faults{Restarts: []dist.Restart{{Agent: "a2", Epoch: 1}}},
+			expect: wantEvents("evict", "abandon")},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			run := func() (*dist.Coordinator, [3][]byte) {
+				coord, err := runDist(t, distRun{
+					fixture: chaosFixture(), seed: tc.seed, faults: tc.faults,
+					cfg: dist.Config{MaxEpochs: 300},
+				})
+				if err != nil {
+					t.Fatalf("run: %v", err)
+				}
+				return coord, [3][]byte{
+					mustJSON(t, coord.Records()),
+					mustJSON(t, coord.Events()),
+					mustJSON(t, coord.Results()),
+				}
+			}
+			coord, first := run()
+			checkDegradation(t, chaosFixture(), coord.Records(), coord.Events())
+			if fin, err := coord.Finished(); !fin || err != nil {
+				t.Errorf("Finished() = %v, %v after Run returned", fin, err)
+			}
+			if tc.expect != nil {
+				tc.expect(t, coord)
+			}
+			_, second := run()
+			for i, name := range []string{"records", "events", "results"} {
+				if !bytes.Equal(first[i], second[i]) {
+					t.Errorf("%s diverged between two runs of seed %d", name, tc.seed)
+				}
+			}
+		})
+	}
+}
+
+// wantEvents asserts at least one event of each named type occurred —
+// the schedule actually exercised the degradation path it targets.
+func wantEvents(types ...string) func(*testing.T, *dist.Coordinator) {
+	return func(t *testing.T, coord *dist.Coordinator) {
+		t.Helper()
+		seen := map[string]bool{}
+		for _, ev := range coord.Events() {
+			seen[ev.Type] = true
+		}
+		for _, typ := range types {
+			if !seen[typ] {
+				t.Errorf("no %q event fired; events: %+v", typ, coord.Events())
+			}
+		}
+	}
+}
+
+// wantAllResults asserts every member delivered its final result — the
+// lossless-recovery schedules must lose no member.
+func wantAllResults(t *testing.T, coord *dist.Coordinator) {
+	t.Helper()
+	for _, mr := range coord.Results() {
+		if mr.Result == nil {
+			t.Errorf("member %q has no final result", mr.ID)
+		}
+	}
+}
+
+func andExpect(fns ...func(*testing.T, *dist.Coordinator)) func(*testing.T, *dist.Coordinator) {
+	return func(t *testing.T, coord *dist.Coordinator) {
+		for _, fn := range fns {
+			fn(t, coord)
+		}
+	}
+}
+
+// A coordinator with no agents on the network must fail typed at the
+// join timeout, not hang.
+func TestDistNoMembersTimesOutTyped(t *testing.T) {
+	net := dist.NewSimNet(dist.SimConfig{Seed: 1})
+	coord, err := dist.NewCoordinator(dist.Config{BudgetW: 10, Expect: 2, JoinTimeoutNs: 1e9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := coord.Run(net); err == nil {
+		t.Fatal("Run succeeded with no members")
+	}
+}
+
+// MaxEpochs bounds any run: even a healthy cluster is cut off at the
+// limit with typed abandon events, guaranteeing termination under
+// adversarial schedules.
+func TestDistMaxEpochsTerminates(t *testing.T) {
+	fixture := []fixtureMember{
+		{"m1", "a1", testSpec{Mix: "MIX1", Cores: 4, Epochs: 10, Policy: "fastcap"}},
+	}
+	coord, err := runDist(t, distRun{fixture: fixture, seed: 3, cfg: dist.Config{MaxEpochs: 3}})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if got := len(coord.Records()); got != 3 {
+		t.Errorf("got %d records, want exactly MaxEpochs=3", got)
+	}
+	var abandoned bool
+	for _, ev := range coord.Events() {
+		if ev.Type == "abandon" && ev.Member == "m1" {
+			abandoned = true
+		}
+	}
+	if !abandoned {
+		t.Errorf("no abandon event at the epoch limit: %+v", coord.Events())
+	}
+}

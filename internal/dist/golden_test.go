@@ -1,0 +1,132 @@
+package dist_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/dist"
+)
+
+// The fault-free golden gate: the 8-member mixed-machine fixture run
+// through a simulated-transport cluster (three agents behind SimNet, no
+// faults armed) must produce byte-identical epoch records — per-member
+// grant, draw, slack, throttle and instruction lines — and byte-identical
+// final results to the in-process Coordinator. The wire is real in the
+// loop: every message round-trips through EncodeMsg/DecodeMsg, so this
+// also proves JSON carries the protocol losslessly.
+func TestDistGoldenMatchesInProcess(t *testing.T) {
+	wantRecs, wantResults := runInProcess(t, goldenFixture(), cluster.NewSlackReclaim())
+
+	coord, err := runDist(t, distRun{fixture: goldenFixture(), seed: 1})
+	if err != nil {
+		t.Fatalf("distributed run: %v", err)
+	}
+	if got, want := mustJSON(t, coord.Records()), mustJSON(t, wantRecs); !bytes.Equal(got, want) {
+		t.Errorf("distributed records diverged from in-process\n got: %.400s\nwant: %.400s", got, want)
+	}
+	if got, want := mustJSON(t, coord.Results()), mustJSON(t, wantResults); !bytes.Equal(got, want) {
+		t.Errorf("distributed results diverged from in-process\n got: %.400s\nwant: %.400s", got, want)
+	}
+
+	// With no faults armed the degradation machinery must stay silent:
+	// one join per member at epoch 0 and nothing else.
+	evs := coord.Events()
+	if len(evs) != len(goldenFixture()) {
+		t.Fatalf("got %d events, want %d joins: %+v", len(evs), len(goldenFixture()), evs)
+	}
+	for i, ev := range evs {
+		if ev.Type != "join" || ev.Epoch != 0 || ev.Member != goldenFixture()[i].id {
+			t.Errorf("event %d = %+v, want epoch-0 join of %q", i, ev, goldenFixture()[i].id)
+		}
+	}
+}
+
+// The same fault-free distributed run twice must be byte-identical to
+// itself — SimNet is deterministic end to end.
+func TestDistFaultFreeDeterministic(t *testing.T) {
+	run := func() ([]byte, []byte, []byte) {
+		coord, err := runDist(t, distRun{fixture: goldenFixture(), seed: 99})
+		if err != nil {
+			t.Fatalf("distributed run: %v", err)
+		}
+		return mustJSON(t, coord.Records()), mustJSON(t, coord.Events()), mustJSON(t, coord.Results())
+	}
+	r1, e1, s1 := run()
+	r2, e2, s2 := run()
+	if !bytes.Equal(r1, r2) || !bytes.Equal(e1, e2) || !bytes.Equal(s1, s2) {
+		t.Error("two identical fault-free runs diverged")
+	}
+}
+
+// Eviction must return the lost member's floor (and share) to the
+// water-fill pool within one epoch: kill one of two agents for good and
+// the survivor's next grant grows.
+func TestEvictionReturnsBudgetWithinOneEpoch(t *testing.T) {
+	fixture := []fixtureMember{
+		{"keep", "a1", testSpec{Mix: "MIX1", Cores: 4, Epochs: 6, Policy: "fastcap"}},
+		{"lose", "a2", testSpec{Mix: "MEM2", Cores: 4, Epochs: 6, Policy: "fastcap"}},
+	}
+	coord, err := runDist(t, distRun{
+		fixture: fixture,
+		seed:    5,
+		arbiter: func() cluster.Arbiter { return cluster.NewStaticProportional() },
+		// a2 dies at the delivery of its epoch-1 grant and never
+		// recovers (RestartAfterNs 0).
+		faults: dist.Faults{Restarts: []dist.Restart{{Agent: "a2", Epoch: 1}}},
+	})
+	if err != nil {
+		t.Fatalf("distributed run: %v", err)
+	}
+	recs := coord.Records()
+	if len(recs) < 3 {
+		t.Fatalf("got %d records, want the run to continue past the eviction", len(recs))
+	}
+	grantAt := func(e int, id string) float64 {
+		t.Helper()
+		for _, l := range recs[e].Members {
+			if l.ID == id {
+				return l.GrantW
+			}
+		}
+		t.Fatalf("epoch %d has no line for %q: %+v", e, id, recs[e].Members)
+		return 0
+	}
+	// Epoch 1: "lose" missed the barrier — no line. Epoch 2: its floor
+	// and share are back in the pool, so "keep" (previously capped by
+	// the split) is granted strictly more than before the eviction.
+	for _, l := range recs[1].Members {
+		if l.ID == "lose" {
+			t.Error("evicted member reported a line for the epoch it missed")
+		}
+	}
+	if got, before := grantAt(2, "keep"), grantAt(0, "keep"); got <= before {
+		t.Errorf("survivor grant %g W after eviction, want > %g W (pool reclaimed within one epoch)", got, before)
+	}
+	// The survivor finishes; the dead member is first evicted, then
+	// abandoned at end of run with a nil result.
+	var sawEvict, sawAbandon bool
+	for _, ev := range coord.Events() {
+		if ev.Member == "lose" && ev.Type == "evict" {
+			sawEvict = true
+		}
+		if ev.Member == "lose" && ev.Type == "abandon" {
+			sawAbandon = true
+		}
+	}
+	if !sawEvict || !sawAbandon {
+		t.Errorf("dead member events evict=%v abandon=%v, want both: %+v", sawEvict, sawAbandon, coord.Events())
+	}
+	for _, mr := range coord.Results() {
+		switch mr.ID {
+		case "keep":
+			if mr.Result == nil {
+				t.Error("surviving member has no result")
+			}
+		case "lose":
+			if mr.Result != nil {
+				t.Error("dead member has a result")
+			}
+		}
+	}
+}

@@ -1,0 +1,42 @@
+package dist
+
+// Envelope is one inbound message at the coordinator, tagged with the
+// agent connection it arrived on.
+type Envelope struct {
+	Agent string
+	Msg   Msg
+}
+
+// Transport is the coordinator's view of the network: a mailbox of
+// inbound agent messages plus per-agent outbound delivery. Two
+// implementations exist — SimNet (single-threaded virtual time,
+// deterministic, with fault injection) and the HTTP transport behind
+// Server (wall clock, real sockets). Time is in nanoseconds; SimNet's
+// are virtual, so durations in Config mean "units of Transport.Now",
+// not wall time.
+//
+// Recv MUST return by the deadline: the coordinator's no-hung-barrier
+// guarantee (the straggler deadline always fires) rests on it.
+type Transport interface {
+	// Now returns the transport's current time in nanoseconds.
+	Now() int64
+	// Recv returns the next inbound message, or timeout=true once the
+	// absolute deadline (in Now's timebase) passes with nothing to
+	// deliver. A non-nil error is fatal to the run.
+	Recv(deadline int64) (env Envelope, timeout bool, err error)
+	// Send delivers m to the named agent, best effort: delivery failure
+	// is the network's business and surfaces as a missed barrier, not
+	// an error here.
+	Send(agent string, m Msg)
+	// Close releases the transport.
+	Close()
+}
+
+// Clock abstracts agent-side time so the same Agent runs under SimNet
+// (virtual time, deterministic) and the wall clock (HTTP transport).
+type Clock interface {
+	Now() int64
+	// After runs f once d nanoseconds from now; the returned cancel
+	// makes a pending f a no-op.
+	After(d int64, f func()) (cancel func())
+}

@@ -163,7 +163,7 @@ func (l *Lab) ClusterSweep() ([]ClusterSweepRow, error) {
 		}
 		rows[i] = out
 		l.log("ran cluster %-8s budget=%.0f%%  granted avg %.1fW",
-			j.arb, j.frac*100, (out[0].AvgGrantW+out[1].AvgGrantW+out[2].AvgGrantW))
+			j.arb, j.frac*100, (out[0].AvgGrantW + out[1].AvgGrantW + out[2].AvgGrantW))
 		return nil
 	})
 	if err != nil {

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"time"
 
 	"repro/internal/runner"
 )
@@ -140,13 +141,23 @@ func (h *handler) status(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, st)
 }
 
+// streamHeartbeatLine is the idle keepalive record NDJSON streams emit
+// between data lines: exactly {"heartbeat":true}. It is not an epoch
+// record — golden comparators skip lines carrying the heartbeat key,
+// and a reconnecting consumer's ?from cursor counts data lines only.
+type streamHeartbeatLine struct {
+	Heartbeat bool `json:"heartbeat"`
+}
+
 // streamNDJSON is the shared live-follow loop behind the session and
 // cluster stream endpoints: parse ?from, resolve the id via lookup
 // *before* committing the 200 and the NDJSON header, then encode one
 // record per line until next fails. ?from=N starts mid-stream — a
 // reconnecting consumer resumes where it left off, records being stable
-// once emitted.
-func streamNDJSON(w http.ResponseWriter, r *http.Request, lookup func() error, next func(ctx context.Context, cursor int) (any, error)) {
+// once emitted. When hb > 0 and no record lands at the cursor for that
+// long, a {"heartbeat":true} line is emitted and the same cursor is
+// retried — idle streams stay visibly alive without a write timeout.
+func streamNDJSON(w http.ResponseWriter, r *http.Request, hb time.Duration, lookup func() error, next func(ctx context.Context, cursor int) (any, error)) {
 	from := 0
 	if v := r.URL.Query().Get("from"); v != "" {
 		n, err := strconv.Atoi(v)
@@ -164,20 +175,43 @@ func streamNDJSON(w http.ResponseWriter, r *http.Request, lookup func() error, n
 	w.WriteHeader(http.StatusOK)
 	flusher, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w)
-	for cursor := from; ; cursor++ {
-		rec, err := next(r.Context(), cursor)
+	emit := func(v any) bool {
+		if err := enc.Encode(v); err != nil {
+			return false
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return true
+	}
+	for cursor := from; ; {
+		ctx, cancel := r.Context(), context.CancelFunc(nil)
+		if hb > 0 {
+			ctx, cancel = context.WithTimeout(ctx, hb)
+		}
+		rec, err := next(ctx, cursor)
+		if cancel != nil {
+			cancel()
+		}
 		if err != nil {
+			// An expired heartbeat window with the client still there
+			// means idle, not done: emit the keepalive and retry the
+			// same cursor.
+			if hb > 0 && errors.Is(err, context.DeadlineExceeded) && r.Context().Err() == nil {
+				if !emit(streamHeartbeatLine{Heartbeat: true}) {
+					return
+				}
+				continue
+			}
 			// io.EOF: clean end of stream. Context errors: the client left.
 			// ErrNotFound: deleted mid-stream. All end the response; HTTP
 			// has no status left to change.
 			return
 		}
-		if err := enc.Encode(rec); err != nil {
+		if !emit(rec) {
 			return
 		}
-		if flusher != nil {
-			flusher.Flush()
-		}
+		cursor++
 	}
 }
 
@@ -186,7 +220,7 @@ func streamNDJSON(w http.ResponseWriter, r *http.Request, lookup func() error, n
 // away).
 func (h *handler) stream(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	streamNDJSON(w, r,
+	streamNDJSON(w, r, h.m.streamHeartbeat(),
 		func() error { _, err := h.m.Status(id); return err },
 		func(ctx context.Context, cursor int) (any, error) { return h.m.Next(ctx, id, cursor) })
 }
@@ -290,7 +324,7 @@ func (h *handler) clusterStatus(w http.ResponseWriter, r *http.Request) {
 // NDJSON, the cluster-level twin of the session stream.
 func (h *handler) clusterStream(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	streamNDJSON(w, r,
+	streamNDJSON(w, r, h.m.streamHeartbeat(),
 		func() error { _, err := h.m.ClusterStatus(id); return err },
 		func(ctx context.Context, cursor int) (any, error) { return h.m.ClusterNext(ctx, id, cursor) })
 }

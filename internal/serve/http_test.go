@@ -10,6 +10,7 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/replay"
 	"repro/internal/runner"
@@ -92,6 +93,9 @@ func TestHTTPLifecycleGolden(t *testing.T) {
 	sc.Buffer(nil, 1<<20)
 	lines := 0
 	for sc.Scan() {
+		if isHeartbeatLine(sc.Bytes()) {
+			continue // keepalives are not epoch records
+		}
 		if lines >= len(solo.Epochs) {
 			t.Fatalf("stream produced more than the %d solo epochs", len(solo.Epochs))
 		}
@@ -327,6 +331,49 @@ func TestHTTPStreamEndsOnDelete(t *testing.T) {
 	}
 	if err := sc.Err(); err != nil {
 		t.Errorf("stream ended with transport error %v, want clean EOF", err)
+	}
+}
+
+// isHeartbeatLine reports a stream keepalive — the {"heartbeat":true}
+// line idle NDJSON streams emit. Golden comparators skip these: they
+// carry no epoch data and their timing is wall-clock, not simulated.
+func isHeartbeatLine(b []byte) bool {
+	var hb struct {
+		Heartbeat bool `json:"heartbeat"`
+	}
+	return json.Unmarshal(b, &hb) == nil && hb.Heartbeat
+}
+
+// An idle stream must emit {"heartbeat":true} keepalives: stream with a
+// cursor ahead of production, so nothing lands at it while the session
+// is still running, and count the heartbeats that arrive in the gap.
+func TestHTTPStreamHeartbeat(t *testing.T) {
+	srv, _ := newServer(t, serve.Options{Workers: 1, StreamHeartbeat: 2 * time.Millisecond})
+	st := decodeStatus(t, doJSON(t, "POST", srv.URL+"/sessions", quickReq("MID1", 4, 4_000, 0.6)))
+
+	stream := doJSON(t, "GET", srv.URL+"/sessions/"+st.ID+"/stream?from=4000", nil)
+	defer stream.Body.Close()
+	sc := bufio.NewScanner(stream.Body)
+	sc.Buffer(nil, 1<<20)
+	beats, records := 0, 0
+	for sc.Scan() {
+		if isHeartbeatLine(sc.Bytes()) {
+			if got, want := string(sc.Bytes()), `{"heartbeat":true}`; got != want {
+				t.Fatalf("heartbeat line %q, want %q", got, want)
+			}
+			beats++
+			continue
+		}
+		records++
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if beats == 0 {
+		t.Error("idle stream emitted no heartbeats")
+	}
+	if records != 0 {
+		t.Errorf("cursor-ahead stream emitted %d records, want 0", records)
 	}
 }
 

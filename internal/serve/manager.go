@@ -27,6 +27,7 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+	"time"
 
 	"repro/internal/replay"
 	"repro/internal/runner"
@@ -88,6 +89,13 @@ type Options struct {
 	// deleted alike. Creates beyond it fail with ErrTooManySessions.
 	// Defaults to 64.
 	MaxSessions int
+	// StreamHeartbeat is how long an NDJSON stream endpoint sits idle
+	// (no new record at the cursor) before it emits a
+	// {"heartbeat":true} keepalive line instead — detecting dead
+	// consumers and keeping idle connections alive through proxies
+	// without a server write timeout. Defaults to 15s; negative
+	// disables heartbeats.
+	StreamHeartbeat time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -97,7 +105,19 @@ func (o Options) withDefaults() Options {
 	if o.MaxSessions <= 0 {
 		o.MaxSessions = 64
 	}
+	if o.StreamHeartbeat == 0 {
+		o.StreamHeartbeat = 15 * time.Second
+	}
 	return o
+}
+
+// streamHeartbeat reports the configured keepalive interval (0 when
+// disabled) for the HTTP layer's stream loops.
+func (m *Manager) streamHeartbeat() time.Duration {
+	if m.opt.StreamHeartbeat < 0 {
+		return 0
+	}
+	return m.opt.StreamHeartbeat
 }
 
 // Status is the externally visible snapshot of one session.

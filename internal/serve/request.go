@@ -1,6 +1,8 @@
 package serve
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
 	"math"
 
@@ -319,4 +321,27 @@ func (r Request) Config() (runner.Config, error) {
 		Epochs:     r.Epochs,
 		Policy:     pol,
 	}, nil
+}
+
+// SessionFromSpec builds a standalone session from a Request encoded as
+// JSON — the session-builder hook the distributed agent layer
+// (internal/dist) uses, so remote cluster members are declared with
+// exactly the session schema this API serves. Strict decode: unknown
+// fields fail typed. Recording is a serving-layer feature and is
+// rejected here — a remote member's recording would be unreachable.
+func SessionFromSpec(raw json.RawMessage) (*runner.Session, error) {
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	var req Request
+	if err := dec.Decode(&req); err != nil {
+		return nil, fmt.Errorf("%w: member session spec: %w", runner.ErrInvalidConfig, err)
+	}
+	if req.Record {
+		return nil, fmt.Errorf("%w: member session spec: record is not supported for remote cluster members", runner.ErrInvalidConfig)
+	}
+	cfg, err := req.Config()
+	if err != nil {
+		return nil, err
+	}
+	return runner.NewSession(cfg)
 }

@@ -55,7 +55,7 @@ func TestLayoutResolution(t *testing.T) {
 		if l.Ladder(4+i).Max() != 2.4 || l.Class(4+i) != "little" || l.ExecCPIScale(4+i) != 1.25 {
 			t.Errorf("core %d not resolved as a little core", 4+i)
 		}
-		if l.Power(4 + i).DynMaxW != 1.5 {
+		if l.Power(4+i).DynMaxW != 1.5 {
 			t.Errorf("little core %d power not applied", 4+i)
 		}
 	}

@@ -1,0 +1,145 @@
+#!/usr/bin/env sh
+# smoke-dist.sh — distributed fastcapd end to end with real daemons:
+# one coordinator daemon and two agent daemons on separate ports, a
+# cluster arbitrating one watt budget across members on both agents,
+# and the robustness path the whole design exists for — one agent is
+# SIGKILLed mid-run, restarted, and must recover from its grant
+# journal, be readmitted after its eviction, and finish the run. The
+# deterministic protocol coverage lives in internal/dist (SimNet); this
+# proves the real wiring: flags, HTTP transport, feed reconnect,
+# journal files, signal handling.
+#
+# Usage: scripts/smoke-dist.sh [base-port]
+set -eu
+
+PORT="${1:-8341}"
+P_COORD="$PORT"
+P_A1=$((PORT + 1))
+P_A2=$((PORT + 2))
+COORD="http://127.0.0.1:$P_COORD"
+A1="http://127.0.0.1:$P_A1"
+A2="http://127.0.0.1:$P_A2"
+
+cd "$(dirname "$0")/.."
+
+JDIR=$(mktemp -d)
+go build -o /tmp/fastcapd-dist ./cmd/fastcapd
+
+/tmp/fastcapd-dist -addr "127.0.0.1:$P_COORD" -workers 2 &
+PID_COORD=$!
+/tmp/fastcapd-dist -addr "127.0.0.1:$P_A1" -workers 2 -agent-journal "$JDIR/a1" &
+PID_A1=$!
+/tmp/fastcapd-dist -addr "127.0.0.1:$P_A2" -workers 2 -agent-journal "$JDIR/a2" &
+PID_A2=$!
+cleanup() {
+    kill "$PID_COORD" "$PID_A1" "$PID_A2" 2>/dev/null || true
+    rm -rf "$JDIR"
+}
+trap cleanup EXIT
+
+wait_healthy() { # wait_healthy <base-url>
+    i=0
+    until curl -fs "$1/healthz" >/dev/null 2>&1; do
+        i=$((i + 1))
+        [ "$i" -lt 50 ] || { echo "FAIL: $1 never became healthy"; exit 1; }
+        sleep 0.2
+    done
+}
+wait_healthy "$COORD"; wait_healthy "$A1"; wait_healthy "$A2"
+echo "three daemons healthy"
+
+expect_code() { # expect_code <want> <curl args...>
+    want="$1"; shift
+    got=$(curl -s -o /dev/null -w '%{http_code}' "$@")
+    if [ "$got" != "$want" ]; then
+        echo "FAIL: got HTTP $got, want $want ($*)"
+        exit 1
+    fi
+}
+
+# The cluster: three members expected, slack-reclaim arbitration, a
+# straggler deadline short enough that the killed agent is evicted
+# quickly. Hostile frames on the wire endpoint are typed 400s.
+expect_code 201 -d '{"id":"smoke","budget_w":25,"arbiter":"slack","expect":3,
+  "epoch_deadline_ms":1500,"grace_ms":30000,"join_timeout_ms":30000}' "$COORD/dist/clusters"
+expect_code 409 -d '{"id":"smoke","budget_w":25,"expect":3}' "$COORD/dist/clusters"
+expect_code 400 -d '{"type":"grant"' "$COORD/dist/clusters/smoke/msgs"
+expect_code 400 -d '{"type":"report","member":"m","agent":"a","epoch":-4}' "$COORD/dist/clusters/smoke/msgs"
+expect_code 409 "$COORD/dist/clusters/smoke/result"
+echo "cluster created, hostile frames rejected"
+
+CL="$COORD/dist/clusters/smoke"
+
+# Agent 1 (will be killed and restarted): two members, enough epochs
+# that the run is still going when the kill lands.
+expect_code 201 -d '{"id":"a1","coordinator":"'"$CL"'","members":[
+  {"id":"m1","session":{"mix":"MIX1","budget_frac":1,"cores":4,"epochs":400,"epoch_ms":0.5}},
+  {"id":"m2","session":{"mix":"MEM2","budget_frac":1,"cores":4,"epochs":400,"epoch_ms":0.5}}]}' "$A1/dist/agents"
+# Agent 2 (stays up) hosts the third member.
+expect_code 201 -d '{"id":"a2","coordinator":"'"$CL"'","members":[
+  {"id":"m3","session":{"mix":"ILP2","budget_frac":1,"cores":4,"epochs":400,"epoch_ms":0.5}}]}' "$A2/dist/agents"
+echo "two agents announced"
+
+# Wait for the barrier to be visibly turning.
+i=0
+until curl -fs "$CL" | grep -q '"epoch":[1-9]'; do
+    i=$((i + 1))
+    [ "$i" -lt 100 ] || { echo "FAIL: cluster never reached epoch 1"; exit 1; }
+    sleep 0.2
+done
+echo "epochs turning"
+
+# Kill agent 1 the way a crash does — no drain, no detach. Its two
+# members miss the straggler deadline and are evicted; their floors
+# return to the pool while m3 keeps running.
+kill -9 "$PID_A1"
+wait "$PID_A1" 2>/dev/null || true
+i=0
+until curl -Ns --max-time 5 "$CL/events" 2>/dev/null | grep -q '"type":"evict"'; do
+    i=$((i + 1))
+    [ "$i" -lt 30 ] || { echo "FAIL: no eviction after the kill"; exit 1; }
+    sleep 0.5
+done
+echo "killed agent evicted"
+
+# Restart the daemon on the same port with the same journal directory
+# and re-create the agent by id with no member list: the journal holds
+# the members and every executed grant, so the new process replays to
+# its pre-crash state and re-announces with its done-epoch counts.
+/tmp/fastcapd-dist -addr "127.0.0.1:$P_A1" -workers 2 -agent-journal "$JDIR/a1" &
+PID_A1=$!
+wait_healthy "$A1"
+expect_code 201 -d '{"id":"a1","coordinator":"'"$CL"'"}' "$A1/dist/agents"
+i=0
+until curl -Ns --max-time 5 "$CL/events" 2>/dev/null | grep -q '"type":"readmit"'; do
+    i=$((i + 1))
+    [ "$i" -lt 60 ] || { echo "FAIL: restarted agent never readmitted"; exit 1; }
+    sleep 0.5
+done
+echo "restarted agent readmitted from journal"
+
+# The run must now drain to a complete result: every member finishes
+# (non-null results), no coordinator error.
+i=0
+until curl -fs "$CL" | grep -q '"finished":true'; do
+    i=$((i + 1))
+    [ "$i" -lt 240 ] || { echo "FAIL: cluster never finished"; exit 1; }
+    sleep 0.5
+done
+RES=$(curl -fs "$CL/result")
+printf '%s' "$RES" | grep -q '"error"' && { echo "FAIL: cluster finished with error: $RES"; exit 1; }
+for m in m1 m2 m3; do
+    printf '%s' "$RES" | grep -q "\"id\":\"$m\"" || { echo "FAIL: result lacks member $m"; exit 1; }
+done
+printf '%s' "$RES" | grep -q '"result":null' && { echo "FAIL: a member finished without a result: $RES"; exit 1; }
+echo "cluster drained to a complete result"
+
+# Clean shutdown: agents drain (keeping journals), coordinator drains.
+expect_code 204 -X DELETE "$CL"
+kill -TERM "$PID_A1" "$PID_A2" "$PID_COORD"
+wait "$PID_A1" || { echo "FAIL: agent 1 exited non-zero"; exit 1; }
+wait "$PID_A2" || { echo "FAIL: agent 2 exited non-zero"; exit 1; }
+wait "$PID_COORD" || { echo "FAIL: coordinator exited non-zero"; exit 1; }
+trap - EXIT
+rm -rf "$JDIR"
+echo "smoke-dist ok"
