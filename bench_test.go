@@ -11,11 +11,13 @@ import (
 	"encoding/json"
 	"fmt"
 	"testing"
+	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/dist"
 	"repro/internal/experiments"
+	"repro/internal/metrics"
 	"repro/internal/policy"
 	"repro/internal/runner"
 	"repro/internal/serve"
@@ -321,6 +323,106 @@ func BenchmarkClusterArbitration64(b *testing.B) {
 	for _, name := range []string{"static", "slack", "priority"} {
 		arb, _ := cluster.ArbiterByName(name)
 		b.Run(name, func(b *testing.B) { benchClusterArbitration(b, arb, 64) })
+	}
+}
+
+// --- Instrumented arbitration: the observability tax ------------------
+
+// benchClusterMetrics builds the full per-cluster handle set a serving
+// coordinator records into, on a throwaway registry.
+func benchClusterMetrics() cluster.Metrics {
+	reg := metrics.NewRegistry()
+	return cluster.Metrics{
+		BudgetW:            reg.Gauge("bench_budget_w", "bench"),
+		GrantW:             reg.Gauge("bench_grant_w", "bench"),
+		DrawW:              reg.Gauge("bench_draw_w", "bench"),
+		SlackW:             reg.Gauge("bench_slack_w", "bench"),
+		Members:            reg.Gauge("bench_members", "bench"),
+		Epochs:             reg.Counter("bench_epochs_total", "bench"),
+		ArbitrationSeconds: reg.Histogram("bench_arbitration_seconds", "bench", metrics.DefLatencyBuckets),
+		FillPasses:         reg.Counter("bench_fill_passes_total", "bench"),
+	}
+}
+
+// instrumentedRebalance is one epoch-boundary rebalance plus exactly
+// the metric writes cluster.Coordinator.Step wraps around it: the
+// latency histogram, the water-fill pass counter, the epoch counter and
+// the budget/grant/draw/slack/member gauges.
+func instrumentedRebalance(arb cluster.Arbiter, rep cluster.FillPassReporter, met cluster.Metrics, budget float64, obs []cluster.Observation, grants []float64) {
+	start := time.Now()
+	arb.Rebalance(budget, obs, grants)
+	met.ArbitrationSeconds.Observe(time.Since(start).Seconds())
+	if rep != nil {
+		met.FillPasses.Add(uint64(rep.FillPasses()))
+	}
+	met.Epochs.Inc()
+	var draw, grant float64
+	for i := range obs {
+		draw += obs[i].PowerW
+		grant += grants[i]
+	}
+	met.BudgetW.Set(budget)
+	met.GrantW.Set(grant)
+	met.DrawW.Set(draw)
+	met.SlackW.Set(grant - draw)
+	met.Members.Set(float64(len(obs)))
+}
+
+// BenchmarkClusterArbitrationInstrumented is BenchmarkClusterArbitration64
+// with the metrics recorded; the delta between the two is the whole
+// observability tax on the arbitration hot path. The handles are
+// pre-resolved atomics, so the contract is zero additional allocations —
+// enforced by TestInstrumentedArbitrationZeroAlloc, not just eyeballed.
+func BenchmarkClusterArbitrationInstrumented(b *testing.B) {
+	for _, name := range []string{"static", "slack", "priority"} {
+		arb, _ := cluster.ArbiterByName(name)
+		b.Run(name, func(b *testing.B) {
+			const n = 64
+			obs := make([]cluster.Observation, n)
+			for i := range obs {
+				obs[i] = cluster.Observation{
+					PeakW: 120, FloorW: 12, Weight: 1 + float64(i%3),
+					GrantW: 60 + float64(i%17), PowerW: 50 + float64(i%23),
+					ThrottleFrac: float64(i%2) * 0.5,
+				}
+			}
+			grants := make([]float64, n)
+			budget := 80.0 * n
+			met := benchClusterMetrics()
+			rep, _ := arb.(cluster.FillPassReporter)
+			instrumentedRebalance(arb, rep, met, budget, obs, grants) // warm the scratch
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				instrumentedRebalance(arb, rep, met, budget, obs, grants)
+			}
+		})
+	}
+}
+
+// TestInstrumentedArbitrationZeroAlloc pins the acceptance bar: the
+// steady-state arbitration epoch, metrics included, allocates nothing.
+func TestInstrumentedArbitrationZeroAlloc(t *testing.T) {
+	for _, name := range []string{"static", "slack", "priority"} {
+		arb, _ := cluster.ArbiterByName(name)
+		const n = 64
+		obs := make([]cluster.Observation, n)
+		for i := range obs {
+			obs[i] = cluster.Observation{
+				PeakW: 120, FloorW: 12, Weight: 1 + float64(i%3),
+				GrantW: 60 + float64(i%17), PowerW: 50 + float64(i%23),
+				ThrottleFrac: float64(i%2) * 0.5,
+			}
+		}
+		grants := make([]float64, n)
+		met := benchClusterMetrics()
+		rep, _ := arb.(cluster.FillPassReporter)
+		instrumentedRebalance(arb, rep, met, 80*n, obs, grants) // warm the scratch
+		if avg := testing.AllocsPerRun(200, func() {
+			instrumentedRebalance(arb, rep, met, 80*n, obs, grants)
+		}); avg != 0 {
+			t.Errorf("%s: instrumented arbitration allocates %.1f per epoch, want 0", name, avg)
+		}
 	}
 }
 

@@ -19,6 +19,12 @@
 // internal/dist). With -agent-journal set, agents journal every grant
 // and a restarted daemon recovers them to their exact pre-crash state.
 //
+// Every serving layer is instrumented: GET /metrics exposes the
+// fastcap_serve_*, fastcap_cluster_* and fastcap_dist_* families in
+// Prometheus text format, and GET /readyz distinguishes an accepting
+// daemon (200) from a draining one (503) so probes and scripts can
+// gate on real readiness instead of sleeping.
+//
 // On SIGINT/SIGTERM the daemon drains: no new sessions are admitted,
 // resident sessions run to completion (bounded by -drain-timeout, after
 // which they are canceled at their next epoch boundary), streams end
@@ -33,10 +39,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
 	"repro/internal/dist"
+	"repro/internal/metrics"
 	"repro/internal/serve"
 )
 
@@ -56,12 +64,24 @@ func main() {
 		}
 	}
 
-	m := serve.NewManager(serve.Options{Workers: *workers, MaxSessions: *maxSess})
+	reg := metrics.NewRegistry()
+	start := time.Now()
+	reg.GaugeFunc("fastcap_uptime_seconds", "Seconds since the daemon started.",
+		func() float64 { return time.Since(start).Seconds() })
+	reg.GaugeFunc("fastcap_goroutines", "Live goroutines in the daemon process.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+
+	met := serve.NewMetrics(reg)
+	m := serve.NewManager(serve.Options{Workers: *workers, MaxSessions: *maxSess, Metrics: met})
+	dm := dist.NewMetrics(reg)
 	coord := dist.NewServer()
+	coord.Metrics = dm
 	agents := dist.NewAgentHost(serve.SessionFromSpec, *journal)
+	agents.Metrics = dm
 
 	mux := http.NewServeMux()
 	mux.Handle("/", serve.NewHandler(m))
+	mux.Handle("GET /metrics", reg.Handler())
 	coord.Register(mux)
 	agents.Register(mux)
 

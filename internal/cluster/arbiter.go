@@ -103,6 +103,19 @@ type fillScratch struct {
 	lo      []float64
 	hi      []float64
 	share   []float64
+	passes  int // redistribution passes used by the last fill
+}
+
+// FillPassReporter is the optional introspection seam for arbiters
+// built on the shared water-fill: FillPasses reports how many
+// redistribution passes the last Rebalance used (0 when it resolved on
+// a trivial bound, without iterating). The Coordinator exports the
+// running total as a metric — convergence cost is the water-fill's one
+// interesting performance dimension, and the 2n pass bound deserves a
+// live gauge on it. Kept out of the Arbiter interface so existing
+// custom arbiters stay valid.
+type FillPassReporter interface {
+	FillPasses() int
 }
 
 func (f *fillScratch) grow(n int) {
@@ -131,6 +144,7 @@ func (f *fillScratch) grow(n int) {
 // ceiling set is final. At most 2n passes, each O(n).
 func (f *fillScratch) fill(budgetW float64, grants []float64) {
 	n := len(grants)
+	f.passes = 0
 	sumLo, sumHi := 0.0, 0.0
 	for i := 0; i < n; i++ {
 		f.clamped[i] = false
@@ -149,6 +163,7 @@ func (f *fillScratch) fill(budgetW float64, grants []float64) {
 		return
 	}
 	for pass := 0; pass < 2*n; pass++ {
+		f.passes = pass + 1
 		rem := budgetW
 		sumShare := 0.0
 		open := 0
@@ -240,6 +255,9 @@ func NewStaticProportional() *StaticProportional { return &StaticProportional{} 
 // Name implements Arbiter.
 func (*StaticProportional) Name() string { return "static" }
 
+// FillPasses implements FillPassReporter.
+func (a *StaticProportional) FillPasses() int { return a.f.passes }
+
 // Rebalance implements Arbiter.
 func (a *StaticProportional) Rebalance(budgetW float64, obs []Observation, grants []float64) {
 	a.f.proportional(budgetW, obs, grants, false)
@@ -255,6 +273,9 @@ func NewPriorityWeighted() *PriorityWeighted { return &PriorityWeighted{} }
 
 // Name implements Arbiter.
 func (*PriorityWeighted) Name() string { return "priority" }
+
+// FillPasses implements FillPassReporter.
+func (a *PriorityWeighted) FillPasses() int { return a.f.passes }
 
 // Rebalance implements Arbiter.
 func (a *PriorityWeighted) Rebalance(budgetW float64, obs []Observation, grants []float64) {
@@ -308,9 +329,13 @@ func NewSlackReclaim() *SlackReclaim {
 // Name implements Arbiter.
 func (*SlackReclaim) Name() string { return "slack" }
 
+// FillPasses implements FillPassReporter.
+func (a *SlackReclaim) FillPasses() int { return a.f.passes }
+
 // Rebalance implements Arbiter.
 func (a *SlackReclaim) Rebalance(budgetW float64, obs []Observation, grants []float64) {
 	n := len(obs)
+	a.f.passes = 0 // the scaled-demand branches resolve without a fill
 	if coldStart(obs) {
 		// Seed plain proportional-to-peak: weights express who deserves
 		// surplus, not a bigger starting share — an inflated seed would

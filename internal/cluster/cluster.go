@@ -25,6 +25,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/runner"
 )
@@ -189,6 +190,12 @@ type Coordinator struct {
 	// grantBuf backs the records' member lines in flat chunks.
 	grantBuf []MemberGrant
 	grantOff int
+
+	// met holds the instrumentation handles (zero value: disabled);
+	// fillRep is the arbiter's pass reporter, type-asserted once in
+	// SetMetrics rather than per epoch.
+	met     Metrics
+	fillRep FillPassReporter
 }
 
 // MemberParams normalizes and validates a member's arbitration
@@ -532,9 +539,14 @@ func (c *Coordinator) Step(ctx context.Context) (EpochRecord, error) {
 	c.grants = c.grants[:n]
 	c.stepRecs = c.stepRecs[:n]
 	c.stepErrs = c.stepErrs[:n]
+	arbStart := time.Now()
 	if err := ComputeGrants(c.arb, budget, c.ids, c.obs, c.grants); err != nil {
 		c.err = err
 		return EpochRecord{}, c.err
+	}
+	c.met.ArbitrationSeconds.Observe(time.Since(arbStart).Seconds())
+	if c.fillRep != nil {
+		c.met.FillPasses.Add(uint64(c.fillRep.FillPasses()))
 	}
 
 	// Push the caps, then step everyone's epoch under them.
@@ -583,6 +595,18 @@ func (c *Coordinator) Step(ctx context.Context) (EpochRecord, error) {
 		rec.GrantedW += m.grantW
 	}
 	c.epoch.Add(1)
+	c.met.Epochs.Inc()
+	if c.met.DrawW != nil {
+		draw := 0.0
+		for i := range rec.Members {
+			draw += rec.Members[i].PowerW
+		}
+		c.met.DrawW.Set(draw)
+		c.met.SlackW.Set(rec.GrantedW - draw)
+	}
+	c.met.BudgetW.Set(budget)
+	c.met.GrantW.Set(rec.GrantedW)
+	c.met.Members.Set(float64(len(rec.Members)))
 	return rec, nil
 }
 

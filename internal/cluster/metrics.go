@@ -1,0 +1,42 @@
+package cluster
+
+import "repro/internal/metrics"
+
+// Metrics is the Coordinator's instrumentation surface: a value struct
+// of pre-resolved, nil-safe handles. The zero value disables everything
+// at zero cost — each update is an atomic store against a nil receiver
+// no-op — so library users and tests pay nothing, and the serving layer
+// enables per-cluster telemetry by filling the handles with labeled
+// series. Updates happen under stepMu on the arbitration path, which is
+// allocation-free, so enabling metrics does not perturb the zero-alloc
+// steady state (benchmark-guarded in bench_test.go).
+type Metrics struct {
+	// BudgetW / GrantW / DrawW / SlackW mirror the last epoch record:
+	// the global budget in force, the sum granted, the sum actually
+	// drawn, and their difference.
+	BudgetW *metrics.Gauge
+	GrantW  *metrics.Gauge
+	DrawW   *metrics.Gauge
+	SlackW  *metrics.Gauge
+	// Members is the live member count at the last epoch.
+	Members *metrics.Gauge
+	// Epochs counts completed cluster epochs.
+	Epochs *metrics.Counter
+	// ArbitrationSeconds observes the latency of each ComputeGrants
+	// round (the arbiter proper, not member stepping).
+	ArbitrationSeconds *metrics.Histogram
+	// FillPasses accumulates water-fill redistribution passes, when the
+	// arbiter reports them (see FillPassReporter).
+	FillPasses *metrics.Counter
+}
+
+// SetMetrics installs the instrumentation handles. It must be called
+// before the first Step — the serving layer only learns the cluster's
+// id (the metric label) after the Coordinator is built, hence a setter
+// rather than a Config field. Publication happens-before the first
+// Step via the caller's own synchronization (the group is not runnable
+// until after SetMetrics returns).
+func (c *Coordinator) SetMetrics(m Metrics) {
+	c.met = m
+	c.fillRep, _ = c.arb.(FillPassReporter)
+}

@@ -118,6 +118,9 @@ type AgentConfig struct {
 	// HeartbeatNs sends coordinator-bound heartbeats at this period
 	// while members wait on grants. 0 disables.
 	HeartbeatNs int64
+	// Metrics enables instrumentation (see NewMetrics). The zero value
+	// disables it.
+	Metrics Metrics
 }
 
 // amember state machine: announcing → active → done, with failed as
@@ -231,6 +234,7 @@ func NewAgent(cfg AgentConfig) (*Agent, error) {
 		}
 		if ok {
 			journaled = j.Members
+			cfg.Metrics.recoveries.Inc()
 		}
 	}
 	if journaled == nil {
@@ -276,6 +280,7 @@ func NewAgent(cfg AgentConfig) (*Agent, error) {
 			if err := a.replayGrant(m, g); err != nil {
 				return nil, fmt.Errorf("dist: agent %q member %q replaying journal: %w", cfg.Name, mj.ID, err)
 			}
+			cfg.Metrics.journalReplays.Inc()
 		}
 		if m.local >= m.total {
 			m.state = mDone

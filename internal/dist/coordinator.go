@@ -39,6 +39,9 @@ type Config struct {
 	// fault schedules (eviction/readmission churn that never converges)
 	// terminate. Default 100 000.
 	MaxEpochs int
+	// Metrics enables instrumentation (see NewMetrics). The zero value
+	// disables it; metrics never influence the grant stream.
+	Metrics Metrics
 }
 
 // Event is one typed pressure event of the degradation sequence:
@@ -459,6 +462,7 @@ func (c *Coordinator) runEpoch(tr Transport, e int, live []*dmember) error {
 	c.epoch = e + 1
 	c.cond.Broadcast()
 	c.mu.Unlock()
+	c.cfg.Metrics.epochs.Inc()
 	return nil
 }
 
@@ -523,6 +527,7 @@ func (c *Coordinator) dispatch(tr Transport, env Envelope, e int) {
 		c.handleDetach(env.Agent, env.Msg, e)
 	case TypeHeartbeat:
 		// Liveness only; the barrier judges members by reports.
+		c.cfg.Metrics.heartbeats.Inc()
 	default:
 		// Coordinator-bound surface only; echoes of our own message
 		// types are dropped.
@@ -616,6 +621,7 @@ func (c *Coordinator) handleDetach(agent string, m Msg, e int) {
 
 // eventLocked appends a typed pressure event. Callers hold c.mu.
 func (c *Coordinator) eventLocked(ev Event) {
+	c.cfg.Metrics.event(ev.Type)
 	c.events = append(c.events, ev)
 	c.cond.Broadcast()
 }

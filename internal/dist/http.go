@@ -228,6 +228,10 @@ type Server struct {
 	// endpoints; 0 means the 15 s default, negative disables.
 	StreamHeartbeat time.Duration
 
+	// Metrics enables instrumentation (see NewMetrics); set it before
+	// serving. The zero value disables it.
+	Metrics Metrics
+
 	mu       sync.Mutex
 	clusters map[string]*hostedCluster
 	nextID   int
@@ -342,6 +346,7 @@ func (s *Server) create(w http.ResponseWriter, r *http.Request) {
 		EpochDeadlineNs: req.EpochDeadlineMs * 1e6,
 		GraceNs:         req.GraceMs * 1e6,
 		MaxEpochs:       req.MaxEpochs,
+		Metrics:         s.Metrics,
 	})
 	if err != nil {
 		writeErr(w, err)
@@ -421,10 +426,12 @@ func (s *Server) msgs(w http.ResponseWriter, r *http.Request) {
 	}
 	m, err := DecodeMsg(body)
 	if err != nil {
+		s.Metrics.wireMsgs.Inc()
 		writeErr(w, err)
 		return
 	}
 	if m.Agent == "" {
+		s.Metrics.wireMsgs.Inc()
 		writeErr(w, fmt.Errorf("%w: %s message names no agent", ErrBadMessage, m.Type))
 		return
 	}
@@ -554,6 +561,10 @@ func (s *Server) heartbeat() time.Duration { return effectiveHeartbeat(s.StreamH
 // best-effort (the protocol's announce backoff recovers lost frames)
 // and the follower reconnects from its cursor with backoff.
 type AgentHost struct {
+	// Metrics enables instrumentation (see NewMetrics); set it before
+	// serving. The zero value disables it.
+	Metrics Metrics
+
 	build      BuildFunc
 	journalDir string
 
@@ -705,6 +716,7 @@ func (h *AgentHost) create(w http.ResponseWriter, r *http.Request) {
 		Journal:           journal,
 		AnnounceBackoffNs: req.AnnounceBackoffMs * 1e6,
 		HeartbeatNs:       req.HeartbeatMs * 1e6,
+		Metrics:           h.Metrics,
 	})
 	if err != nil {
 		writeErr(w, err)
@@ -824,6 +836,7 @@ func (h *AgentHost) followOnce(ctx context.Context, ha *hostedAgent, cursor int)
 			// A frame this coordinator cannot produce means a broken
 			// stream, not a broken protocol: drop the connection and
 			// resume from the cursor.
+			h.Metrics.wireFeed.Inc()
 			return n, false
 		}
 		if m.Type == TypeHeartbeat {

@@ -1,0 +1,66 @@
+package dist
+
+import "repro/internal/metrics"
+
+// Metrics is the distributed layer's instrumentation: a value struct of
+// pre-resolved, nil-safe handles shared by the coordinator service and
+// the agent host (the zero value disables everything). Families are
+// daemon-global rather than per-cluster: dist clusters are created by
+// unauthenticated peers, and letting the network mint unbounded label
+// sets would hand it the scrape's memory.
+type Metrics struct {
+	joins, readmits, evicts, detaches, abandons *metrics.Counter
+
+	heartbeats     *metrics.Counter
+	epochs         *metrics.Counter
+	journalReplays *metrics.Counter
+	recoveries     *metrics.Counter
+	wireMsgs       *metrics.Counter
+	wireFeed       *metrics.Counter
+}
+
+// NewMetrics registers the dist families on reg and returns the
+// resolved handles. A nil registry disables instrumentation.
+func NewMetrics(reg *metrics.Registry) Metrics {
+	if reg == nil {
+		return Metrics{}
+	}
+	ev := reg.CounterVec("fastcap_dist_events_total",
+		"Coordinator membership events, by type (join, readmit, evict, detach, abandon).", "type")
+	wire := reg.CounterVec("fastcap_dist_wire_errors_total",
+		"Frames refused by the wire decoder, by surface: msgs (coordinator inbox) or feed (agent follower).", "surface")
+	return Metrics{
+		joins:    ev.With("join"),
+		readmits: ev.With("readmit"),
+		evicts:   ev.With("evict"),
+		detaches: ev.With("detach"),
+		abandons: ev.With("abandon"),
+		heartbeats: reg.Counter("fastcap_dist_heartbeats_total",
+			"Agent liveness heartbeats received by hosted coordinators."),
+		epochs: reg.Counter("fastcap_dist_epochs_total",
+			"Distributed cluster epochs completed by hosted coordinators."),
+		journalReplays: reg.Counter("fastcap_dist_journal_replays_total",
+			"Journaled grants replayed during agent restart recovery."),
+		recoveries: reg.Counter("fastcap_dist_recoveries_total",
+			"Agents rebuilt from a persisted journal at construction."),
+		wireMsgs: wire.With("msgs"),
+		wireFeed: wire.With("feed"),
+	}
+}
+
+// event counts one membership event by type; unknown types (there are
+// none today) are dropped rather than minting a label from wire input.
+func (m Metrics) event(typ string) {
+	switch typ {
+	case "join":
+		m.joins.Inc()
+	case "readmit":
+		m.readmits.Inc()
+	case "evict":
+		m.evicts.Inc()
+	case "detach":
+		m.detaches.Inc()
+	case "abandon":
+		m.abandons.Inc()
+	}
+}

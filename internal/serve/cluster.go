@@ -269,6 +269,7 @@ func (m *Manager) stepGroup(g *group) {
 	g.mu.Lock()
 	switch {
 	case err == nil:
+		m.met.clusterEpochs.Inc()
 		g.recs = append(g.recs, rec)
 		g.state = StateQueued
 		g.cond.Broadcast()
@@ -320,6 +321,11 @@ func memberStatus(rm resolvedMember, ses *runner.Session) ClusterMemberStatus {
 func (m *Manager) CreateCluster(req ClusterRequest) (ClusterStatus, error) {
 	rc, err := req.resolve(m.opt.MaxSessions)
 	if err != nil {
+		if errors.Is(err, ErrTooManySessions) {
+			m.met.rejectLimit.Inc()
+		} else {
+			m.met.rejectInvalid.Inc()
+		}
 		return ClusterStatus{}, err
 	}
 
@@ -330,6 +336,7 @@ func (m *Manager) CreateCluster(req ClusterRequest) (ClusterStatus, error) {
 	for i, rm := range rc.members {
 		ses, err := runner.NewSession(rm.cfg)
 		if err != nil {
+			m.met.rejectInvalid.Inc()
 			return ClusterStatus{}, fmt.Errorf("member %q: %w", rm.id, err)
 		}
 		peaks += ses.PeakPowerW()
@@ -350,6 +357,7 @@ func (m *Manager) CreateCluster(req ClusterRequest) (ClusterStatus, error) {
 		Workers: 1,
 	}, members)
 	if err != nil {
+		m.met.rejectInvalid.Inc()
 		return ClusterStatus{}, err
 	}
 	ctx, cancel := context.WithCancel(context.Background())
@@ -367,21 +375,27 @@ func (m *Manager) CreateCluster(req ClusterRequest) (ClusterStatus, error) {
 	if m.draining || m.stopped {
 		m.mu.Unlock()
 		cancel()
+		m.met.rejectDraining.Inc()
 		return ClusterStatus{}, ErrDraining
 	}
 	if m.residentLoadLocked()+len(members) > m.opt.MaxSessions {
 		m.mu.Unlock()
 		cancel()
+		m.met.rejectLimit.Inc()
 		return ClusterStatus{}, fmt.Errorf("%w (%d members onto %d resident)", ErrTooManySessions, len(members), m.residentLoadLocked())
 	}
 	m.nextGID++
 	g.id = "c" + strconv.FormatUint(m.nextGID, 10)
+	// The metric label is the group id, assigned just now — installed
+	// before the group is enqueued, so no Step can precede it.
+	g.coord.SetMetrics(m.met.clusterMetrics(g.id))
 	m.memberTotal += len(members)
 	st := g.status()
 	m.clusters[g.id] = g
 	m.runq = append(m.runq, g)
 	m.cond.Broadcast()
 	m.mu.Unlock()
+	m.met.clustersCreated.Inc()
 	return st, nil
 }
 
@@ -446,7 +460,11 @@ func (m *Manager) SetClusterBudget(id string, w float64) error {
 	if n := len(g.recs); n > 0 && n >= g.coord.TotalEpochs() {
 		return fmt.Errorf("%w: cluster %q has no epochs remaining", ErrFinished, id)
 	}
-	return g.coord.SetBudgetW(w)
+	if err := g.coord.SetBudgetW(w); err != nil {
+		return err
+	}
+	m.met.retargetCluster.Inc()
+	return nil
 }
 
 // AttachMember adds a member to a live group at its next epoch
@@ -461,14 +479,17 @@ func (m *Manager) AttachMember(id string, req ClusterMemberRequest) (ClusterStat
 	// Position-derived default ids would collide after detaches; require
 	// an explicit id on attach instead.
 	if req.ID == "" {
+		m.met.rejectInvalid.Inc()
 		return ClusterStatus{}, fmt.Errorf("%w: attach needs an explicit member id", runner.ErrInvalidConfig)
 	}
 	rm, err := resolveMember(req, 0, map[string]bool{})
 	if err != nil {
+		m.met.rejectInvalid.Inc()
 		return ClusterStatus{}, err
 	}
 	ses, err := runner.NewSession(rm.cfg)
 	if err != nil {
+		m.met.rejectInvalid.Inc()
 		return ClusterStatus{}, fmt.Errorf("member %q: %w", rm.id, err)
 	}
 
@@ -477,10 +498,12 @@ func (m *Manager) AttachMember(id string, req ClusterMemberRequest) (ClusterStat
 	m.mu.Lock()
 	if m.draining || m.stopped {
 		m.mu.Unlock()
+		m.met.rejectDraining.Inc()
 		return ClusterStatus{}, ErrDraining
 	}
 	if m.residentLoadLocked() >= m.opt.MaxSessions {
 		m.mu.Unlock()
+		m.met.rejectLimit.Inc()
 		return ClusterStatus{}, fmt.Errorf("%w (%d resident)", ErrTooManySessions, m.opt.MaxSessions)
 	}
 	m.memberTotal++
@@ -512,6 +535,7 @@ func (m *Manager) AttachMember(id string, req ClusterMemberRequest) (ClusterStat
 	g.info = append(g.info, memberStatus(rm, ses))
 	st := g.statusLocked()
 	g.mu.Unlock()
+	m.met.memberAttach.Inc()
 	return st, nil
 }
 
@@ -560,6 +584,7 @@ func (m *Manager) DetachMember(id, memberID string) error {
 		m.memberTotal--
 		m.mu.Unlock()
 	}
+	m.met.memberDetach.Inc()
 	return nil
 }
 
@@ -635,5 +660,6 @@ func (m *Manager) CloseCluster(id string) error {
 	m.mu.Unlock()
 
 	g.cancel()
+	m.met.dropCluster(id)
 	return nil
 }

@@ -23,6 +23,7 @@ import (
 //	GET    /sessions/{id}/recording  captured replay.Recording (record=true sessions)
 //	DELETE /sessions/{id}            cancel and remove
 //	GET    /healthz                  liveness
+//	GET    /readyz                   readiness: 200 accepting, 503 draining
 //
 // and the cluster groups (one global budget arbitrated across member
 // sessions at epoch boundaries):
@@ -45,6 +46,7 @@ func NewHandler(m *Manager) http.Handler {
 	h := &handler{m: m}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", h.health)
+	mux.HandleFunc("GET /readyz", h.ready)
 	mux.HandleFunc("POST /sessions", h.create)
 	mux.HandleFunc("GET /sessions", h.list)
 	mux.HandleFunc("GET /sessions/{id}", h.status)
@@ -113,6 +115,18 @@ func (h *handler) health(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"ok": true, "sessions": h.m.Count()})
 }
 
+// ready is the readiness probe, distinct from liveness: a draining
+// daemon is alive (/healthz stays 200 — don't restart it) but must stop
+// receiving traffic (503 here rotates it out of a balancer, and the
+// smoke scripts poll it instead of sleeping).
+func (h *handler) ready(w http.ResponseWriter, r *http.Request) {
+	if h.m.Draining() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"ready": false, "draining": true})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"ready": true, "sessions": h.m.Count()})
+}
+
 func (h *handler) create(w http.ResponseWriter, r *http.Request) {
 	var req Request
 	if err := decodeBody(r, &req); err != nil {
@@ -157,7 +171,12 @@ type streamHeartbeatLine struct {
 // once emitted. When hb > 0 and no record lands at the cursor for that
 // long, a {"heartbeat":true} line is emitted and the same cursor is
 // retried — idle streams stay visibly alive without a write timeout.
-func streamNDJSON(w http.ResponseWriter, r *http.Request, hb time.Duration, lookup func() error, next func(ctx context.Context, cursor int) (any, error)) {
+//
+// met accounts each stream's fate: heartbeat lines as they are emitted,
+// and the termination as either completed (the stream reached its end —
+// terminal session, deletion) or client_gone (the consumer hung up or
+// the write failed mid-stream, the service-side view of EPIPE).
+func streamNDJSON(w http.ResponseWriter, r *http.Request, hb time.Duration, met Metrics, lookup func() error, next func(ctx context.Context, cursor int) (any, error)) {
 	from := 0
 	if v := r.URL.Query().Get("from"); v != "" {
 		n, err := strconv.Atoi(v)
@@ -199,16 +218,24 @@ func streamNDJSON(w http.ResponseWriter, r *http.Request, hb time.Duration, look
 			// same cursor.
 			if hb > 0 && errors.Is(err, context.DeadlineExceeded) && r.Context().Err() == nil {
 				if !emit(streamHeartbeatLine{Heartbeat: true}) {
+					met.streamClientGone.Inc()
 					return
 				}
+				met.streamHeartbeats.Inc()
 				continue
 			}
 			// io.EOF: clean end of stream. Context errors: the client left.
 			// ErrNotFound: deleted mid-stream. All end the response; HTTP
 			// has no status left to change.
+			if r.Context().Err() != nil {
+				met.streamClientGone.Inc()
+			} else {
+				met.streamCompleted.Inc()
+			}
 			return
 		}
 		if !emit(rec) {
+			met.streamClientGone.Inc()
 			return
 		}
 		cursor++
@@ -220,7 +247,7 @@ func streamNDJSON(w http.ResponseWriter, r *http.Request, hb time.Duration, look
 // away).
 func (h *handler) stream(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	streamNDJSON(w, r, h.m.streamHeartbeat(),
+	streamNDJSON(w, r, h.m.streamHeartbeat(), h.m.met,
 		func() error { _, err := h.m.Status(id); return err },
 		func(ctx context.Context, cursor int) (any, error) { return h.m.Next(ctx, id, cursor) })
 }
@@ -324,7 +351,7 @@ func (h *handler) clusterStatus(w http.ResponseWriter, r *http.Request) {
 // NDJSON, the cluster-level twin of the session stream.
 func (h *handler) clusterStream(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	streamNDJSON(w, r, h.m.streamHeartbeat(),
+	streamNDJSON(w, r, h.m.streamHeartbeat(), h.m.met,
 		func() error { _, err := h.m.ClusterStatus(id); return err },
 		func(ctx context.Context, cursor int) (any, error) { return h.m.ClusterNext(ctx, id, cursor) })
 }

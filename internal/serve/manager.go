@@ -96,6 +96,11 @@ type Options struct {
 	// without a server write timeout. Defaults to 15s; negative
 	// disables heartbeats.
 	StreamHeartbeat time.Duration
+	// Metrics enables instrumentation (see NewMetrics). nil — the
+	// default — disables it entirely: every update site degrades to a
+	// nil-receiver no-op. Metrics never influence session output;
+	// streams and results stay byte-identical either way.
+	Metrics *Metrics
 }
 
 func (o Options) withDefaults() Options {
@@ -235,6 +240,10 @@ type Manager struct {
 	// deleting the session afterwards cannot make the drain look clean.
 	drainCut bool
 
+	// met holds the pre-resolved instrumentation handles (zero value:
+	// disabled). A value copy, so the nil-Options case costs nothing.
+	met Metrics
+
 	wg sync.WaitGroup
 }
 
@@ -251,6 +260,10 @@ func NewManager(o Options) *Manager {
 		opt:      o.withDefaults(),
 		sessions: make(map[string]*session),
 		clusters: make(map[string]*group),
+	}
+	if o.Metrics != nil {
+		m.met = *o.Metrics
+		o.Metrics.bind(m)
 	}
 	m.cond = sync.NewCond(&m.mu)
 	for i := 0; i < m.opt.Workers; i++ {
@@ -269,6 +282,7 @@ func (m *Manager) Create(req Request) (Status, error) {
 	req = req.withDefaults()
 	cfg, err := req.Config()
 	if err != nil {
+		m.met.rejectInvalid.Inc()
 		return Status{}, err
 	}
 
@@ -284,6 +298,7 @@ func (m *Manager) Create(req Request) (Status, error) {
 	}
 	ses, err := runner.NewSession(cfg, opts...)
 	if err != nil {
+		m.met.rejectInvalid.Inc()
 		return Status{}, err
 	}
 	ctx, cancel := context.WithCancel(context.Background())
@@ -302,11 +317,13 @@ func (m *Manager) Create(req Request) (Status, error) {
 	if m.draining || m.stopped {
 		m.mu.Unlock()
 		cancel()
+		m.met.rejectDraining.Inc()
 		return Status{}, ErrDraining
 	}
 	if m.residentLoadLocked() >= m.opt.MaxSessions {
 		m.mu.Unlock()
 		cancel()
+		m.met.rejectLimit.Inc()
 		return Status{}, fmt.Errorf("%w (%d resident)", ErrTooManySessions, m.opt.MaxSessions)
 	}
 	m.nextID++
@@ -319,6 +336,7 @@ func (m *Manager) Create(req Request) (Status, error) {
 	m.runq = append(m.runq, s)
 	m.cond.Broadcast()
 	m.mu.Unlock()
+	m.met.sessionsCreated.Inc()
 	return st, nil
 }
 
@@ -392,7 +410,11 @@ func (m *Manager) SetBudget(id string, f float64) error {
 	if s.state == StateRunning && len(s.recs) == s.cfg.Epochs-1 {
 		return fmt.Errorf("%w: %q is in its final epoch", ErrFinished, id)
 	}
-	return s.ses.SetBudgetFrac(f)
+	if err := s.ses.SetBudgetFrac(f); err != nil {
+		return err
+	}
+	m.met.retargetSession.Inc()
+	return nil
 }
 
 // Close deletes a session: live runs are canceled at their next epoch
@@ -549,9 +571,21 @@ func (m *Manager) Shutdown(ctx context.Context) error {
 
 	m.wg.Wait()
 	if cut {
+		m.met.drainCut.Inc()
 		return ctx.Err()
 	}
+	m.met.drainClean.Inc()
 	return nil
+}
+
+// Draining reports whether Shutdown has begun (or completed): the
+// manager refuses new work but may still be stepping resident sessions
+// to completion. The readiness probe (GET /readyz) keys off this — a
+// draining daemon is alive but should be rotated out of a balancer.
+func (m *Manager) Draining() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.draining || m.stopped
 }
 
 // allTerminalLocked reports whether every resident session and cluster
@@ -628,11 +662,15 @@ func (m *Manager) stepOnce(s *session) {
 	s.state = StateRunning
 	s.mu.Unlock()
 
+	stepStart := time.Now()
 	rec, err := s.ses.Step(s.ctx)
+	stepDur := time.Since(stepStart)
 
 	s.mu.Lock()
 	switch {
 	case err == nil:
+		m.met.sessionEpochs.Inc()
+		m.met.stepSeconds.Observe(stepDur.Seconds())
 		s.recs = append(s.recs, rec)
 		if len(s.recs) >= s.cfg.Epochs {
 			// The runner would report ErrDone on the next Step; finishing

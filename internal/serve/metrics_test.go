@@ -1,0 +1,345 @@
+package serve_test
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/serve"
+)
+
+// newInstrumentedServer boots the HTTP stack with a metrics registry
+// mounted at /metrics, exactly as cmd/fastcapd wires it.
+func newInstrumentedServer(t *testing.T, o serve.Options) (*httptest.Server, *serve.Manager) {
+	t.Helper()
+	reg := metrics.NewRegistry()
+	o.Metrics = serve.NewMetrics(reg)
+	m := serve.NewManager(o)
+	mux := http.NewServeMux()
+	mux.Handle("/", serve.NewHandler(m))
+	mux.Handle("GET /metrics", reg.Handler())
+	srv := httptest.NewServer(mux)
+	t.Cleanup(func() {
+		srv.Close()
+		m.Shutdown(context.Background())
+	})
+	return srv, m
+}
+
+// scrape fetches /metrics and returns the exposition text.
+func scrape(t *testing.T, srv *httptest.Server) string {
+	t.Helper()
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("/metrics content type %q", ct)
+	}
+	var sb strings.Builder
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		sb.WriteString(sc.Text())
+		sb.WriteByte('\n')
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}
+
+// metricValue extracts one series' value from exposition text; -1 when
+// the series is absent.
+func metricValue(text, series string) float64 {
+	for _, line := range strings.Split(text, "\n") {
+		if rest, ok := strings.CutPrefix(line, series+" "); ok {
+			v, err := strconv.ParseFloat(rest, 64)
+			if err != nil {
+				return -1
+			}
+			return v
+		}
+	}
+	return -1
+}
+
+// TestMetricsLifecycleCounters drives full session and cluster-group
+// lifecycles and checks the daemon's ledger agrees with what happened:
+// creations, retargets, epoch counters, and stream terminations
+// classified as clean completions.
+func TestMetricsLifecycleCounters(t *testing.T) {
+	srv, _ := newInstrumentedServer(t, serve.Options{Workers: 2})
+
+	// Two sessions, streamed to EOF; one retargeted.
+	var ids []string
+	for i := 0; i < 2; i++ {
+		resp := doJSON(t, "POST", srv.URL+"/sessions", quickReq("MIX3", 4, 40, 0.6))
+		if resp.StatusCode != http.StatusCreated {
+			t.Fatalf("create status %d", resp.StatusCode)
+		}
+		ids = append(ids, decodeStatus(t, resp).ID)
+	}
+	resp := doJSON(t, "POST", srv.URL+"/sessions/"+ids[0]+"/budget", map[string]float64{"budget_frac": 0.5})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("retarget status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+	for _, id := range ids {
+		stream := doJSON(t, "GET", srv.URL+"/sessions/"+id+"/stream", nil)
+		lines := 0
+		sc := bufio.NewScanner(stream.Body)
+		for sc.Scan() {
+			if !strings.Contains(sc.Text(), `"heartbeat"`) {
+				lines++
+			}
+		}
+		stream.Body.Close()
+		if lines != 40 {
+			t.Fatalf("session %s streamed %d epochs, want 40", id, lines)
+		}
+	}
+
+	// One cluster group, streamed to EOF, retargeted.
+	creq := map[string]any{
+		"budget_frac": 0.7,
+		"members": []any{
+			map[string]any{"session": quickReq("MIX1", 4, 6, 0.7)},
+			map[string]any{"session": quickReq("MEM2", 4, 6, 0.7)},
+		},
+	}
+	resp = doJSON(t, "POST", srv.URL+"/clusters", creq)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("cluster create status %d", resp.StatusCode)
+	}
+	var cst serve.ClusterStatus
+	decodeInto(t, resp, &cst)
+	resp = doJSON(t, "POST", srv.URL+"/clusters/"+cst.ID+"/budget", map[string]float64{"budget_w": cst.BudgetW * 0.8})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cluster retarget status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+	stream := doJSON(t, "GET", srv.URL+"/clusters/"+cst.ID+"/stream", nil)
+	clines := 0
+	sc := bufio.NewScanner(stream.Body)
+	for sc.Scan() {
+		if !strings.Contains(sc.Text(), `"heartbeat"`) {
+			clines++
+		}
+	}
+	stream.Body.Close()
+	if clines == 0 {
+		t.Fatal("cluster stream produced no epoch records")
+	}
+
+	text := scrape(t, srv)
+	for series, want := range map[string]float64{
+		"fastcap_serve_sessions_created_total":            2,
+		"fastcap_serve_cluster_groups_created_total":      1,
+		`fastcap_serve_retargets_total{target="session"}`: 1,
+		`fastcap_serve_retargets_total{target="cluster"}`: 1,
+		// Solo sessions only: cluster members step inside their group's
+		// coordinator epoch, counted by cluster_epochs_total instead.
+		"fastcap_serve_session_epochs_total":                           2 * 40,
+		"fastcap_serve_cluster_epochs_total":                           float64(clines),
+		`fastcap_serve_stream_terminations_total{cause="completed"}`:   3,
+		`fastcap_serve_stream_terminations_total{cause="client_gone"}`: 0,
+	} {
+		if got := metricValue(text, series); got != want {
+			t.Errorf("%s = %v, want %v", series, got, want)
+		}
+	}
+	if got := metricValue(text, "fastcap_serve_epoch_step_seconds_count"); got < 80 {
+		t.Errorf("step histogram count %v, want >= 80", got)
+	}
+	// The group is still resident, so its labeled gauges are scraped.
+	if got := metricValue(text, `fastcap_cluster_members{cluster="`+cst.ID+`"}`); got != 2 {
+		t.Errorf("cluster members gauge %v, want 2", got)
+	}
+
+	// Deleting the group retires its labeled series from the scrape.
+	resp = doJSON(t, "DELETE", srv.URL+"/clusters/"+cst.ID, nil)
+	resp.Body.Close()
+	text = scrape(t, srv)
+	if got := metricValue(text, `fastcap_cluster_members{cluster="`+cst.ID+`"}`); got != -1 {
+		t.Errorf("deleted cluster still scraped: members gauge %v", got)
+	}
+}
+
+// TestMetricsHeartbeatAndHangup pins the stream-termination taxonomy:
+// idle-stream keepalives count as heartbeats, and a client hanging up
+// mid-stream counts as client_gone, not completed.
+func TestMetricsHeartbeatAndHangup(t *testing.T) {
+	srv, _ := newInstrumentedServer(t, serve.Options{
+		Workers: 1, StreamHeartbeat: time.Millisecond,
+	})
+
+	// A long session: its stream interleaves epoch records with 1 ms
+	// keepalives whenever the scheduler is busy elsewhere.
+	resp := doJSON(t, "POST", srv.URL+"/sessions", quickReq("MIX3", 4, 4000, 0.6))
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create status %d", resp.StatusCode)
+	}
+	id := decodeStatus(t, resp).ID
+
+	stream := doJSON(t, "GET", srv.URL+"/sessions/"+id+"/stream", nil)
+	sc := bufio.NewScanner(stream.Body)
+	heartbeats := 0
+	for deadline := time.Now().Add(10 * time.Second); heartbeats < 2 && time.Now().Before(deadline) && sc.Scan(); {
+		if strings.Contains(sc.Text(), `"heartbeat"`) {
+			heartbeats++
+		}
+	}
+	if heartbeats < 2 {
+		t.Fatal("stream produced no heartbeat lines")
+	}
+	stream.Body.Close() // hang up mid-run
+
+	// The handler notices the hangup at its next write; poll the ledger.
+	var text string
+	for deadline := time.Now().Add(10 * time.Second); time.Now().Before(deadline); time.Sleep(20 * time.Millisecond) {
+		text = scrape(t, srv)
+		if metricValue(text, `fastcap_serve_stream_terminations_total{cause="client_gone"}`) >= 1 {
+			break
+		}
+	}
+	if got := metricValue(text, `fastcap_serve_stream_terminations_total{cause="client_gone"}`); got < 1 {
+		t.Errorf("client hangup not counted: client_gone = %v", got)
+	}
+	if got := metricValue(text, "fastcap_serve_stream_heartbeats_total"); got < 2 {
+		t.Errorf("heartbeats counted %v, want >= 2", got)
+	}
+	if got := metricValue(text, `fastcap_serve_stream_terminations_total{cause="completed"}`); got != 0 {
+		t.Errorf("hangup misclassified as completed (%v)", got)
+	}
+
+	resp = doJSON(t, "DELETE", srv.URL+"/sessions/"+id, nil)
+	resp.Body.Close()
+}
+
+// TestReadyzDrain pins the readiness contract: 200 while accepting,
+// 503 from the moment a drain starts, and forever after.
+func TestReadyzDrain(t *testing.T) {
+	srv, m := newInstrumentedServer(t, serve.Options{Workers: 1})
+
+	resp := doJSON(t, "GET", srv.URL+"/readyz", nil)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("readyz while accepting: %d, want 200", resp.StatusCode)
+	}
+
+	// A long session keeps the drain open while we probe readiness.
+	cr := doJSON(t, "POST", srv.URL+"/sessions", quickReq("MIX3", 4, 4000, 0.6))
+	cr.Body.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- m.Shutdown(ctx) }()
+
+	ready := -1
+	for deadline := time.Now().Add(10 * time.Second); time.Now().Before(deadline); time.Sleep(10 * time.Millisecond) {
+		resp := doJSON(t, "GET", srv.URL+"/readyz", nil)
+		resp.Body.Close()
+		ready = resp.StatusCode
+		if ready == http.StatusServiceUnavailable {
+			break
+		}
+	}
+	if ready != http.StatusServiceUnavailable {
+		t.Errorf("readyz during drain: %d, want 503", ready)
+	}
+	cancel() // cut the drain rather than waiting 4000 epochs
+	<-done
+
+	resp = doJSON(t, "GET", srv.URL+"/readyz", nil)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("readyz after shutdown: %d, want 503", resp.StatusCode)
+	}
+	text := scrape(t, srv)
+	if got := metricValue(text, `fastcap_serve_drains_total{outcome="cut"}`); got != 1 {
+		t.Errorf("cut drain not counted: %v, want 1", got)
+	}
+}
+
+// TestMetricsConcurrentScrape hammers /metrics while 8 sessions and a
+// stepping cluster group are live — the race detector's view of the
+// scrape path (gauge funcs take manager locks mid-WriteText).
+func TestMetricsConcurrentScrape(t *testing.T) {
+	srv, _ := newInstrumentedServer(t, serve.Options{Workers: 4})
+
+	for i := 0; i < 8; i++ {
+		resp := doJSON(t, "POST", srv.URL+"/sessions", quickReq("MIX3", 4, 20, 0.6))
+		if resp.StatusCode != http.StatusCreated {
+			t.Fatalf("create status %d", resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+	creq := map[string]any{
+		"budget_frac": 0.7,
+		"members": []any{
+			map[string]any{"session": quickReq("MIX1", 4, 20, 0.7)},
+			map[string]any{"session": quickReq("MEM2", 4, 20, 0.7)},
+		},
+	}
+	resp := doJSON(t, "POST", srv.URL+"/clusters", creq)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("cluster create status %d", resp.StatusCode)
+	}
+	var cst serve.ClusterStatus
+	decodeInto(t, resp, &cst)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					scrape(t, srv)
+				}
+			}
+		}()
+	}
+
+	// Let scrapes overlap live stepping, then drain the group's stream
+	// to its end so the teardown below isn't racing the run.
+	stream := doJSON(t, "GET", srv.URL+"/clusters/"+cst.ID+"/stream", nil)
+	sc := bufio.NewScanner(stream.Body)
+	for sc.Scan() {
+	}
+	stream.Body.Close()
+	close(stop)
+	wg.Wait()
+
+	text := scrape(t, srv)
+	if got := metricValue(text, "fastcap_serve_sessions_created_total"); got != 8 {
+		t.Errorf("sessions created %v, want 8", got)
+	}
+	if got := metricValue(text, "fastcap_serve_cluster_epochs_total"); got < 20 {
+		t.Errorf("cluster epochs %v, want >= 20", got)
+	}
+}
+
+// decodeInto decodes a JSON response body.
+func decodeInto(t *testing.T, resp *http.Response, v any) {
+	t.Helper()
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -17,6 +17,14 @@
 # catch session-layer overhead creeping into the hot loop.
 # BenchmarkClusterArbitration{8,64} track the cluster coordinator's
 # per-epoch rebalance (target: O(members), zero steady-state allocs).
+#
+# After the Go benchmarks the script boots a real fastcapd and measures
+# serving capacity with fastcap-loadgen at increasing closed-loop tenant
+# counts (default 64, 256 and 1024; override with BENCH_CAPACITY_LEVELS,
+# or set BENCH_SKIP_CAPACITY=1 to skip). Each level's full loadgen
+# report lands in the snapshot's "capacity" array, so sessions/sec and
+# create/retarget latency percentiles are trackable per commit alongside
+# ns/op.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -24,7 +32,8 @@ cd "$(dirname "$0")/.."
 SHA=$(git rev-parse --short HEAD 2>/dev/null || echo "worktree")
 OUT="BENCH_${SHA}.json"
 RAW=$(mktemp)
-trap 'rm -f "$RAW"' EXIT
+CAP=$(mktemp)
+trap 'rm -f "$RAW" "$CAP"' EXIT
 
 if [ "$#" -gt 0 ]; then
     go test -run '^$' -bench . -benchmem -benchtime 1x "$@" . | tee "$RAW"
@@ -53,5 +62,47 @@ END {
     for (i = 0; i < n; i++) printf "%s%s", (i ? "," : ""), rows[i]
     print "]}"
 }' "$RAW" > "$OUT"
+
+# --- capacity rows: loadgen against a live daemon ---------------------
+if [ "${BENCH_SKIP_CAPACITY:-0}" != "1" ]; then
+    LEVELS="${BENCH_CAPACITY_LEVELS:-64 256 1024}"
+    PORT="${BENCH_CAPACITY_PORT:-8471}"
+    BASE="http://127.0.0.1:$PORT"
+    go build -o /tmp/fastcapd-bench ./cmd/fastcapd
+    go build -o /tmp/fastcap-loadgen-bench ./cmd/fastcap-loadgen
+    /tmp/fastcapd-bench -addr "127.0.0.1:$PORT" -max-sessions 1100 &
+    DPID=$!
+    trap 'rm -f "$RAW" "$CAP"; kill "$DPID" 2>/dev/null || true' EXIT
+    i=0
+    until curl -fs "$BASE/readyz" >/dev/null 2>&1; do
+        i=$((i + 1))
+        [ "$i" -lt 50 ] || { echo "fastcapd never became ready"; exit 1; }
+        sleep 0.2
+    done
+    for n in $LEVELS; do
+        echo "capacity: $n closed-loop tenants ..."
+        # Closed loop: at level n every stream is in flight for most of
+        # the run, so the per-stream follow timeout must cover the whole
+        # level, not one session. 10m clears 1024 tenants on a 1-CPU box.
+        /tmp/fastcap-loadgen-bench -base "$BASE" -sessions "$n" \
+            -lifecycles 1 -epochs 10 -epoch-ms 0.5 -timeout 10m >> "$CAP" \
+            || { echo "loadgen failed at $n tenants"; exit 1; }
+    done
+    kill -TERM "$DPID" 2>/dev/null || true
+    wait "$DPID" 2>/dev/null || true
+    trap 'rm -f "$RAW" "$CAP"' EXIT
+
+    # Splice the per-level reports (one JSON object per line) into the
+    # snapshot as its "capacity" array.
+    awk -v capfile="$CAP" '
+    { line = $0 }
+    END {
+        sub(/\]\}$/, "],\"capacity\":[", line)
+        printf "%s", line
+        n = 0
+        while ((getline row < capfile) > 0) printf "%s%s", (n++ ? "," : ""), row
+        print "]}"
+    }' "$OUT" > "$OUT.tmp" && mv "$OUT.tmp" "$OUT"
+fi
 
 echo "wrote $OUT"

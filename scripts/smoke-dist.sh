@@ -37,16 +37,16 @@ cleanup() {
 }
 trap cleanup EXIT
 
-wait_healthy() { # wait_healthy <base-url>
+wait_ready() { # wait_ready <base-url> — readiness probe, not a sleep
     i=0
-    until curl -fs "$1/healthz" >/dev/null 2>&1; do
+    until curl -fs "$1/readyz" >/dev/null 2>&1; do
         i=$((i + 1))
-        [ "$i" -lt 50 ] || { echo "FAIL: $1 never became healthy"; exit 1; }
+        [ "$i" -lt 50 ] || { echo "FAIL: $1 never became ready"; exit 1; }
         sleep 0.2
     done
 }
-wait_healthy "$COORD"; wait_healthy "$A1"; wait_healthy "$A2"
-echo "three daemons healthy"
+wait_ready "$COORD"; wait_ready "$A1"; wait_ready "$A2"
+echo "three daemons ready"
 
 expect_code() { # expect_code <want> <curl args...>
     want="$1"; shift
@@ -108,7 +108,7 @@ echo "killed agent evicted"
 # its pre-crash state and re-announces with its done-epoch counts.
 /tmp/fastcapd-dist -addr "127.0.0.1:$P_A1" -workers 2 -agent-journal "$JDIR/a1" &
 PID_A1=$!
-wait_healthy "$A1"
+wait_ready "$A1"
 expect_code 201 -d '{"id":"a1","coordinator":"'"$CL"'"}' "$A1/dist/agents"
 i=0
 until curl -Ns --max-time 5 "$CL/events" 2>/dev/null | grep -q '"type":"readmit"'; do
@@ -133,6 +133,26 @@ for m in m1 m2 m3; do
 done
 printf '%s' "$RES" | grep -q '"result":null' && { echo "FAIL: a member finished without a result: $RES"; exit 1; }
 echo "cluster drained to a complete result"
+
+# The coordinator's metrics must show the story this script just told:
+# joins for every member, the crash's evictions, journal readmissions,
+# and refused hostile wire frames. The restarted agent daemon must show
+# a journal recovery with replayed grants.
+CMET=$(curl -fs "$COORD/metrics")
+printf '%s' "$CMET" | grep -q 'fastcap_dist_events_total{type="join"} [1-9]' \
+    || { echo "FAIL: joins not counted"; exit 1; }
+printf '%s' "$CMET" | grep -q 'fastcap_dist_events_total{type="evict"} [1-9]' \
+    || { echo "FAIL: evictions not counted"; exit 1; }
+printf '%s' "$CMET" | grep -q 'fastcap_dist_events_total{type="readmit"} [1-9]' \
+    || { echo "FAIL: readmissions not counted"; exit 1; }
+printf '%s' "$CMET" | grep -q 'fastcap_dist_wire_errors_total{surface="msgs"} [1-9]' \
+    || { echo "FAIL: refused wire frames not counted"; exit 1; }
+AMET=$(curl -fs "$A1/metrics")
+printf '%s' "$AMET" | grep -q '^fastcap_dist_recoveries_total [1-9]' \
+    || { echo "FAIL: journal recovery not counted"; exit 1; }
+printf '%s' "$AMET" | grep -q '^fastcap_dist_journal_replays_total [1-9]' \
+    || { echo "FAIL: journal replays not counted"; exit 1; }
+echo "dist metrics ok"
 
 # Clean shutdown: agents drain (keeping journals), coordinator drains.
 expect_code 204 -X DELETE "$CL"

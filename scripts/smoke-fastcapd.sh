@@ -20,13 +20,16 @@ PID=$!
 cleanup() { kill "$PID" 2>/dev/null || true; }
 trap cleanup EXIT
 
+# Readiness probe, not a sleep: /readyz is 200 only once the daemon is
+# accepting sessions (and flips to 503 the moment a drain starts).
 i=0
-until curl -fs "$BASE/healthz" >/dev/null 2>&1; do
+until curl -fs "$BASE/readyz" >/dev/null 2>&1; do
     i=$((i + 1))
-    [ "$i" -lt 50 ] || { echo "fastcapd never became healthy"; exit 1; }
+    [ "$i" -lt 50 ] || { echo "fastcapd never became ready"; exit 1; }
     sleep 0.2
 done
-echo "healthz ok"
+curl -fs "$BASE/healthz" >/dev/null || { echo "FAIL: ready but not healthy"; exit 1; }
+echo "readyz ok"
 
 expect_code() { # expect_code <want> <curl args...>
     want="$1"; shift
@@ -92,6 +95,19 @@ SID=$(curl -fs -d '{"mix":"MIX3","budget_frac":0.6,"cores":4,"epochs":4,"epoch_m
 curl -Ns --max-time 60 "$BASE/sessions/$SID/stream" >/dev/null
 expect_code 200 "$BASE/sessions/$SID/result"
 echo "sessions ok"
+
+# Observability: /metrics serves Prometheus text covering every layer,
+# and the counters reflect the traffic this script just generated.
+MET=$(curl -fs "$BASE/metrics")
+printf '%s' "$MET" | grep -q '^fastcap_serve_sessions_created_total [1-9]' \
+    || { echo "FAIL: /metrics lacks a nonzero sessions_created counter"; exit 1; }
+printf '%s' "$MET" | grep -q '^fastcap_serve_cluster_epochs_total' \
+    || { echo "FAIL: /metrics lacks the cluster layer"; exit 1; }
+printf '%s' "$MET" | grep -q '^fastcap_dist_epochs_total' \
+    || { echo "FAIL: /metrics lacks the dist layer"; exit 1; }
+printf '%s' "$MET" | grep -q 'fastcap_serve_retargets_total{target="cluster"} [1-9]' \
+    || { echo "FAIL: cluster retargets not counted"; exit 1; }
+echo "metrics ok"
 
 # Drain: delete the long group so SIGTERM settles promptly, then stop.
 expect_code 204 -X DELETE "$BASE/clusters/$LONG"
