@@ -326,9 +326,13 @@ type LatencySummary struct {
 	Max  float64 `json:"max_ms"`
 }
 
-func summarize(xs []float64) LatencySummary {
+// summarize returns nil for a class with no samples: an all-zero block
+// would be indistinguishable from genuinely instant operations (e.g.
+// when -retarget 0 disables retargets entirely), so empty classes are
+// omitted from the report instead.
+func summarize(xs []float64) *LatencySummary {
 	if len(xs) == 0 {
-		return LatencySummary{}
+		return nil
 	}
 	var s stats.Streaming
 	for _, x := range xs {
@@ -338,11 +342,12 @@ func summarize(xs []float64) LatencySummary {
 	for i, x := range xs {
 		ms[i] = x * 1e3
 	}
-	return LatencySummary{
+	pct := stats.Percentiles(ms, 50, 95, 99)
+	return &LatencySummary{
 		N:    len(xs),
-		P50:  stats.Percentile(ms, 50),
-		P95:  stats.Percentile(ms, 95),
-		P99:  stats.Percentile(ms, 99),
+		P50:  pct[0],
+		P95:  pct[1],
+		P99:  pct[2],
 		Mean: s.Mean(),
 		Max:  s.Max(),
 	}
@@ -358,12 +363,14 @@ type Report struct {
 	FirstError     string         `json:"first_error,omitempty"`
 	ElapsedSec     float64        `json:"elapsed_sec"`
 	SessionsPerSec float64        `json:"sessions_per_sec"`
-	Epochs         int            `json:"epochs"`
-	EpochsPerSec   float64        `json:"epochs_per_sec"`
-	Create         LatencySummary `json:"create"`
-	Stream         LatencySummary `json:"stream"`
-	Retarget       LatencySummary `json:"retarget"`
-	Delete         LatencySummary `json:"delete"`
+	Epochs       int     `json:"epochs"`
+	EpochsPerSec float64 `json:"epochs_per_sec"`
+	// Latency blocks are omitted (not zeroed) for classes that recorded
+	// no samples, e.g. retarget when -retarget 0 disables it.
+	Create   *LatencySummary `json:"create,omitempty"`
+	Stream   *LatencySummary `json:"stream,omitempty"`
+	Retarget *LatencySummary `json:"retarget,omitempty"`
+	Delete   *LatencySummary `json:"delete,omitempty"`
 }
 
 func (lg *loadgen) report(sessions, clusters int, elapsed time.Duration) Report {

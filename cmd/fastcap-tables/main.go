@@ -496,23 +496,23 @@ func (g *generator) cluster() error {
 	}
 	tbl := &report.Table{
 		Title:   "Cluster coordination — global budget arbitration across machines",
-		Headers: []string{"arbiter", "budget", "member", "workload", "machine", "avg grant W", "avg power W", "avg slack W", "grant first→last W", "Ginstr"},
+		Headers: []string{"arbiter", "budget", "member", "workload", "machine", "avg grant W", "avg power W", "avg slack W", "grant first→last W", "Ginstr", "norm perf"},
 	}
 	var csvRows [][]string
 	for _, r := range rows {
 		shift := fmt.Sprintf("%s → %s", report.F(r.FirstGrantW, 1), report.F(r.LastGrantW, 1))
 		tbl.AddRow(r.Arbiter, report.Pct(r.BudgetFrac), r.Member, r.Mix, r.Machine,
 			report.F(r.AvgGrantW, 1), report.F(r.AvgPowerW, 1), report.F(r.AvgSlackW, 1),
-			shift, report.F(r.GInstr, 3))
+			shift, report.F(r.GInstr, 3), report.F(r.NormPerf, 3))
 		csvRows = append(csvRows, []string{r.Arbiter, report.F(r.BudgetFrac, 2), r.Member, r.Mix, r.Machine,
 			report.F(r.AvgGrantW, 5), report.F(r.AvgPowerW, 5), report.F(r.AvgSlackW, 5),
-			report.F(r.FirstGrantW, 5), report.F(r.LastGrantW, 5), report.F(r.GInstr, 5)})
+			report.F(r.FirstGrantW, 5), report.F(r.LastGrantW, 5), report.F(r.GInstr, 5), report.F(r.NormPerf, 5)})
 	}
 	if err := tbl.Render(os.Stdout); err != nil {
 		return err
 	}
 	return g.writeCSV("cluster.csv",
-		[]string{"arbiter", "budget", "member", "workload", "machine", "avg_grant_w", "avg_power_w", "avg_slack_w", "first_grant_w", "last_grant_w", "ginstr"}, csvRows)
+		[]string{"arbiter", "budget", "member", "workload", "machine", "avg_grant_w", "avg_power_w", "avg_slack_w", "first_grant_w", "last_grant_w", "ginstr", "norm_perf"}, csvRows)
 }
 
 func (g *generator) epochStudy() error {

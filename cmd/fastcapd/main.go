@@ -36,6 +36,7 @@ import (
 	"errors"
 	"flag"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -98,10 +99,17 @@ func main() {
 		IdleTimeout:       2 * time.Minute,
 	}
 
+	// Bind before serving so ":0" callers (benchmarks, parallel CI jobs)
+	// can read the resolved ephemeral port from the log line.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("fastcapd: listen %s: %v", *addr, err)
+	}
+
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("fastcapd: listening on %s", *addr)
-		errc <- srv.ListenAndServe()
+		log.Printf("fastcapd: listening on %s", ln.Addr())
+		errc <- srv.Serve(ln)
 	}()
 
 	sig := make(chan os.Signal, 1)

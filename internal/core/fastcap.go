@@ -188,6 +188,21 @@ type Solver struct {
 	num    []float64    // quantization guard: per-core T_min numerators
 	rCur   []float64    // quantization guard: R_i at the solved sb
 	heap   []guardEntry // quantization guard max-heap
+
+	// Warm-start state: the winning candidate index of the previous
+	// Solve/SolveExhaustive and the problem shape (N cores, M candidates)
+	// it was solved under. A subsequent Solve with the same shape — the
+	// steady-state case, where only the budget or the per-app profiles
+	// moved — first probes warmIdx and its neighbors; if warmIdx still
+	// strictly beats both, unimodality of the betterThan order over the
+	// candidate index makes it the unique argmax and the bisection is
+	// skipped entirely. Any shape change (warmN != N or warmM != M)
+	// invalidates the hint and falls back to the cold path, as does a
+	// failed neighbor test (the probes are memoized, so the cold
+	// bisection reuses them). warmN == 0 marks "no previous solution".
+	warmIdx int
+	warmN   int
+	warmM   int
 }
 
 // prepare sizes the scratch and evaluates the per-core minimum response
@@ -335,6 +350,7 @@ func (s *Solver) Solve(in *Inputs) (Result, error) {
 		return Result{}, err
 	}
 	s.prepare(in)
+	n, m := len(in.ZBar), len(in.SbCandidates)
 	evals := 0
 	probe := func(i int) dSolution {
 		if s.probed[i] {
@@ -347,13 +363,32 @@ func (s *Solver) Solve(in *Inputs) (Result, error) {
 		return sol
 	}
 
-	lo, hi := 0, len(in.SbCandidates)-1
+	// Warm start: in steady state the winning bus frequency rarely moves
+	// between epochs. Probe the previous winner and its neighbors; if it
+	// strictly beats both, the unimodal betterThan order makes it the
+	// unique argmax — any other index j on the far side of a losing
+	// neighbor orders no better than that neighbor — so the cold
+	// bisection would return the same candidate and the same dSolution.
+	// The Result is therefore byte-identical to the cold path's (only
+	// Evals differs). A failed test falls through to the bisection, which
+	// reuses the memoized probes.
+	if s.warmN == n && s.warmM == m {
+		w := s.warmIdx
+		cw := probe(w)
+		if (w == 0 || betterThan(cw, probe(w-1))) &&
+			(w == m-1 || betterThan(cw, probe(w+1))) {
+			s.warmIdx = w
+			return s.finish(in, cw, w, evals), nil
+		}
+	}
+
+	lo, hi := 0, m-1
 	for hi-lo > 2 {
-		m := (lo + hi) / 2
-		if betterThan(probe(m+1), probe(m)) {
-			lo = m + 1
+		mid := (lo + hi) / 2
+		if betterThan(probe(mid+1), probe(mid)) {
+			lo = mid + 1
 		} else {
-			hi = m
+			hi = mid
 		}
 	}
 	best, bestIdx := probe(lo), lo
@@ -362,6 +397,7 @@ func (s *Solver) Solve(in *Inputs) (Result, error) {
 			best, bestIdx = sol, i
 		}
 	}
+	s.warmIdx, s.warmN, s.warmM = bestIdx, n, m
 	return s.finish(in, best, bestIdx, evals), nil
 }
 
@@ -390,6 +426,7 @@ func (s *Solver) SolveExhaustive(in *Inputs) (Result, error) {
 			best, bestIdx = sol, i
 		}
 	}
+	s.warmIdx, s.warmN, s.warmM = bestIdx, len(in.ZBar), len(in.SbCandidates)
 	return s.finish(in, best, bestIdx, evals), nil
 }
 

@@ -92,6 +92,8 @@ type Core struct {
 	maxOut  int // max outstanding misses (1 when in-order)
 
 	ipaMult float64 // phase multiplier on instructions-per-miss
+	ipaEff  float64 // cached effIPA() — recomputed on SetPhase
+	wbProb  float64 // cached App.WritebackProb() — fixed per app
 
 	outstanding int
 	stalled     bool
@@ -105,51 +107,51 @@ type Core struct {
 	extraStall float64 // pending one-shot stall (DVFS transition)
 
 	// Steady-state scheduling is allocation-free: the compute-burst
-	// timer is reused every burst, and memory requests (with their L2
-	// issue timers) are drawn from a free-list refilled when the
-	// controller completes the transfer.
+	// timer is reused every burst, and the L2 lookup stage is a
+	// flat slot pool — a miss in flight between burst retirement and
+	// controller submission is an int32 slot into a dense array of
+	// compact records, with a per-slot timer whose callback is created
+	// once when the slot is first minted. After submission the request
+	// lives in the controller's own arena; completion comes back through
+	// the RegisterDemand callback installed at construction, so the
+	// steady state carries no per-request closures at all.
 	burstTimer   *engine.Timer
 	pendingInstr float64
-	reqFree      []*coreReq
+	l2           []l2req
+	l2Timer      []*engine.Timer
+	l2Free       []int32
 }
 
-// coreReq is a pooled memory request: the request object, the timer
-// that models the L2 lookup before it reaches its controller, and the
-// completion hook that returns it to the owning core's free-list. All
-// closures are created once, when the pool entry is first allocated.
-type coreReq struct {
-	c     *Core
-	ctl   *memsim.Controller
-	req   memsim.Request
-	timer *engine.Timer
+// l2req is one L2-stage slot's pending request: controller index plus
+// the address triple, packed so issue reads a single record.
+type l2req struct {
+	ctl  int32
+	bank int32
+	row  int32
+	wb   bool
 }
 
-// submit hands the request to its controller (the timer callback).
-func (pr *coreReq) submit() { pr.ctl.Submit(&pr.req) }
-
-// done runs when the bus transfer completes: recycle the entry, and for
-// demand reads unblock the core.
-func (pr *coreReq) done() {
-	c := pr.c
-	demand := !pr.req.Writeback
-	c.reqFree = append(c.reqFree, pr)
-	if demand {
-		c.onResponse()
+// l2Slot takes a free L2-stage slot, minting slot arrays (and the
+// slot's issue timer) on first use.
+func (c *Core) l2Slot() int32 {
+	if k := len(c.l2Free) - 1; k >= 0 {
+		s := c.l2Free[k]
+		c.l2Free = c.l2Free[:k]
+		return s
 	}
+	s := int32(len(c.l2Timer))
+	c.l2 = append(c.l2, l2req{})
+	c.l2Timer = append(c.l2Timer, c.eng.NewTimer(func() { c.issueL2(s) }))
+	return s
 }
 
-// getReq pops a pooled request or mints a new one.
-func (c *Core) getReq() *coreReq {
-	if k := len(c.reqFree); k > 0 {
-		pr := c.reqFree[k-1]
-		c.reqFree = c.reqFree[:k-1]
-		return pr
-	}
-	pr := &coreReq{c: c}
-	pr.timer = c.eng.NewTimer(pr.submit)
-	pr.req.Done = pr.done
-	pr.req.Core = c.ID
-	return pr
+// issueL2 fires when the L2 lookup completes: the slot's request moves
+// to its memory controller and the slot is immediately recyclable (the
+// in-memory phase is tracked by the controller's arena, not the core).
+func (c *Core) issueL2(s int32) {
+	r := c.l2[s]
+	c.l2Free = append(c.l2Free, s)
+	c.ctls[r.ctl].Access(c.ID, int(r.bank), r.row, r.wb)
 }
 
 // Config assembles a core.
@@ -216,9 +218,14 @@ func New(cfg Config) (*Core, error) {
 		freqMax: cfg.FreqMax,
 		ooo:     cfg.OoO,
 		ipaMult: 1,
+		wbProb:  cfg.App.WritebackProb(),
 	}
+	c.ipaEff = c.effIPA()
 	c.maxOut = c.computeMaxOut()
 	c.burstTimer = c.eng.NewTimer(c.fireBurst)
+	for _, ctl := range c.ctls {
+		ctl.RegisterDemand(c.ID, c.onResponse)
+	}
 	return c, nil
 }
 
@@ -276,6 +283,7 @@ func (c *Core) SetPhase(mult float64) {
 		mult = 1
 	}
 	c.ipaMult = mult
+	c.ipaEff = c.effIPA()
 	c.maxOut = c.computeMaxOut()
 }
 
@@ -290,7 +298,7 @@ func (c *Core) MaxOutstanding() int { return c.maxOut }
 // single reusable timer (plus the pending instruction count) replaces a
 // per-burst closure.
 func (c *Core) scheduleBurst() {
-	ipa := c.effIPA()
+	ipa := c.ipaEff
 	// Exponential burst length (closed-network think time), ≥ 1 instr.
 	instr := c.rng.ExpFloat64() * ipa
 	if instr < 1 {
@@ -317,18 +325,16 @@ func (c *Core) burstDone(instr float64) {
 
 	ctl, bank, row := c.nextAddress()
 	start := c.eng.Now()
-	pr := c.getReq()
-	pr.ctl = c.ctls[ctl]
-	pr.req.Bank, pr.req.Row, pr.req.Writeback = bank, row, false
-	pr.timer.Reset(L2HitTimeNs) // L2 lookup before the miss goes to memory
+	s := c.l2Slot()
+	c.l2[s] = l2req{ctl: int32(ctl), bank: int32(bank), row: row}
+	c.l2Timer[s].Reset(L2HitTimeNs) // L2 lookup before the miss goes to memory
 
-	if c.rng.Float64() < c.App.WritebackProb() {
+	if c.rng.Float64() < c.wbProb {
 		c.ctr.Writebacks++
 		wbCtl, wbBank, wbRow := c.nextAddress()
-		pw := c.getReq()
-		pw.ctl = c.ctls[wbCtl]
-		pw.req.Bank, pw.req.Row, pw.req.Writeback = wbBank, wbRow, true
-		pw.timer.Reset(L2HitTimeNs)
+		w := c.l2Slot()
+		c.l2[w] = l2req{ctl: int32(wbCtl), bank: int32(wbBank), row: wbRow, wb: true}
+		c.l2Timer[w].Reset(L2HitTimeNs)
 	}
 
 	if c.outstanding >= c.maxOut {

@@ -6,44 +6,213 @@
 // Two scheduling APIs are offered:
 //
 //   - Schedule/At enqueue a one-shot callback. The engine recycles the
-//     internal heap node through a free-list, so steady-state cost is
+//     internal event slot through a free-list, so steady-state cost is
 //     one closure allocation per event (zero if the caller passes a
 //     preexisting func value).
 //   - Timer is an intrusive, reusable event owned by the caller: its
-//     heap node and callback are allocated once, and Reset re-arms it
+//     event slot and callback are allocated once, and Reset re-arms it
 //     with no allocation at all. Hot simulation loops (cores, memory
 //     controllers) schedule exclusively through Timers, which is what
 //     makes the steady-state event path allocation-free.
+//
+// The queue is a timing wheel, not a heap: simulated hardware schedules
+// overwhelmingly at small constant delays (bus bursts, cache hits, DRAM
+// timing parameters), so events cluster tightly around the cursor.
+// Time is split into fixed-width buckets; pushing insertion-sorts into
+// the target bucket (buckets hold a handful of entries, so the sort is
+// a shift of one or two 24-byte records), popping advances a cursor and
+// takes the head of the current bucket, and cancellation is O(1): a
+// cancelled or re-keyed slot simply no longer matches its bucket entry,
+// which is dropped when the head reaches it. Events beyond the wheel
+// horizon sit in a small overflow min-heap and migrate into the wheel
+// as the cursor approaches. Firing is lazy: the winner's slot stays
+// armed while its callback runs, so the common fire-then-re-arm cycle
+// costs one bucket insert and no other queue maintenance. Bucket order
+// is exact — entries dispatch in (at, seq) order within a bucket and
+// buckets partition time monotonically — so the firing order is the
+// same total order a heap would produce. Pops that share one timestamp
+// are batched: ties are adjacent in a sorted bucket, so the whole run
+// is parked once and drained in sequence order without touching the
+// bucket between callbacks.
 package engine
 
-import "math"
+import (
+	"math"
+	"math/bits"
+)
 
-// node is one heap entry. Timers embed a node; one-shot events draw
-// nodes from the engine's free-list.
-type node struct {
-	at      float64
-	seq     uint64
-	fn      func()
-	idx     int // position in the heap, -1 when not queued
-	oneShot bool
+const (
+	// noRef marks "no event slot" (e.g. nothing currently firing).
+	noRef = -1
+
+	// bShift sets the bucket width to 8 ns (at >> bShift buckets), a
+	// little above the common DRAM/bus delays so steady-state buckets
+	// hold only a few events.
+	bShift   = 3
+	wBits    = 8
+	nBuckets = 1 << wBits // 256 buckets = 2048 ns horizon
+	wMask    = nBuckets - 1
+
+	// bucketCap is the per-bucket capacity carved from the shared
+	// backing arena at construction; a bucket that ever overflows it
+	// migrates to its own heap-allocated slice and keeps the larger
+	// capacity from then on.
+	bucketCap = 4
+
+	// farIdle is the cached horizon sentinel when the far heap is empty.
+	farIdle = ^uint64(0)
+)
+
+var posInf = math.Inf(1)
+
+// ev is one scheduled occurrence of a slot. The entry is live iff the
+// slot's current key sequence still equals seq; a cancelled or re-keyed
+// slot leaves a stale entry that is discarded when it reaches the head
+// of its bucket. The timestamp is stored in the entry (immutable, so
+// the bucket's sorted order survives re-keying); only the staleness
+// check reads the slot key.
+type ev struct {
+	at  float64
+	seq uint64
+	ref int32
+}
+
+// key is a slot's current armed key: timestamp (+Inf when idle) and the
+// unique sequence number of the arm. Kept as one 16-byte record so the
+// validity check and the timestamp land on the same cache line.
+type key struct {
+	at  float64
+	seq uint64
 }
 
 // Engine is a single-threaded discrete-event simulator loop.
 type Engine struct {
-	now  float64
-	seq  uint64
-	heap []*node
-	free []*node // recycled one-shot nodes
+	now float64
+	seq uint64
+	cur uint64 // absolute bucket number of the wheel cursor
+
+	// wheel[b & wMask] holds the events of absolute bucket b for
+	// b in [cur, cur+nBuckets); all other events live in the far heap.
+	// hd[i] is bucket i's head offset: entries before it are consumed
+	// and reclaimed wholesale when the bucket drains, so a pop is an
+	// index bump instead of a shift. occ is the wheel's occupancy
+	// bitmap (bit i = bucket i non-empty): steady-state event spacing
+	// is many buckets, and the bitmap turns the cursor's walk across
+	// empty buckets into one trailing-zeros scan instead of a bucket
+	// probe per step.
+	wheel [nBuckets][]ev
+	hd    [nBuckets]int32
+	occ   [nBuckets / 64]uint64
+
+	// Overflow min-heap (binary, keyed by (at, seq)) for events beyond
+	// the wheel horizon. Entries may be stale; they are dropped when
+	// popped. farMin caches the root's absolute bucket (farIdle when
+	// empty) so the pop loop's horizon check is one integer compare.
+	farAt  []float64
+	farSeq []uint64
+	farRef []int32
+	farMin uint64
+
+	// Per-slot state, indexed by ref: armed key, callback, and whether
+	// the slot is a recyclable one-shot (Schedule/At) or caller-owned
+	// (Timer).
+	keys    []key
+	fns     []func()
+	oneShot []bool
+	free    []int32 // recycled one-shot slots
+
+	// Batched same-timestamp pops: when the popped head has ties, the
+	// rest of the run moves here and drains in seq order (revalidated
+	// per entry) before the bucket is touched again.
+	bat    []ev
+	batPos int
+
+	live   int   // armed slots, including a lazily-popped firing slot
+	firing int32 // slot whose callback is running, not yet settled
 }
 
 // New returns an engine positioned at time zero.
-func New() *Engine { return &Engine{} }
+func New() *Engine {
+	e := &Engine{firing: noRef, farMin: farIdle}
+	backing := make([]ev, nBuckets*bucketCap)
+	for i := range e.wheel {
+		e.wheel[i] = backing[i*bucketCap : i*bucketCap : (i+1)*bucketCap]
+	}
+	return e
+}
 
 // Now returns the current simulation time in nanoseconds.
 func (e *Engine) Now() float64 { return e.now }
 
 // Pending returns the number of scheduled events not yet fired.
-func (e *Engine) Pending() int { return len(e.heap) }
+func (e *Engine) Pending() int {
+	if e.firing >= 0 {
+		return e.live - 1
+	}
+	return e.live
+}
+
+// newRef allocates a fresh event slot.
+func (e *Engine) newRef(fn func(), oneShot bool) int32 {
+	ref := int32(len(e.fns))
+	e.keys = append(e.keys, key{at: posInf})
+	e.fns = append(e.fns, fn)
+	e.oneShot = append(e.oneShot, oneShot)
+	return ref
+}
+
+// enqueue files entry (at, seq, ref) into its wheel bucket, keeping the
+// bucket sorted by (at, seq), or into the far heap when it lies beyond
+// the horizon. A fresh entry carries the largest seq issued so far, so
+// it sorts after every equal-timestamp entry already present and the
+// insertion scan compares timestamps alone.
+func (e *Engine) enqueue(at float64, seq uint64, ref int32) {
+	b := uint64(at) >> bShift
+	if b < e.cur {
+		b = e.cur // defensive: never file behind the cursor
+	} else if b >= e.cur+nBuckets {
+		e.farPush(at, seq, ref)
+		return
+	}
+	i := b & wMask
+	w := append(e.wheel[i], ev{at, seq, ref})
+	lo := int(e.hd[i])
+	p := len(w) - 1
+	for p > lo && w[p-1].at > at {
+		w[p] = w[p-1]
+		p--
+	}
+	w[p] = ev{at, seq, ref}
+	e.wheel[i] = w
+	e.occ[i>>6] |= 1 << (i & 63)
+}
+
+// settle finalizes a lazily-popped firing slot whose callback did not
+// re-arm it: the slot goes idle. Its bucket entry was already removed
+// by the pop, so this is O(1).
+func (e *Engine) settle() {
+	if r := e.firing; r >= 0 {
+		e.firing = noRef
+		e.keys[r].at = posInf
+		e.live--
+	}
+}
+
+// arm schedules slot ref at (at, seq). A pending slot's previous entry
+// goes stale by sequence mismatch; arming the currently-firing slot
+// keeps its live accounting.
+func (e *Engine) arm(ref int32, at float64, seq uint64) {
+	if ref == e.firing {
+		e.firing = noRef // still counted live; old entry already popped
+	} else {
+		e.settle()
+		if e.keys[ref].at == posInf {
+			e.live++
+		}
+	}
+	e.keys[ref] = key{at, seq}
+	e.enqueue(at, seq, ref)
+}
 
 // Schedule enqueues fn to run delay nanoseconds from now. Negative or
 // NaN delays are treated as zero (fire at the current time, after any
@@ -57,43 +226,40 @@ func (e *Engine) Schedule(delay float64, fn func()) {
 
 // At enqueues fn at absolute time t, clamped to never fire in the past.
 func (e *Engine) At(t float64, fn func()) {
-	if t < e.now {
+	if !(t > e.now) { // catches past times and NaN
 		t = e.now
 	}
 	e.scheduleAt(t, fn)
 }
 
-// scheduleAt pushes a one-shot node, reusing a free-list node when one
+// scheduleAt arms a one-shot event, reusing a free-list slot when one
 // is available.
 func (e *Engine) scheduleAt(at float64, fn func()) {
-	var n *node
-	if k := len(e.free); k > 0 {
-		n = e.free[k-1]
-		e.free = e.free[:k-1]
+	var ref int32
+	if n := len(e.free); n > 0 {
+		ref = e.free[n-1]
+		e.free = e.free[:n-1]
+		e.fns[ref] = fn
 	} else {
-		n = &node{}
+		ref = e.newRef(fn, true)
 	}
-	n.at, n.seq, n.fn, n.oneShot = at, e.seq, fn, true
+	seq := e.seq
 	e.seq++
-	e.push(n)
+	e.arm(ref, at, seq)
 }
 
 // Timer is a reusable scheduled callback. The callback is fixed at
 // construction; Reset re-arms the timer (rescheduling it if already
-// pending) without allocating. A Timer must not be copied after first
-// use and belongs to exactly one Engine.
+// pending) without allocating. A Timer belongs to exactly one Engine.
 type Timer struct {
-	e *Engine
-	n node
+	e   *Engine
+	ref int32
 }
 
 // NewTimer creates an idle timer that will run fn when it fires. Arm it
 // with Reset.
 func (e *Engine) NewTimer(fn func()) *Timer {
-	t := &Timer{e: e}
-	t.n.fn = fn
-	t.n.idx = -1
-	return t
+	return &Timer{e: e, ref: e.newRef(fn, false)}
 }
 
 // Reset arms the timer to fire delay nanoseconds from now, rescheduling
@@ -105,144 +271,268 @@ func (t *Timer) Reset(delay float64) {
 	if !(delay > 0) {
 		delay = 0
 	}
-	t.n.at = e.now + delay
-	t.n.seq = e.seq
+	seq := e.seq
 	e.seq++
-	if t.n.idx >= 0 {
-		e.fix(t.n.idx)
-	} else {
-		e.push(&t.n)
-	}
+	e.arm(t.ref, e.now+delay, seq)
 }
 
 // Stop cancels a pending timer, reporting whether it was pending. The
-// timer stays usable: Reset re-arms it.
+// timer stays usable: Reset re-arms it. A timer whose callback is
+// currently running is no longer pending. Cancellation burns a fresh
+// sequence number so the queued entry goes stale by seq mismatch.
 func (t *Timer) Stop() bool {
-	if t.n.idx < 0 {
+	e := t.e
+	if t.ref == e.firing || e.keys[t.ref].at == posInf {
 		return false
 	}
-	t.e.remove(t.n.idx)
+	e.settle()
+	e.keys[t.ref] = key{at: posInf, seq: e.seq}
+	e.seq++
+	e.live--
 	return true
 }
 
 // Pending reports whether the timer is currently scheduled.
-func (t *Timer) Pending() bool { return t.n.idx >= 0 }
-
-// fire pops the minimum node, advances the clock, and runs the
-// callback. One-shot nodes return to the free-list before the callback
-// runs so the callback can immediately reuse them.
-func (e *Engine) fire() {
-	n := e.pop()
-	e.now = n.at
-	fn := n.fn
-	if n.oneShot {
-		n.fn = nil // release the closure; keep the node
-		e.free = append(e.free, n)
-	}
-	fn()
+func (t *Timer) Pending() bool {
+	return t.ref != t.e.firing && t.e.keys[t.ref].at != posInf
 }
 
-// RunUntil fires every event scheduled at or before t in timestamp order
-// and then advances the clock to exactly t. Events created while running
-// are honoured if they fall within the horizon.
+// popBucket statuses.
+const (
+	popFound  = iota // the bucket's (at, seq) minimum was ≤ tmax: popped
+	popBeyond        // the minimum is beyond tmax: nothing to fire at all
+	popEmpty         // no live entries in this bucket: advance the cursor
+)
+
+// popBucket takes the head of wheel bucket i — the bucket is sorted by
+// (at, seq), and buckets partition time, so a live head is the global
+// minimum of all events at or after the cursor. Stale entries are
+// dropped as the head reaches them. When following entries tie the
+// head's timestamp they are adjacent (sorted, and equal-at order is seq
+// order); the whole run is parked in the batch buffer so the caller
+// drains it in seq order without touching the bucket between callbacks.
+func (e *Engine) popBucket(i uint64, tmax float64) (int32, float64, int) {
+	b := e.wheel[i]
+	j := int(e.hd[i])
+	for j < len(b) && e.keys[b[j].ref].seq != b[j].seq {
+		j++
+	}
+	if j == len(b) {
+		e.wheel[i] = b[:0]
+		e.hd[i] = 0
+		e.occ[i>>6] &^= 1 << (i & 63)
+		return 0, 0, popEmpty
+	}
+	en := b[j]
+	if en.at > tmax {
+		e.hd[i] = int32(j)
+		return 0, 0, popBeyond
+	}
+	k := j + 1
+	for k < len(b) && b[k].at == en.at {
+		k++
+	}
+	if k > j+1 {
+		// Park the rest of the same-timestamp run (already in seq
+		// order); stale members are revalidated away at drain time.
+		e.bat = append(e.bat[:0], b[j+1:k]...)
+		e.batPos = 0
+	}
+	if k == len(b) {
+		e.wheel[i] = b[:0]
+		e.hd[i] = 0
+		e.occ[i>>6] &^= 1 << (i & 63)
+	} else {
+		e.hd[i] = int32(k)
+	}
+	return en.ref, en.at, popFound
+}
+
+// pop removes and returns the earliest event with at ≤ tmax, advancing
+// the cursor and migrating far events as their buckets enter the
+// horizon. The caller must have settled any firing slot and checked
+// live > 0 (which guarantees termination: a live entry exists in the
+// wheel, the far heap, or the batch buffer).
+func (e *Engine) pop(tmax float64) (int32, float64, bool) {
+	// Drain a parked same-timestamp batch first; entries are revalidated
+	// because a callback may have cancelled or re-armed a later member.
+	for e.batPos < len(e.bat) {
+		en := e.bat[e.batPos]
+		e.batPos++
+		if e.keys[en.ref].seq == en.seq {
+			return en.ref, en.at, true
+		}
+	}
+	btMax := ^uint64(0)
+	if tmax < math.MaxUint64 {
+		btMax = uint64(tmax) >> bShift
+	}
+	for {
+		for e.farMin < e.cur+nBuckets {
+			e.farMigrate()
+		}
+		b, ok := e.nextOccupied()
+		if !ok {
+			// Wheel empty. Jump the cursor so the far heap's minimum
+			// enters the horizon (live > 0 guarantees it exists unless
+			// everything left is beyond tmax).
+			if e.farMin == farIdle || e.farMin > btMax {
+				return 0, 0, false
+			}
+			e.cur = e.farMin - nBuckets + 1
+			continue
+		}
+		if b > btMax {
+			return 0, 0, false
+		}
+		e.cur = b
+		ref, at, st := e.popBucket(b&wMask, tmax)
+		if st == popFound {
+			return ref, at, true
+		}
+		if st == popBeyond {
+			return 0, 0, false
+		}
+		// popEmpty: the bucket held only stale entries; its bit is
+		// cleared, scan on.
+	}
+}
+
+// nextOccupied returns the absolute bucket number of the first
+// non-empty wheel bucket at or after the cursor, scanning the occupancy
+// bitmap in window order (bit positions wrap modulo the wheel size).
+func (e *Engine) nextOccupied() (uint64, bool) {
+	start := uint(e.cur & wMask)
+	w := int(start >> 6)
+	word := e.occ[w] &^ (1<<(start&63) - 1) // drop bits below the cursor
+	for k := 0; ; k++ {
+		if word != 0 {
+			i := uint64(w)<<6 + uint64(bits.TrailingZeros64(word))
+			off := (i - uint64(start)) & wMask
+			return e.cur + off, true
+		}
+		if k == len(e.occ) {
+			return 0, false
+		}
+		w++
+		if w == len(e.occ) {
+			w = 0
+		}
+		word = e.occ[w]
+	}
+}
+
+// RunUntil fires every event scheduled at or before t in timestamp
+// order (FIFO within an instant) and then advances the clock to exactly
+// t. Events created while running are honoured if they fall within the
+// horizon. Fired slots are left lazily armed: either the callback
+// re-arms the slot (one enqueue) or the next queue operation settles
+// it. One-shot slots return to the free-list before the callback runs
+// so the callback can immediately reuse them.
 func (e *Engine) RunUntil(t float64) {
 	if math.IsNaN(t) || t < e.now {
 		return
 	}
-	for len(e.heap) > 0 && e.heap[0].at <= t {
-		e.fire()
+	for {
+		e.settle()
+		if e.live == 0 {
+			break
+		}
+		w, at, ok := e.pop(t)
+		if !ok {
+			break
+		}
+		e.now = at
+		e.firing = w
+		fn := e.fns[w]
+		if e.oneShot[w] {
+			e.fns[w] = nil // release the closure; keep the slot
+			e.free = append(e.free, w)
+		}
+		fn()
+	}
+	// Everything at or before t has fired, so no bucket behind t's can
+	// hold a live entry; snapping the cursor keeps later pushes cheap
+	// after long idle gaps. (Parked batch entries, if any, are stale —
+	// live ones are always drained before the loop exits.)
+	if bt := uint64(t) >> bShift; t < math.MaxUint64 && bt > e.cur {
+		e.cur = bt
 	}
 	e.now = t
 }
 
 // Step fires the single earliest event, returning false if none remain.
 func (e *Engine) Step() bool {
-	if len(e.heap) == 0 {
+	e.settle()
+	if e.live == 0 {
 		return false
 	}
-	e.fire()
+	w, at, ok := e.pop(math.Inf(1))
+	if !ok {
+		return false
+	}
+	e.now = at
+	e.firing = w
+	fn := e.fns[w]
+	if e.oneShot[w] {
+		e.fns[w] = nil // release the closure; keep the slot
+		e.free = append(e.free, w)
+	}
+	fn()
+	e.settle()
 	return true
 }
 
-// less orders events by time, then insertion sequence.
-func (e *Engine) less(i, j int) bool {
-	if e.heap[i].at != e.heap[j].at {
-		return e.heap[i].at < e.heap[j].at
-	}
-	return e.heap[i].seq < e.heap[j].seq
-}
-
-func (e *Engine) swap(i, j int) {
-	e.heap[i], e.heap[j] = e.heap[j], e.heap[i]
-	e.heap[i].idx = i
-	e.heap[j].idx = j
-}
-
-func (e *Engine) siftUp(i int) int {
+// farPush inserts an entry into the overflow min-heap.
+func (e *Engine) farPush(at float64, seq uint64, ref int32) {
+	e.farAt = append(e.farAt, at)
+	e.farSeq = append(e.farSeq, seq)
+	e.farRef = append(e.farRef, ref)
+	i := len(e.farAt) - 1
 	for i > 0 {
-		parent := (i - 1) / 2
-		if !e.less(i, parent) {
+		p := (i - 1) >> 1
+		if !(at < e.farAt[p] || (at == e.farAt[p] && seq < e.farSeq[p])) {
 			break
 		}
-		e.swap(i, parent)
-		i = parent
+		e.farAt[i], e.farSeq[i], e.farRef[i] = e.farAt[p], e.farSeq[p], e.farRef[p]
+		i = p
 	}
-	return i
+	e.farAt[i], e.farSeq[i], e.farRef[i] = at, seq, ref
+	e.farMin = uint64(e.farAt[0]) >> bShift
 }
 
-func (e *Engine) siftDown(i int) int {
-	n := len(e.heap)
-	for {
-		l, r := 2*i+1, 2*i+2
-		smallest := i
-		if l < n && e.less(l, smallest) {
-			smallest = l
+// farMigrate pops the overflow minimum and, if still live, files it
+// into the wheel (its bucket has entered the horizon).
+func (e *Engine) farMigrate() {
+	at, seq, ref := e.farAt[0], e.farSeq[0], e.farRef[0]
+	n := len(e.farAt) - 1
+	la, ls, lr := e.farAt[n], e.farSeq[n], e.farRef[n]
+	e.farAt = e.farAt[:n]
+	e.farSeq = e.farSeq[:n]
+	e.farRef = e.farRef[:n]
+	if n > 0 {
+		i := 0
+		for {
+			c := 2*i + 1
+			if c >= n {
+				break
+			}
+			if c+1 < n && (e.farAt[c+1] < e.farAt[c] ||
+				(e.farAt[c+1] == e.farAt[c] && e.farSeq[c+1] < e.farSeq[c])) {
+				c++
+			}
+			if !(e.farAt[c] < la || (e.farAt[c] == la && e.farSeq[c] < ls)) {
+				break
+			}
+			e.farAt[i], e.farSeq[i], e.farRef[i] = e.farAt[c], e.farSeq[c], e.farRef[c]
+			i = c
 		}
-		if r < n && e.less(r, smallest) {
-			smallest = r
-		}
-		if smallest == i {
-			return i
-		}
-		e.swap(i, smallest)
-		i = smallest
+		e.farAt[i], e.farSeq[i], e.farRef[i] = la, ls, lr
+		e.farMin = uint64(e.farAt[0]) >> bShift
+	} else {
+		e.farMin = farIdle
 	}
-}
-
-// fix restores heap order after heap[i]'s key changed in place.
-func (e *Engine) fix(i int) {
-	if e.siftDown(i) == i {
-		e.siftUp(i)
+	if k := e.keys[ref]; k.at == at && k.seq == seq {
+		e.enqueue(at, seq, ref)
 	}
-}
-
-func (e *Engine) push(n *node) {
-	n.idx = len(e.heap)
-	e.heap = append(e.heap, n)
-	e.siftUp(n.idx)
-}
-
-func (e *Engine) pop() *node {
-	top := e.heap[0]
-	e.removeAt(0)
-	return top
-}
-
-// remove deletes the node at heap index i.
-func (e *Engine) remove(i int) {
-	e.removeAt(i)
-}
-
-func (e *Engine) removeAt(i int) {
-	n := e.heap[i]
-	last := len(e.heap) - 1
-	if i != last {
-		e.swap(i, last)
-	}
-	e.heap[last] = nil
-	e.heap = e.heap[:last]
-	if i != last {
-		e.fix(i)
-	}
-	n.idx = -1
 }

@@ -1,0 +1,26 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Raw floor: N timers, each re-arming itself at a sim-like delay.
+func BenchmarkTimerCycle(b *testing.B) {
+	e := New()
+	rng := rand.New(rand.NewSource(1))
+	const pop = 30
+	timers := make([]*Timer, pop)
+	delays := make([]float64, pop)
+	for i := 0; i < pop; i++ {
+		i := i
+		delays[i] = 5 + rng.Float64()*290 // ~0.2 events/ns like the epoch loop
+		timers[i] = e.NewTimer(func() { timers[i].Reset(delays[i]) })
+		timers[i].Reset(delays[i])
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Step()
+	}
+}

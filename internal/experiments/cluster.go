@@ -35,6 +35,13 @@ type ClusterSweepRow struct {
 	// GInstr is the member's total instructions retired, in billions —
 	// the throughput the grant bought.
 	GInstr float64
+	// NormPerf is GInstr normalized by the member's all-max baseline
+	// (same machine, mix and epoch count, uncapped): 1.0 means the
+	// arbiter's grant cost the member nothing. Baselines come from the
+	// process-wide runner.SharedBaselines cache, so the three members —
+	// shared by all six (arbiter, budget) jobs — are each simulated
+	// exactly once.
+	NormPerf float64
 }
 
 // clusterMemberSpec describes one sweep-fleet tenant.
@@ -82,6 +89,30 @@ func (l *Lab) ClusterSweep() ([]ClusterSweepRow, error) {
 	}
 
 	specs := clusterFleet(l.Opt)
+
+	// All-max baselines for NormPerf, one per member spec. The shared
+	// cache dedups across the six jobs (and with any other Lab in the
+	// process), so each spec simulates at most once.
+	baseInstr := make([]float64, len(specs))
+	for k, sp := range specs {
+		mix, err := workload.MixByName(sp.mix)
+		if err != nil {
+			return nil, err
+		}
+		base, err := runner.SharedBaselines.Run(runner.Config{
+			Sim: sp.cfg, Mix: mix, BudgetFrac: 1, Epochs: l.Opt.Epochs,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("cluster baseline %s: %w", sp.id, err)
+		}
+		for _, v := range base.TotalInstr {
+			baseInstr[k] += v
+		}
+		if baseInstr[k] <= 0 {
+			return nil, fmt.Errorf("cluster baseline %s made no progress", sp.id)
+		}
+	}
+
 	rows := make([][]ClusterSweepRow, len(jobs))
 	err := l.parallelFor(len(jobs), func(i int) error {
 		j := jobs[i]
@@ -158,7 +189,8 @@ func (l *Lab) ClusterSweep() ([]ClusterSweepRow, error) {
 				Member: sp.id, Mix: sp.mix, Machine: machine,
 				AvgGrantW: a.grant / n, AvgPowerW: a.power / n, AvgSlackW: a.slack / n,
 				FirstGrantW: a.first, LastGrantW: a.last,
-				GInstr: a.instr / 1e9,
+				GInstr:   a.instr / 1e9,
+				NormPerf: a.instr / baseInstr[k],
 			}
 		}
 		rows[i] = out

@@ -216,7 +216,10 @@ func (l *Lab) baseline(mix workload.MixSpec, cfg sim.Config) (*runner.Result, er
 	}
 	l.mu.Unlock()
 	c.once.Do(func() {
-		c.res, c.err = runner.Run(runner.Config{
+		// The process-wide cache dedups across Labs (and with the cluster
+		// sweep's members); the per-Lab slot above keeps the progress log
+		// at one line per Lab per configuration.
+		c.res, c.err = runner.SharedBaselines.Run(runner.Config{
 			Sim: cfg, Mix: mix, BudgetFrac: 1.0, Epochs: l.Opt.Epochs, Policy: nil,
 		})
 		if c.err != nil {

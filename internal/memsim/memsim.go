@@ -14,6 +14,13 @@
 //
 // The package also measures the counters FastCap consumes (Q, U, s_m —
 // paper Eq. 1 and §III-C) and activity-based memory power.
+//
+// Per-request state lives in a flat arena owned by the controller: a
+// request is an int32 slot into a dense array of compact records, and
+// the bank/bus FIFOs are rings of slots. The epoch inner loop therefore
+// walks dense arrays instead of chasing per-request heap objects. Cores
+// on the hot path use Access + RegisterDemand; the boxed Submit(*Request)
+// entry point copies into the arena and exists for tests and small tools.
 package memsim
 
 import (
@@ -54,66 +61,84 @@ func DefaultPower() PowerConfig {
 
 // Request is one memory transaction: a demand read (LLC miss) or a
 // writeback. Done, if non-nil, fires when the bus transfer completes —
-// i.e. when the requesting core receives its data.
+// i.e. when the requesting core receives its data. Submit copies the
+// request into the controller's arena; the struct itself is not retained.
 type Request struct {
 	Core      int
 	Bank      int
 	Row       int32
 	Writeback bool
 	Done      func()
-
-	arriveNs float64 // set by Submit; feeds the response-time counters
 }
 
 // bank states; a bank is blocked from serving its queue while its
 // finished request waits for (or occupies) the bus.
 const (
-	bankIdle = iota
+	bankIdle = uint8(iota)
 	bankServing
 	bankBlocked
 )
 
-// reqQueue is a FIFO of requests with a head cursor instead of
-// re-slicing, so steady-state push/pop reuses the same backing array
-// (the array compacts when the dead prefix dominates).
-type reqQueue struct {
-	buf  []*Request
-	head int
-}
-
-func (q *reqQueue) push(r *Request) { q.buf = append(q.buf, r) }
-
-func (q *reqQueue) len() int { return len(q.buf) - q.head }
-
-func (q *reqQueue) front() *Request { return q.buf[q.head] }
-
-func (q *reqQueue) pop() *Request {
-	r := q.buf[q.head]
-	q.buf[q.head] = nil
-	q.head++
-	if q.head == len(q.buf) {
-		q.buf = q.buf[:0]
-		q.head = 0
-	} else if q.head > 32 && q.head*2 >= len(q.buf) {
-		n := copy(q.buf, q.buf[q.head:])
-		for i := n; i < len(q.buf); i++ {
-			q.buf[i] = nil
-		}
-		q.buf = q.buf[:n]
-		q.head = 0
-	}
-	return r
-}
-
+// bank is one bank's service state plus its request queue. The fields
+// touched together on the service path sit in one compact record;
+// svcTimer fires serviceDone for this bank and is created once at
+// controller construction so bank service scheduling is allocation-free.
 type bank struct {
-	queue   reqQueue
-	openRow int32
-	hasOpen bool
-	state   int
-	// svcTimer fires serviceDone for this bank; created once at
-	// controller construction so bank service scheduling is
-	// allocation-free.
+	queue    ring
+	openRow  int32
+	hasOpen  bool
+	state    uint8
 	svcTimer *engine.Timer
+}
+
+// req is the arena record of one in-flight request.
+type req struct {
+	core   int32
+	bank   int32
+	row    int32
+	wb     bool
+	arrive float64 // Submit time; feeds the response-time counters
+}
+
+// ring is a FIFO of arena slots over a power-of-two backing array; the
+// head cursor wraps via masking, so steady-state push/pop never moves
+// or re-allocates memory.
+type ring struct {
+	buf  []int32
+	head uint32
+	n    uint32
+}
+
+func (q *ring) push(s int32) {
+	if int(q.n) == len(q.buf) {
+		q.grow()
+	}
+	q.buf[(q.head+q.n)&uint32(len(q.buf)-1)] = s
+	q.n++
+}
+
+func (q *ring) grow() {
+	sz := len(q.buf) * 2
+	if sz < 8 {
+		sz = 8
+	}
+	nb := make([]int32, sz)
+	mask := uint32(len(q.buf) - 1)
+	for i := uint32(0); i < q.n; i++ {
+		nb[i] = q.buf[(q.head+i)&mask]
+	}
+	q.buf, q.head = nb, 0
+}
+
+func (q *ring) len() int { return int(q.n) }
+
+func (q *ring) front() int32 { return q.buf[q.head&uint32(len(q.buf)-1)] }
+
+func (q *ring) pop() int32 {
+	s := q.buf[q.head&uint32(len(q.buf)-1)]
+	q.head++
+	q.n--
+	return s
 }
 
 // Counters accumulate monotonically; callers snapshot and diff to get
@@ -189,14 +214,31 @@ type Controller struct {
 
 	busFreq    float64 // GHz
 	busFreqMax float64
+	xferNs     float64 // BusCycles / busFreq, cached per retarget
 
-	banks   []bank
-	busQ    reqQueue
+	// banks[i] is one compact record per bank: fields touched together
+	// on the service path share a cache line.
+	banks []bank
+
+	busQ    ring
 	busBusy bool
-	// busCur is the request occupying the bus; busTimer fires its
-	// transfer completion (one transfer at a time, one reusable timer).
-	busCur   *Request
+	// busCur is the arena slot occupying the bus (-1 when idle);
+	// busTimer fires its transfer completion (one transfer at a time,
+	// one reusable timer).
+	busCur   int32
 	busTimer *engine.Timer
+
+	// Request arena: a request is an int32 slot into rq, recycled
+	// through rFree when its bus transfer completes. One 24-byte record
+	// per request keeps the completion path to a single cache line;
+	// rDone is split out because only the boxed Submit path touches it.
+	rq    []req
+	rDone []func() // boxed-path callback; nil on the Access path
+	rFree []int32
+
+	// demandFn[core] is called when a demand read for that core leaves
+	// the bus (Access path; writebacks complete silently).
+	demandFn []func()
 
 	ctr Counters
 }
@@ -216,7 +258,9 @@ func NewController(eng *engine.Engine, nBanks int, timing Timing, pcfg PowerConf
 		power:      pcfg,
 		busFreq:    busFreqMax,
 		busFreqMax: busFreqMax,
+		xferNs:     timing.BusCycles / busFreqMax,
 		banks:      make([]bank, nBanks),
+		busCur:     -1,
 	}
 	for i := range c.banks {
 		bi := i
@@ -241,10 +285,11 @@ func (c *Controller) SetBusFreq(ghz float64) {
 		return
 	}
 	c.busFreq = ghz
+	c.xferNs = c.timing.BusCycles / ghz
 }
 
 // TransferTime returns the current per-line bus occupancy s_b in ns.
-func (c *Controller) TransferTime() float64 { return c.timing.BusCycles / c.busFreq }
+func (c *Controller) TransferTime() float64 { return c.xferNs }
 
 // MinTransferTime returns s̄_b, the transfer time at maximum frequency.
 func (c *Controller) MinTransferTime() float64 { return c.timing.BusCycles / c.busFreqMax }
@@ -252,36 +297,82 @@ func (c *Controller) MinTransferTime() float64 { return c.timing.BusCycles / c.b
 // Counters returns a snapshot of the monotone counters.
 func (c *Controller) Counters() Counters { return c.ctr }
 
-// Submit enqueues a request at its bank. Request.Bank is reduced modulo
-// the bank count so callers can use free-running bank cursors.
-func (c *Controller) Submit(r *Request) {
-	r.Bank %= len(c.banks)
-	if r.Bank < 0 {
-		r.Bank += len(c.banks)
+// RegisterDemand installs the completion callback for a core's demand
+// reads submitted through Access. One callback per core, installed once
+// at wiring time — the per-request Done closure of the boxed path is
+// what this replaces on the hot path.
+func (c *Controller) RegisterDemand(core int, fn func()) {
+	for len(c.demandFn) <= core {
+		c.demandFn = append(c.demandFn, nil)
 	}
-	b := &c.banks[r.Bank]
-	r.arriveNs = c.eng.Now()
-	b.queue.push(r)
+	c.demandFn[core] = fn
+}
+
+// alloc takes a free arena slot, growing the arena when the free list
+// is empty.
+func (c *Controller) alloc() int32 {
+	if k := len(c.rFree) - 1; k >= 0 {
+		s := c.rFree[k]
+		c.rFree = c.rFree[:k]
+		return s
+	}
+	s := int32(len(c.rq))
+	c.rq = append(c.rq, req{})
+	c.rDone = append(c.rDone, nil)
+	return s
+}
+
+// Access enqueues one transaction at its bank without boxing: the hot
+// path for cores. bank is reduced modulo the bank count so callers can
+// use free-running bank cursors. Demand reads (writeback=false) notify
+// the core's RegisterDemand callback when the transfer completes.
+func (c *Controller) Access(core, bank int, row int32, writeback bool) {
+	c.submit(core, bank, row, writeback)
+}
+
+// submit is Access returning the arena slot, so the boxed path can
+// attach its callback.
+func (c *Controller) submit(core, bank int, row int32, writeback bool) int32 {
+	if uint(bank) >= uint(len(c.banks)) { // cores pass in-range banks; keep the div off the hot path
+		bank %= len(c.banks)
+		if bank < 0 {
+			bank += len(c.banks)
+		}
+	}
+	s := c.alloc()
+	c.rq[s] = req{core: int32(core), bank: int32(bank), row: row, wb: writeback, arrive: c.eng.Now()}
+	b := &c.banks[bank]
+	b.queue.push(s)
 	c.ctr.Arrivals++
 	c.ctr.SumQ += float64(b.queue.len()) // includes the arriving request
-	if r.Writeback {
+	if writeback {
 		c.ctr.Writebacks++
 	} else {
 		c.ctr.Reads++
 	}
 	if b.state == bankIdle {
-		c.startService(r.Bank)
+		c.startService(bank)
 	}
+	return s
+}
+
+// Submit enqueues a boxed request, copying it into the arena. Request
+// fields are read synchronously; the struct is not retained. Nothing
+// fires synchronously from submit (service completes through a timer),
+// so attaching Done after the fact is race-free.
+func (c *Controller) Submit(r *Request) {
+	s := c.submit(r.Core, r.Bank, r.Row, r.Writeback)
+	c.rDone[s] = r.Done
 }
 
 // startService begins the bank access for the head of the bank queue.
 func (c *Controller) startService(bi int) {
 	b := &c.banks[bi]
 	b.state = bankServing
-	r := b.queue.front()
+	row := c.rq[b.queue.front()].row
 	var svc float64
 	switch {
-	case b.hasOpen && b.openRow == r.Row:
+	case b.hasOpen && b.openRow == row:
 		svc = c.timing.TCL // row-buffer hit
 		c.ctr.RowHits++
 	case b.hasOpen:
@@ -289,7 +380,7 @@ func (c *Controller) startService(bi int) {
 	default:
 		svc = c.timing.TRCD + c.timing.TCL // empty row buffer
 	}
-	b.openRow, b.hasOpen = r.Row, true
+	b.openRow, b.hasOpen = row, true
 	c.ctr.SvcSum += svc
 	c.ctr.SvcCount++
 	c.ctr.BankBusyNs += svc
@@ -301,7 +392,7 @@ func (c *Controller) startService(bi int) {
 func (c *Controller) serviceDone(bi int) {
 	b := &c.banks[bi]
 	b.state = bankBlocked
-	r := b.queue.front()
+	s := b.queue.front()
 	c.ctr.Departures++
 	// Bus backlog seen by the departing request: waiters ahead of it,
 	// any transfer in flight, and itself.
@@ -310,7 +401,7 @@ func (c *Controller) serviceDone(bi int) {
 		u++
 	}
 	c.ctr.SumU += u
-	c.busQ.push(r)
+	c.busQ.push(s)
 	c.tryStartBus()
 }
 
@@ -318,30 +409,42 @@ func (c *Controller) tryStartBus() {
 	if c.busBusy || c.busQ.len() == 0 {
 		return
 	}
-	r := c.busQ.pop()
+	s := c.busQ.pop()
 	c.busBusy = true
-	c.busCur = r
+	c.busCur = s
 	sb := c.TransferTime()
 	c.ctr.BusBusyNs += sb
 	c.busTimer.Reset(sb)
 }
 
-// busTransferDone releases the bus, unblocks the request's bank, and
-// notifies the requesting core.
+// busTransferDone releases the bus, unblocks the request's bank,
+// recycles the arena slot, and notifies the requesting core.
 func (c *Controller) busTransferDone() {
-	r := c.busCur
-	c.busCur = nil
+	s := c.busCur
+	c.busCur = -1
 	c.busBusy = false
-	c.ctr.RespSumNs += c.eng.Now() - r.arriveNs
+	r := c.rq[s]
+	c.ctr.RespSumNs += c.eng.Now() - r.arrive
 	c.ctr.RespCount++
-	b := &c.banks[r.Bank]
+	bi := int(r.bank)
+	b := &c.banks[bi]
 	b.queue.pop()
 	b.state = bankIdle
 	if b.queue.len() > 0 {
-		c.startService(r.Bank)
+		c.startService(bi)
 	}
-	if r.Done != nil {
-		r.Done()
+	// Free the slot before notifying: the callback may submit again and
+	// immediately reuse it; all fields were read out above.
+	done := c.rDone[s]
+	core, wb := int(r.core), r.wb
+	c.rFree = append(c.rFree, s)
+	if done != nil {
+		c.rDone[s] = nil // demand-path slots stay nil: no write barrier there
+		done()
+	} else if !wb && core >= 0 && core < len(c.demandFn) {
+		if fn := c.demandFn[core]; fn != nil {
+			fn()
+		}
 	}
 	c.tryStartBus()
 }

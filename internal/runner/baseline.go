@@ -1,0 +1,96 @@
+package runner
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/dvfs"
+)
+
+// baselineEntry is one singleflight slot of a BaselineCache: the first
+// caller to claim the key simulates the baseline, everyone else blocks
+// on the same Once and shares the *Result.
+type baselineEntry struct {
+	once sync.Once
+	res  *Result
+	err  error
+}
+
+// BaselineCache memoizes all-max baseline runs by full run identity.
+// The baseline is the one run every figure, cluster member and serve
+// tenant normalizes against, and it is pure: Policy is nil, the budget
+// never binds, so its Result is a deterministic function of the mix,
+// the simulator configuration and the epoch count — nothing else. A
+// cache shared across Labs and cluster members therefore returns
+// bit-identical results while simulating each distinct configuration
+// exactly once.
+//
+// Cached Results are shared pointers: callers must treat them (and
+// their slices) as read-only, which every consumer of the baseline
+// already does (NormalizedPerf and friends only read).
+//
+// The zero value is ready to use and safe for concurrent callers.
+type BaselineCache struct {
+	mu sync.Mutex
+	m  map[string]*baselineEntry
+}
+
+// SharedBaselines is the process-wide cache. Experiment Labs and the
+// cluster sweep delegate to it so members with identical machine+mix
+// configurations solve the baseline once per process rather than once
+// per Lab (or once per cluster member).
+var SharedBaselines BaselineCache
+
+// baselineKey canonicalizes everything the baseline's output depends
+// on. Unlike a per-Lab key it cannot lean on fixed options: two Labs
+// (or a Lab and a cluster sweep) may differ in any Config field, so
+// the key spells out the mix content, every sim.Config field —
+// including ladders, power calibrations, timing and seed — and the
+// epoch count.
+func baselineKey(cfg Config) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "mix%v|e%d|n%d/ooo%v/ctl%d/banks%d/skew%v",
+		cfg.Mix, cfg.Epochs, cfg.Sim.Cores, cfg.Sim.OoO,
+		cfg.Sim.Controllers, cfg.Sim.BanksPerController, cfg.Sim.SkewedAccess)
+	fmt.Fprintf(&b, "|len%g/prof%g/seed%d", cfg.Sim.EpochNs, cfg.Sim.ProfileNs, cfg.Sim.Seed)
+	fmt.Fprintf(&b, "|cpw%+v|mpw%+v|ps%g|tim%+v",
+		cfg.Sim.CorePower, cfg.Sim.MemPower, cfg.Sim.PsW, cfg.Sim.Timing)
+	ladder := func(tag string, l *dvfs.Ladder) {
+		if l != nil {
+			fmt.Fprintf(&b, "|%s:f%v:v%v", tag, l.Freqs(), l.Volts())
+		}
+	}
+	ladder("core", cfg.Sim.CoreLadder)
+	ladder("mem", cfg.Sim.MemLadder)
+	if cfg.Sim.Machine != nil {
+		b.WriteString("|mach")
+		b.WriteString(cfg.Sim.Machine.Fingerprint())
+	}
+	return b.String()
+}
+
+// Run returns the baseline result for cfg, simulating it at most once
+// per distinct configuration. cfg must be baseline-shaped: Policy nil,
+// BudgetFrac 1 and no budget schedule — anything else is not a pure
+// function of the key and is executed uncached.
+func (c *BaselineCache) Run(cfg Config) (*Result, error) {
+	if cfg.Policy != nil || cfg.BudgetSchedule != nil || cfg.BudgetFrac != 1 {
+		return Run(cfg)
+	}
+	key := baselineKey(cfg)
+	c.mu.Lock()
+	if c.m == nil {
+		c.m = map[string]*baselineEntry{}
+	}
+	e, ok := c.m[key]
+	if !ok {
+		e = &baselineEntry{}
+		c.m[key] = e
+	}
+	c.mu.Unlock()
+	e.once.Do(func() {
+		e.res, e.err = Run(cfg)
+	})
+	return e.res, e.err
+}

@@ -1,0 +1,76 @@
+package runner_test
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/policy"
+	"repro/internal/runner"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// coldFastCap discards the solver (and its warm-start state) after
+// every epoch by building a fresh FastCap per Decide. Its runs are the
+// cold reference the persistent policy's warm-started runs must match
+// byte for byte.
+type coldFastCap struct{}
+
+func (coldFastCap) Name() string { return "FastCap" }
+
+func (coldFastCap) Decide(s *policy.Snapshot) (policy.Decision, error) {
+	return policy.NewFastCap().Decide(s)
+}
+
+// End-to-end warm-start equivalence: full runs under the persistent
+// policy (warm start active from epoch 1 on) and under a per-epoch
+// cold policy must produce deeply equal Results — including across a
+// mid-run budget retarget and on a heterogeneous machine.
+func TestWarmStartRunEquivalence(t *testing.T) {
+	mk := func(pol policy.Policy, hetero bool) runner.Config {
+		t.Helper()
+		var cfg runner.Config
+		if hetero {
+			cfg = heteroConfig(t)
+		} else {
+			mix, err := workload.MixByName("MIX3")
+			if err != nil {
+				t.Fatal(err)
+			}
+			sc := sim.DefaultConfig(8)
+			sc.EpochNs = 5e5
+			sc.ProfileNs = 5e4
+			cfg = runner.Config{Sim: sc, Mix: mix, BudgetFrac: 0.6, Epochs: 8}
+		}
+		// Mid-run retarget: tighten the budget halfway through.
+		cfg.BudgetSchedule = func(epoch int) float64 {
+			if epoch < cfg.Epochs/2 {
+				return 0.75
+			}
+			return 0.55
+		}
+		cfg.Policy = pol
+		return cfg
+	}
+	for _, tc := range []struct {
+		name   string
+		hetero bool
+	}{
+		{"homogeneous", false},
+		{"hetero big.LITTLE", true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			warm, err := runner.Run(mk(policy.NewFastCap(), tc.hetero))
+			if err != nil {
+				t.Fatal(err)
+			}
+			cold, err := runner.Run(mk(coldFastCap{}, tc.hetero))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(warm, cold) {
+				t.Error("warm-started run differs from per-epoch cold run")
+			}
+		})
+	}
+}

@@ -1,0 +1,45 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// The SoA overhaul's alloc ceiling: once the engine wheel, the memory
+// request arenas and the L2 slot pools have grown to steady state, a
+// whole epoch (profiling window + rest-of-epoch drain, ~160k events on
+// this config) runs essentially allocation-free. The ceiling is not
+// zero — the engine's wheel buckets and far heap still take the odd
+// capacity-doubling append when the RNG produces a new high-water mark
+// — but any per-request allocation would show up as tens of thousands
+// per epoch, so a single-digit bound locks the SoA win in place.
+func TestEpochSteadyStateAllocs(t *testing.T) {
+	mix, err := workload.MixByName("MIX3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(8)
+	cfg.EpochNs = 5e5
+	cfg.ProfileNs = 5e4
+	wl, err := workload.Instantiate(mix, cfg.Cores)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := New(cfg, wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Start()
+	for i := 0; i < 10; i++ { // grow pools/buffers to steady state
+		sys.RunProfile()
+		sys.FinishEpoch()
+	}
+	avg := testing.AllocsPerRun(10, func() {
+		sys.RunProfile()
+		sys.FinishEpoch()
+	})
+	if avg > 2 {
+		t.Errorf("steady-state epoch allocates %.1f objects, want ≤ 2", avg)
+	}
+}

@@ -45,3 +45,40 @@ func TestPercentileEdgeCases(t *testing.T) {
 		})
 	}
 }
+
+// Percentiles must agree with Percentile slot for slot — same clamping,
+// same NaN propagation, same empty-slice zero — across every edge case
+// of the single-rank table, evaluated in one batch.
+func TestPercentilesMatchPercentile(t *testing.T) {
+	nan := math.NaN()
+	samples := [][]float64{
+		{4, 1, 3, 2},
+		{7},
+		{1, nan, 3},
+		{nan, nan},
+		nil,
+		{},
+	}
+	ps := []float64{-10, math.Inf(-1), 0, 25, 50, 95, 99, 100, 250, math.Inf(1), nan}
+	for _, xs := range samples {
+		got := Percentiles(xs, ps...)
+		if len(got) != len(ps) {
+			t.Fatalf("Percentiles(%v) returned %d values for %d ranks", xs, len(got), len(ps))
+		}
+		for i, p := range ps {
+			want := Percentile(xs, p)
+			if math.IsNaN(want) {
+				if !math.IsNaN(got[i]) {
+					t.Errorf("Percentiles(%v)[p=%g] = %g, want NaN", xs, p, got[i])
+				}
+				continue
+			}
+			if got[i] != want {
+				t.Errorf("Percentiles(%v)[p=%g] = %g, want %g (Percentile)", xs, p, got[i], want)
+			}
+		}
+	}
+	if out := Percentiles([]float64{1, 2, 3}); len(out) != 0 {
+		t.Errorf("Percentiles with no ranks returned %v, want empty", out)
+	}
+}

@@ -76,6 +76,12 @@ func Percentile(xs []float64, p float64) float64 {
 	}
 	ys := append([]float64(nil), xs...)
 	sort.Float64s(ys)
+	return sortedPercentile(ys, p)
+}
+
+// sortedPercentile is the shared rank computation over an already
+// ascending, NaN-free, non-empty slice.
+func sortedPercentile(ys []float64, p float64) float64 {
 	if p <= 0 {
 		return ys[0]
 	}
@@ -89,6 +95,37 @@ func Percentile(xs []float64, p float64) float64 {
 		return ys[len(ys)-1]
 	}
 	return ys[lo]*(1-frac) + ys[lo+1]*frac
+}
+
+// Percentiles evaluates several percentiles of one sample with a single
+// copy-and-sort, returning one value per requested rank. Each output is
+// exactly what Percentile(xs, p) returns — the same clamping (p ≤ 0 is
+// the minimum, p ≥ 100 the maximum), the same NaN propagation (a NaN
+// rank yields NaN in its slot; any NaN sample poisons every slot), and
+// 0 for an empty sample — just without re-sorting per rank.
+func Percentiles(xs []float64, ps ...float64) []float64 {
+	out := make([]float64, len(ps))
+	if len(xs) == 0 {
+		return out
+	}
+	for _, x := range xs {
+		if math.IsNaN(x) {
+			for i := range out {
+				out[i] = math.NaN()
+			}
+			return out
+		}
+	}
+	ys := append([]float64(nil), xs...)
+	sort.Float64s(ys)
+	for i, p := range ps {
+		if math.IsNaN(p) {
+			out[i] = math.NaN()
+			continue
+		}
+		out[i] = sortedPercentile(ys, p)
+	}
+	return out
 }
 
 // JainIndex computes Jain's fairness index (Σx)²/(n·Σx²) ∈ (0, 1]:

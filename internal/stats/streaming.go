@@ -73,7 +73,8 @@ func (s Streaming) Count() uint64 { return s.n }
 // Sum returns the running total.
 func (s Streaming) Sum() float64 { return s.sum }
 
-// Mean returns the arithmetic mean, or 0 when empty (matching Mean).
+// Mean returns the arithmetic mean, or 0 when empty (matching the
+// batch stats.Mean).
 func (s Streaming) Mean() float64 {
 	if s.n == 0 {
 		return 0
@@ -81,7 +82,8 @@ func (s Streaming) Mean() float64 {
 	return s.mean
 }
 
-// Min returns the minimum, or +Inf when empty (matching Min).
+// Min returns the minimum, or +Inf when empty (matching the batch
+// stats.Min).
 func (s Streaming) Min() float64 {
 	if s.n == 0 {
 		return math.Inf(1)
@@ -89,7 +91,8 @@ func (s Streaming) Min() float64 {
 	return s.min
 }
 
-// Max returns the maximum, or -Inf when empty (matching Max).
+// Max returns the maximum, or -Inf when empty (matching the batch
+// stats.Max).
 func (s Streaming) Max() float64 {
 	if s.n == 0 {
 		return math.Inf(-1)
@@ -98,7 +101,7 @@ func (s Streaming) Max() float64 {
 }
 
 // StdDev returns the population standard deviation, 0 for fewer than
-// two samples (matching StdDev).
+// two samples (matching the batch stats.StdDev).
 func (s Streaming) StdDev() float64 {
 	if s.n < 2 {
 		return 0

@@ -50,6 +50,17 @@ printf '%s' "$MET" | grep -q '^fastcap_serve_sessions_created_total 32$' \
 printf '%s' "$MET" | grep -q '^fastcap_serve_cluster_groups_created_total 4$' \
     || { echo "FAIL: daemon did not count 4 cluster groups"; exit 1; }
 
+# Empty latency classes are omitted, not reported as zeros: with
+# retargets disabled the report must carry no "retarget" block at all
+# (a p50 of 0 would be indistinguishable from an instant retarget).
+NORETARGET=$(/tmp/fastcap-loadgen -base "$BASE" -sessions 4 \
+    -lifecycles 1 -epochs 5 -epoch-ms 0.5 -retarget 0) \
+    || { echo "FAIL: retarget-free loadgen reported errors: $NORETARGET"; exit 1; }
+printf '%s' "$NORETARGET" | grep -q '"retarget"' \
+    && { echo "FAIL: zero-sample retarget class not omitted"; exit 1; }
+printf '%s' "$NORETARGET" | grep -q '"create":{"n":4,"p50_ms":' \
+    || { echo "FAIL: create percentiles missing in retarget-free run"; exit 1; }
+
 kill -TERM "$PID"
 wait "$PID" || { echo "FAIL: fastcapd exited non-zero"; exit 1; }
 trap - EXIT
