@@ -326,6 +326,49 @@ func BenchmarkClusterArbitration64(b *testing.B) {
 	}
 }
 
+// sloObs builds a fleet with every fourth member holding a throughput
+// contract — the demand-estimation path the SLO arbiter adds on top of
+// the shared water-fill.
+func sloObs(n int) []cluster.Observation {
+	obs := make([]cluster.Observation, n)
+	for i := range obs {
+		obs[i] = cluster.Observation{
+			PeakW:  120,
+			FloorW: 12,
+			Weight: 1 + float64(i%3),
+			GrantW: 60 + float64(i%17),
+			PowerW: 50 + float64(i%23),
+			Instr:  1e6 + float64(i)*1e4,
+			BIPS:   2 + float64(i%5)*0.25,
+			// A mixed fleet: every other member pressed against its cap.
+			ThrottleFrac: float64(i%2) * 0.5,
+		}
+		if i%4 == 0 {
+			obs[i].TargetBIPS = 2.5
+		}
+	}
+	return obs
+}
+
+// benchSLOArbitration is benchClusterArbitration for the SLO arbiter on
+// a contracted mix; flat (not sub-benchmarked) so the bench.sh snapshot
+// schema can anchor on the name.
+func benchSLOArbitration(b *testing.B, n int) {
+	arb := cluster.NewSLOArbiter()
+	obs := sloObs(n)
+	grants := make([]float64, n)
+	budget := 80.0 * float64(n)
+	arb.Rebalance(budget, obs, grants) // warm the scratch
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		arb.Rebalance(budget, obs, grants)
+	}
+}
+
+func BenchmarkSLOArbitration8(b *testing.B)  { benchSLOArbitration(b, 8) }
+func BenchmarkSLOArbitration64(b *testing.B) { benchSLOArbitration(b, 64) }
+
 // --- Instrumented arbitration: the observability tax ------------------
 
 // benchClusterMetrics builds the full per-cluster handle set a serving
@@ -341,6 +384,8 @@ func benchClusterMetrics() cluster.Metrics {
 		Epochs:             reg.Counter("bench_epochs_total", "bench"),
 		ArbitrationSeconds: reg.Histogram("bench_arbitration_seconds", "bench", metrics.DefLatencyBuckets),
 		FillPasses:         reg.Counter("bench_fill_passes_total", "bench"),
+		SLOViolations:      reg.Counter("bench_slo_violations_total", "bench"),
+		SLOSatisfied:       reg.Gauge("bench_slo_satisfied", "bench"),
 	}
 }
 
@@ -374,18 +419,11 @@ func instrumentedRebalance(arb cluster.Arbiter, rep cluster.FillPassReporter, me
 // pre-resolved atomics, so the contract is zero additional allocations —
 // enforced by TestInstrumentedArbitrationZeroAlloc, not just eyeballed.
 func BenchmarkClusterArbitrationInstrumented(b *testing.B) {
-	for _, name := range []string{"static", "slack", "priority"} {
+	for _, name := range []string{"static", "slack", "priority", "slo"} {
 		arb, _ := cluster.ArbiterByName(name)
 		b.Run(name, func(b *testing.B) {
 			const n = 64
-			obs := make([]cluster.Observation, n)
-			for i := range obs {
-				obs[i] = cluster.Observation{
-					PeakW: 120, FloorW: 12, Weight: 1 + float64(i%3),
-					GrantW: 60 + float64(i%17), PowerW: 50 + float64(i%23),
-					ThrottleFrac: float64(i%2) * 0.5,
-				}
-			}
+			obs := sloObs(n)
 			grants := make([]float64, n)
 			budget := 80.0 * n
 			met := benchClusterMetrics()
@@ -403,17 +441,10 @@ func BenchmarkClusterArbitrationInstrumented(b *testing.B) {
 // TestInstrumentedArbitrationZeroAlloc pins the acceptance bar: the
 // steady-state arbitration epoch, metrics included, allocates nothing.
 func TestInstrumentedArbitrationZeroAlloc(t *testing.T) {
-	for _, name := range []string{"static", "slack", "priority"} {
+	for _, name := range []string{"static", "slack", "priority", "slo"} {
 		arb, _ := cluster.ArbiterByName(name)
 		const n = 64
-		obs := make([]cluster.Observation, n)
-		for i := range obs {
-			obs[i] = cluster.Observation{
-				PeakW: 120, FloorW: 12, Weight: 1 + float64(i%3),
-				GrantW: 60 + float64(i%17), PowerW: 50 + float64(i%23),
-				ThrottleFrac: float64(i%2) * 0.5,
-			}
-		}
+		obs := sloObs(n)
 		grants := make([]float64, n)
 		met := benchClusterMetrics()
 		rep, _ := arb.(cluster.FillPassReporter)

@@ -34,6 +34,7 @@ func main() {
 		ablation = flag.Bool("ablation", false, "quantization-guard ablation")
 		hetero   = flag.Bool("hetero", false, "heterogeneous-machine sweep (big.LITTLE and binned cores)")
 		clusterS = flag.Bool("cluster", false, "cluster-coordination sweep (budget arbitration across machines)")
+		sloS     = flag.Bool("slo", false, "SLO arbitration sweep (throughput contracts on a churning fleet)")
 		cacheCmp = flag.Bool("cache", false, "shared-L2 contention model vs Table III calibration")
 		cores    = flag.Int("cores", 16, "default core count")
 		epochs   = flag.Int("epochs", 20, "epochs per run")
@@ -71,7 +72,7 @@ func main() {
 		}
 	}
 	if *all {
-		for _, k := range []string{"table1", "table2", "table3", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "overhead", "epochs-study", "validate", "ablation", "cache", "hetero", "cluster"} {
+		for _, k := range []string{"table1", "table2", "table3", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "overhead", "epochs-study", "validate", "ablation", "cache", "hetero", "cluster", "slo"} {
 			want[k] = true
 		}
 	}
@@ -89,6 +90,9 @@ func main() {
 	}
 	if *clusterS {
 		want["cluster"] = true
+	}
+	if *sloS {
+		want["slo"] = true
 	}
 	if *cacheCmp {
 		want["cache"] = true
@@ -127,6 +131,7 @@ func main() {
 		{"cache", g.cacheContention},
 		{"hetero", g.hetero},
 		{"cluster", g.cluster},
+		{"slo", g.slo},
 	}
 	done := map[string]bool{}
 	for _, s := range steps {
@@ -513,6 +518,35 @@ func (g *generator) cluster() error {
 	}
 	return g.writeCSV("cluster.csv",
 		[]string{"arbiter", "budget", "member", "workload", "machine", "avg_grant_w", "avg_power_w", "avg_slack_w", "first_grant_w", "last_grant_w", "ginstr", "norm_perf"}, csvRows)
+}
+
+func (g *generator) slo() error {
+	rows, err := g.lab.SLOSweep()
+	if err != nil {
+		return err
+	}
+	tbl := &report.Table{
+		Title:   "SLO arbitration — throughput contracts on a churning fleet",
+		Headers: []string{"arbiter", "budget", "member", "workload", "target BIPS", "avg BIPS", "satisfied", "violations", "avg grant W", "avg slack W"},
+	}
+	var csvRows [][]string
+	for _, r := range rows {
+		target := "-"
+		if r.TargetBIPS > 0 {
+			target = report.F(r.TargetBIPS, 3)
+		}
+		tbl.AddRow(r.Arbiter, report.Pct(r.BudgetFrac), r.Member, r.Mix,
+			target, report.F(r.AvgBIPS, 3), report.Pct(r.SatisfiedFrac),
+			fmt.Sprint(r.Violations), report.F(r.AvgGrantW, 1), report.F(r.AvgSlackW, 1))
+		csvRows = append(csvRows, []string{r.Arbiter, report.F(r.BudgetFrac, 2), r.Member, r.Mix,
+			report.F(r.TargetBIPS, 5), report.F(r.AvgBIPS, 5), report.F(r.SatisfiedFrac, 5),
+			fmt.Sprint(r.Violations), report.F(r.AvgGrantW, 5), report.F(r.AvgSlackW, 5)})
+	}
+	if err := tbl.Render(os.Stdout); err != nil {
+		return err
+	}
+	return g.writeCSV("slo.csv",
+		[]string{"arbiter", "budget", "member", "workload", "target_bips", "avg_bips", "satisfied_frac", "violations", "avg_grant_w", "avg_slack_w"}, csvRows)
 }
 
 func (g *generator) epochStudy() error {

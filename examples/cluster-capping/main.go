@@ -1,12 +1,15 @@
 // cluster-capping arbitrates one datacenter-level power budget across
 // three capped machines: a compute-bound web tier, a balanced batch
-// tier, and a memory-bound analytics tier. The analytics machine's
-// cores spend their time waiting on DRAM, so it physically cannot burn
-// its proportional share of the budget — the slack-reclaiming arbiter
-// notices the unused watts each epoch and migrates them to the web
-// tier, which is pressed against its cap (its cores are being held
-// below full frequency). Watch the grant columns: "web" climbs, "ana"
-// falls, and the reclaimed budget buys real throughput.
+// tier, and a memory-bound analytics tier. The web tier holds a
+// throughput contract (a BIPS target calibrated against its own
+// uncapped baseline) and the SLO-aware arbiter funds that contract's
+// estimated demand first, water-filling the rest of the fleet with
+// whatever remains. The run starts budget-starved: the cold-start
+// proportional split leaves the contract violated (a typed
+// slo_violated event in the grant stream), then the arbiter migrates
+// watts from the best-effort tiers until the stream shows the
+// slo_restored transition — all inside the valley. A mid-run budget
+// raise (the diurnal valley ending) then relaxes the whole fleet.
 //
 //	go run ./examples/cluster-capping
 package main
@@ -21,9 +24,9 @@ import (
 	"repro"
 )
 
-// member builds one tenant machine: a 16-core simulated system running
-// mix under FastCap, sized for epochs control epochs.
-func member(id, mixName string, epochs int) fastcap.ClusterMember {
+// memberCfg builds one tenant machine's configuration: a 16-core
+// simulated system running mix under FastCap for epochs control epochs.
+func memberCfg(mixName string, epochs int) fastcap.ExperimentConfig {
 	mix, err := fastcap.WorkloadByName(mixName)
 	if err != nil {
 		log.Fatal(err)
@@ -37,34 +40,56 @@ func member(id, mixName string, epochs int) fastcap.ClusterMember {
 	}
 	cfg.Sim.EpochNs = 1e6
 	cfg.Sim.ProfileNs = 1e5
+	return cfg
+}
+
+// member turns a configuration into a cluster tenant; target > 0
+// declares a throughput contract in BIPS.
+func member(id string, cfg fastcap.ExperimentConfig, target float64) fastcap.ClusterMember {
 	ses, err := fastcap.NewSession(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
-	return fastcap.ClusterMember{ID: id, Session: ses}
+	return fastcap.ClusterMember{ID: id, Session: ses, TargetBIPS: target}
 }
 
 func main() {
+	const epochs = 30
+
+	// Calibrate the web tier's contract against its own uncapped
+	// baseline: 95% of the throughput it retires with nobody throttling
+	// it.
+	webCfg := memberCfg("ILP1", epochs)
+	base, err := fastcap.RunExperiment(webCfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	baseInstr := 0.0
+	for _, v := range base.TotalInstr {
+		baseInstr += v
+	}
+	target := 0.95 * baseInstr / epochs / webCfg.Sim.EpochNs
+
 	members := []fastcap.ClusterMember{
-		member("web", "ILP1", 30), // compute-bound: wants every watt
-		member("bat", "MIX3", 30), // balanced batch work
-		member("ana", "MEM4", 30), // memory-bound: stalls on DRAM
+		member("web", webCfg, target),               // contracted: 95% of its solo BIPS
+		member("bat", memberCfg("MIX3", epochs), 0), // balanced batch work
+		member("ana", memberCfg("MEM4", epochs), 0), // memory-bound: stalls on DRAM
 	}
 	peak := 0.0
 	for _, m := range members {
 		peak += m.Session.PeakPowerW()
 	}
-	budget := 0.75 * peak
 
 	coord, err := fastcap.NewClusterCoordinator(fastcap.ClusterConfig{
-		BudgetW: budget,
-		Arbiter: fastcap.NewSlackReclaimArbiter(),
+		BudgetW: 0.45 * peak,
+		Arbiter: fastcap.NewSLOArbiter(),
 	}, members)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	fmt.Printf("three machines, %.0f W combined peak, one %.0f W budget (75%%)\n", peak, budget)
+	fmt.Printf("three machines, %.0f W combined peak; web holds a %.2f BIPS contract\n", peak, target)
+	fmt.Printf("budget starts at 45%% (starved) and rises to 90%% at epoch %d\n\n", epochs/2)
 	fmt.Printf("%5s  %22s  %22s  %22s\n", "epoch", "web grant/power", "bat grant/power", "ana grant/power")
 	bar := func(g, p float64) string {
 		width := int(g / 8)
@@ -74,6 +99,7 @@ func main() {
 		}
 		return strings.Repeat("#", used) + strings.Repeat("-", width-used)
 	}
+	violations, restorations := 0, 0
 	for {
 		rec, err := coord.Step(context.Background())
 		if errors.Is(err, fastcap.ErrClusterDone) {
@@ -82,9 +108,23 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		if rec.Epoch == epochs/2 {
+			if err := coord.SetBudgetW(0.9 * peak); err != nil {
+				log.Fatal(err)
+			}
+		}
 		fmt.Printf("%5d", rec.Epoch)
 		for _, m := range rec.Members {
 			fmt.Printf("  %5.1f/%5.1fW %-10s", m.GrantW, m.PowerW, bar(m.GrantW, m.PowerW))
+		}
+		for _, ev := range rec.Events {
+			fmt.Printf("  !%s %s (%.2f of %.2f BIPS)", ev.Member, ev.Type, ev.BIPS, ev.TargetBIPS)
+			switch ev.Type {
+			case "slo_violated":
+				violations++
+			case "slo_restored":
+				restorations++
+			}
 		}
 		fmt.Println()
 	}
@@ -97,6 +137,7 @@ func main() {
 		}
 		fmt.Printf("%-4s ran %.2f Ginstr under %s\n", mr.ID, total/1e9, mr.Result.PolicyName)
 	}
-	fmt.Println("\nthe arbiter reclaimed the analytics tier's unusable watts for the web tier —")
-	fmt.Println("compare the first and last grant columns above.")
+	fmt.Printf("\nthe contract was violated %d time(s) at the cold start and restored %d time(s)\n",
+		violations, restorations)
+	fmt.Println("by the arbiter reclaiming best-effort watts — watch the !web lines above.")
 }

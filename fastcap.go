@@ -212,6 +212,11 @@ type (
 	WorkloadSpec = workload.MixSpec
 	// Workload is an instantiated mix: one application per core.
 	Workload = workload.Workload
+	// PhaseSchedule scales workload intensity at chosen epochs —
+	// diurnal load shifts for churn experiments. Zero value: no shifts.
+	PhaseSchedule = workload.PhaseSchedule
+	// PhaseShift is one step of a PhaseSchedule.
+	PhaseShift = workload.PhaseShift
 )
 
 // Workloads returns all 16 Table III mixes.
@@ -412,6 +417,12 @@ type (
 	ClusterMemberGrant = cluster.MemberGrant
 	// ClusterMemberResult pairs a member id with its finalized run.
 	ClusterMemberResult = cluster.MemberResult
+	// ClusterMemberParams normalizes one member's arbitration
+	// parameters (weight, floor fraction, optional BIPS target).
+	ClusterMemberParams = cluster.MemberParams
+	// ClusterSLOEvent is one throughput-contract transition
+	// (slo_violated / slo_restored) in an epoch record's event list.
+	ClusterSLOEvent = cluster.SLOEvent
 )
 
 // Typed errors of the cluster layer.
@@ -442,9 +453,18 @@ func NewSlackReclaimArbiter() ClusterArbiter { return cluster.NewSlackReclaim() 
 // weight × peak.
 func NewPriorityWeightedArbiter() ClusterArbiter { return cluster.NewPriorityWeighted() }
 
-// ClusterArbiterByName resolves "static", "slack" or "priority" to a
-// fresh arbiter instance.
+// NewSLOArbiter funds each contracted member's estimated demand for its
+// BIPS target first and water-fills the remainder; infeasible contract
+// sets degrade deterministically in proportion to the targets.
+func NewSLOArbiter() ClusterArbiter { return cluster.NewSLOArbiter() }
+
+// ClusterArbiterByName resolves an arbiter registry name ("static",
+// "slack", "priority", "slo") to a fresh arbiter instance.
 func ClusterArbiterByName(name string) (ClusterArbiter, bool) { return cluster.ArbiterByName(name) }
+
+// ClusterArbiterNames lists the arbiter registry in resolution order —
+// the same table ClusterArbiterByName and the serving layer accept.
+func ClusterArbiterNames() []string { return cluster.ArbiterNames() }
 
 // Serving-layer cluster groups (POST /clusters on fastcapd).
 type (

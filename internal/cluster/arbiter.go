@@ -67,6 +67,21 @@ type Observation struct {
 	// performance. 0 means every core ran at full frequency, so any
 	// slack is genuine.
 	ThrottleFrac float64
+
+	// Instr is the total instructions the member retired over the
+	// completed epoch (0 when it has not run one yet). Together with the
+	// epoch length it is the member's progress telemetry — what turns
+	// the arbiter from a watt balancer into a contract enforcer.
+	Instr float64
+	// BIPS is Instr expressed as a rate: giga-instructions per second
+	// over the completed epoch (instr/epochNs, numerically identical).
+	// Both coordinators compute it with the same division so the
+	// distributed grant stream stays byte-identical to the local one.
+	BIPS float64
+	// TargetBIPS is the member's declared throughput SLO in BIPS; 0
+	// means the member carries no contract and is arbitrated on watts
+	// alone. Watt-only arbiters ignore it.
+	TargetBIPS float64
 }
 
 // Arbiter re-partitions the global watt budget across cluster members
@@ -385,17 +400,39 @@ func (a *SlackReclaim) Rebalance(budgetW float64, obs []Observation, grants []fl
 	a.f.fill(budgetW, grants)
 }
 
-// ArbiterByName instantiates a fresh arbiter: "static", "slack" or
-// "priority". Instances keep scratch state — never share one across
+// arbiterRegistry is the single source of truth for the named arbiters:
+// ArbiterByName resolves against it and ArbiterNames exposes it, so the
+// accepted names in serve, fastcap-tables and the experiment sweeps
+// cannot drift apart (a registry-sync test asserts they match). Order
+// is presentation order in tables and error messages.
+var arbiterRegistry = []struct {
+	name string
+	make func() Arbiter
+}{
+	{"static", func() Arbiter { return NewStaticProportional() }},
+	{"slack", func() Arbiter { return NewSlackReclaim() }},
+	{"priority", func() Arbiter { return NewPriorityWeighted() }},
+	{"slo", func() Arbiter { return NewSLOArbiter() }},
+}
+
+// ArbiterNames returns the registered arbiter names in presentation
+// order. The returned slice is freshly allocated.
+func ArbiterNames() []string {
+	names := make([]string, len(arbiterRegistry))
+	for i, e := range arbiterRegistry {
+		names[i] = e.name
+	}
+	return names
+}
+
+// ArbiterByName instantiates a fresh arbiter by registered name (see
+// ArbiterNames). Instances keep scratch state — never share one across
 // concurrent clusters.
 func ArbiterByName(name string) (Arbiter, bool) {
-	switch name {
-	case "static":
-		return NewStaticProportional(), true
-	case "slack":
-		return NewSlackReclaim(), true
-	case "priority":
-		return NewPriorityWeighted(), true
+	for _, e := range arbiterRegistry {
+		if e.name == name {
+			return e.make(), true
+		}
 	}
 	return nil, false
 }

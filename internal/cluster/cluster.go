@@ -62,6 +62,10 @@ type Member struct {
 	// FloorFrac is the member's guaranteed minimum grant as a fraction
 	// of its machine's peak, in (0, 1]. 0 defaults to DefaultFloorFrac.
 	FloorFrac float64
+	// TargetBIPS is the member's optional throughput SLO in
+	// giga-instructions per second. 0 means no contract: the member is
+	// arbitrated on watts alone and never produces SLO events.
+	TargetBIPS float64
 	// Session is the member's capping run.
 	Session *runner.Session
 }
@@ -97,6 +101,15 @@ type MemberGrant struct {
 	ThrottleFrac float64 `json:"throttle_frac"`
 	// Instr is the member's total instructions retired this epoch.
 	Instr float64 `json:"instr"`
+	// BIPS is Instr as a rate (giga-instructions per second) and
+	// TargetBIPS the member's declared SLO; both appear only for
+	// contracted members, so contract-free streams stay byte-identical
+	// to pre-SLO builds.
+	BIPS       float64 `json:"bips,omitempty"`
+	TargetBIPS float64 `json:"target_bips,omitempty"`
+	// SLOViolated marks a contracted member currently below its target
+	// (transitions are additionally reported as EpochRecord.Events).
+	SLOViolated bool `json:"slo_violated,omitempty"`
 	// Done marks the member's final epoch.
 	Done bool `json:"done,omitempty"`
 }
@@ -111,6 +124,10 @@ type EpochRecord struct {
 	BudgetW  float64       `json:"budget_w"`
 	GrantedW float64       `json:"granted_w"`
 	Members  []MemberGrant `json:"members"`
+	// Events are the epoch's SLO boundary crossings (violations and
+	// restorations), in member order. Nil on quiet epochs — and always
+	// nil for contract-free clusters, preserving their golden streams.
+	Events []SLOEvent `json:"events,omitempty"`
 }
 
 // MemberResult pairs a member with its finalized run aggregate.
@@ -124,14 +141,26 @@ type member struct {
 	Member
 	peak     float64
 	floorW   float64
+	epochNs  float64 // control-epoch length (BIPS denominator)
 	maxSteps []int   // each core's top ladder step (throttle reference)
 	grantW   float64 // grant in force during the last stepped epoch
 	powerW   float64 // measured average power of that epoch
 	throttle float64 // fraction of cores shed below top step
+	instr    float64 // instructions retired over that epoch
 	local    int     // member-local epochs completed
 	total    int     // the session's configured run length
 	done     bool    // ran its last epoch
 	detached bool    // removed by Detach; result finalized
+}
+
+// bips converts the member's last-epoch instruction count to a rate.
+// instr/epochNs is numerically giga-instructions per second; both
+// coordinators use this same division, keeping streams byte-identical.
+func (m *member) bips() float64 {
+	if m.epochNs <= 0 {
+		return 0
+	}
+	return m.instr / m.epochNs
 }
 
 // throttleFrac measures how many of the member's cores the epoch's
@@ -196,28 +225,50 @@ type Coordinator struct {
 	// SetMetrics rather than per epoch.
 	met     Metrics
 	fillRep FillPassReporter
+
+	// slo derives per-member SLO pressure events from each finished
+	// record (no-op for contract-free clusters).
+	slo *SLOTracker
 }
 
-// MemberParams normalizes and validates a member's arbitration
-// parameters: a zero weight defaults to 1, a zero floor fraction to
-// DefaultFloorFrac; NaN, infinite and out-of-range values fail with
-// runner.ErrInvalidConfig. Exported so the serving layer's pure request
-// resolution applies the exact rules the Coordinator enforces — one
-// source of truth for the bounds.
-func MemberParams(id string, weight, floorFrac float64) (float64, float64, error) {
-	if weight == 0 {
-		weight = 1
+// MemberParams is a member's arbitration-parameter bundle — the
+// contract half of the member-telemetry seam, shared verbatim by the
+// in-process Coordinator, the serving layer's pure request resolution
+// and the distributed protocol so the bounds cannot drift between them.
+// It grows with the contract (TargetBIPS today); call sites that pass
+// the whole bundle pick new fields up automatically.
+type MemberParams struct {
+	// Weight is the priority-weighted share multiplier. 0 defaults to 1.
+	Weight float64
+	// FloorFrac is the guaranteed minimum grant as a fraction of the
+	// member machine's peak, in (0, 1]. 0 defaults to DefaultFloorFrac.
+	FloorFrac float64
+	// TargetBIPS is the optional throughput SLO in giga-instructions
+	// per second; 0 means no contract. Negative, NaN and infinite
+	// targets are rejected.
+	TargetBIPS float64
+}
+
+// Normalize validates the bundle and applies defaults, returning the
+// normalized copy. NaN, infinite and out-of-range values fail with
+// runner.ErrInvalidConfig; id labels the member in errors.
+func (p MemberParams) Normalize(id string) (MemberParams, error) {
+	if p.Weight == 0 {
+		p.Weight = 1
 	}
-	if math.IsNaN(weight) || math.IsInf(weight, 0) || weight <= 0 {
-		return 0, 0, fmt.Errorf("%w: member %q weight %g, want positive and finite", runner.ErrInvalidConfig, id, weight)
+	if math.IsNaN(p.Weight) || math.IsInf(p.Weight, 0) || p.Weight <= 0 {
+		return MemberParams{}, fmt.Errorf("%w: member %q weight %g, want positive and finite", runner.ErrInvalidConfig, id, p.Weight)
 	}
-	if floorFrac == 0 {
-		floorFrac = DefaultFloorFrac
+	if p.FloorFrac == 0 {
+		p.FloorFrac = DefaultFloorFrac
 	}
-	if math.IsNaN(floorFrac) || floorFrac < 0 || floorFrac > 1 {
-		return 0, 0, fmt.Errorf("%w: member %q floor fraction %g outside (0, 1]", runner.ErrInvalidConfig, id, floorFrac)
+	if math.IsNaN(p.FloorFrac) || p.FloorFrac < 0 || p.FloorFrac > 1 {
+		return MemberParams{}, fmt.Errorf("%w: member %q floor fraction %g outside (0, 1]", runner.ErrInvalidConfig, id, p.FloorFrac)
 	}
-	return weight, floorFrac, nil
+	if math.IsNaN(p.TargetBIPS) || math.IsInf(p.TargetBIPS, 0) || p.TargetBIPS < 0 {
+		return MemberParams{}, fmt.Errorf("%w: member %q target %g BIPS, want finite and >= 0", runner.ErrInvalidConfig, id, p.TargetBIPS)
+	}
+	return p, nil
 }
 
 // validateMember normalizes and checks one member against the already
@@ -232,10 +283,11 @@ func validateMember(m *Member, seen map[string]bool) error {
 	if seen[m.ID] {
 		return fmt.Errorf("%w: duplicate member id %q", runner.ErrInvalidConfig, m.ID)
 	}
-	var err error
-	if m.Weight, m.FloorFrac, err = MemberParams(m.ID, m.Weight, m.FloorFrac); err != nil {
+	p, err := MemberParams{Weight: m.Weight, FloorFrac: m.FloorFrac, TargetBIPS: m.TargetBIPS}.Normalize(m.ID)
+	if err != nil {
 		return err
 	}
+	m.Weight, m.FloorFrac, m.TargetBIPS = p.Weight, p.FloorFrac, p.TargetBIPS
 	if peak := m.Session.PeakPowerW(); math.IsNaN(peak) || peak <= 0 {
 		return fmt.Errorf("%w: member %q platform peak %g W, want > 0", runner.ErrInvalidConfig, m.ID, peak)
 	}
@@ -249,6 +301,7 @@ func newMember(m Member) *member {
 		Member:   m,
 		peak:     peak,
 		floorW:   m.FloorFrac * peak,
+		epochNs:  m.Session.EpochNs(),
 		maxSteps: m.Session.MaxCoreSteps(),
 		total:    m.Session.TotalEpochs(),
 	}
@@ -283,7 +336,7 @@ func New(cfg Config, members []Member) (*Coordinator, error) {
 	}
 	seen := make(map[string]bool, len(members))
 	sessions := make(map[*runner.Session]bool, len(members))
-	c := &Coordinator{cfg: cfg, arb: cfg.Arbiter, budgetW: cfg.BudgetW}
+	c := &Coordinator{cfg: cfg, arb: cfg.Arbiter, budgetW: cfg.BudgetW, slo: NewSLOTracker()}
 	maxTotal := 0
 	for i := range members {
 		m := members[i]
@@ -434,6 +487,7 @@ func (c *Coordinator) applyPending() (attached bool) {
 			if m.ID == id && !m.detached {
 				m.detached = true
 				m.Session.Result() // finalize the prefix
+				c.slo.Forget(id)
 			}
 		}
 	}
@@ -528,6 +582,7 @@ func (c *Coordinator) Step(ctx context.Context) (EpochRecord, error) {
 		c.obs = append(c.obs, Observation{
 			PeakW: m.peak, FloorW: m.floorW, Weight: m.Weight,
 			GrantW: g, PowerW: m.powerW, ThrottleFrac: m.throttle,
+			Instr: m.instr, BIPS: m.bips(), TargetBIPS: m.TargetBIPS,
 		})
 		c.ids = append(c.ids, m.ID)
 	}
@@ -587,15 +642,26 @@ func (c *Coordinator) Step(ctx context.Context) (EpochRecord, error) {
 		for _, v := range r.Instr {
 			instr += v
 		}
-		rec.Members = append(rec.Members, MemberGrant{
+		m.instr = instr
+		mg := MemberGrant{
 			ID: m.ID, Epoch: r.Epoch,
 			GrantW: m.grantW, PowerW: r.AvgPowerW, SlackW: m.grantW - r.AvgPowerW,
 			ThrottleFrac: m.throttle, Instr: instr, Done: m.done,
-		})
+		}
+		if m.TargetBIPS > 0 {
+			mg.BIPS = m.bips()
+			mg.TargetBIPS = m.TargetBIPS
+		}
+		rec.Members = append(rec.Members, mg)
 		rec.GrantedW += m.grantW
 	}
+	violations, satisfied, _ := c.slo.Apply(&rec)
 	c.epoch.Add(1)
 	c.met.Epochs.Inc()
+	if violations > 0 {
+		c.met.SLOViolations.Add(uint64(violations))
+	}
+	c.met.SLOSatisfied.Set(float64(satisfied))
 	if c.met.DrawW != nil {
 		draw := 0.0
 		for i := range rec.Members {

@@ -28,6 +28,11 @@ type Metrics struct {
 	// FillPasses accumulates water-fill redistribution passes, when the
 	// arbiter reports them (see FillPassReporter).
 	FillPasses *metrics.Counter
+	// SLOViolations counts per-member transitions into SLO violation
+	// (the slo_violated events); SLOSatisfied is the number of
+	// contracted members currently meeting their target.
+	SLOViolations *metrics.Counter
+	SLOSatisfied  *metrics.Gauge
 }
 
 // SetMetrics installs the instrumentation handles. It must be called

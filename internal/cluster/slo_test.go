@@ -1,0 +1,341 @@
+package cluster_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/cluster"
+)
+
+// sloObs builds a two-member observation set: member 0 carries a
+// throughput contract, member 1 is best-effort.
+func sloObs(bips0 float64) []cluster.Observation {
+	return []cluster.Observation{
+		{PeakW: 100, FloorW: 10, Weight: 1, GrantW: 50, PowerW: 40,
+			Instr: bips0 * 5e5, BIPS: bips0, TargetBIPS: 4},
+		{PeakW: 100, FloorW: 10, Weight: 1, GrantW: 50, PowerW: 30, BIPS: 1.5},
+	}
+}
+
+func rebalance(t *testing.T, arb cluster.Arbiter, budget float64, obs []cluster.Observation) []float64 {
+	t.Helper()
+	grants := make([]float64, len(obs))
+	ids := make([]string, len(obs))
+	for i := range ids {
+		ids[i] = string(rune('a' + i))
+	}
+	if err := cluster.ComputeGrants(arb, budget, ids, obs, grants); err != nil {
+		t.Fatalf("ComputeGrants: %v", err)
+	}
+	return grants
+}
+
+// Feasible regime: a contracted member running at half its target must
+// be granted at least the watts its measured efficiency says the target
+// needs (Gain-limited), the best-effort member keeps its floor, and the
+// whole budget is placed.
+func TestSLOArbiterFeasibleFundsContract(t *testing.T) {
+	arb := cluster.NewSLOArbiter()
+	obs := sloObs(2) // half the target of 4 BIPS
+	grants := rebalance(t, arb, 150, obs)
+
+	// Demand: est = 40 W × (4/2) × 1.15 = 92 W; one Gain=0.5 step from
+	// the 50 W grant is 71 W. The fill may add surplus on top but must
+	// never fund below the demand.
+	const wantDemand = 71.0
+	if grants[0] < wantDemand-1e-9 {
+		t.Errorf("contracted grant %g W, want >= %g W", grants[0], wantDemand)
+	}
+	if grants[1] < 10 {
+		t.Errorf("best-effort grant %g W below its 10 W floor", grants[1])
+	}
+	if sum := grants[0] + grants[1]; math.Abs(sum-150) > 1e-9 {
+		t.Errorf("granted %g W of a 150 W budget", sum)
+	}
+}
+
+// Cold start (any member without a completed epoch) must reseed exactly
+// like the other arbiters: plain proportional-to-peak, ignoring targets
+// and telemetry.
+func TestSLOArbiterColdStartMatchesStatic(t *testing.T) {
+	obs := sloObs(2)
+	obs[1].GrantW = 0 // freshly attached
+	got := rebalance(t, cluster.NewSLOArbiter(), 120, obs)
+	want := rebalance(t, cluster.NewStaticProportional(), 120, obs)
+	for i := range got {
+		if got[i] != want[i] {
+			t.Errorf("grant[%d] = %g, static seed %g", i, got[i], want[i])
+		}
+	}
+}
+
+// Infeasible regime: when Σ demands exceed the budget the grants must
+// become a pure function of the declared contracts — identical across
+// epochs no matter how the measured telemetry jitters. An arbiter that
+// kept consuming measurements here would oscillate, starving members in
+// alternating epochs.
+func TestSLOArbiterInfeasibleFixedPoint(t *testing.T) {
+	arb := cluster.NewSLOArbiter()
+	mk := func(bips0, bips1, pw0, pw1 float64) []cluster.Observation {
+		return []cluster.Observation{
+			{PeakW: 100, FloorW: 10, Weight: 1, GrantW: 30, PowerW: pw0, BIPS: bips0, TargetBIPS: 6},
+			{PeakW: 100, FloorW: 10, Weight: 1, GrantW: 30, PowerW: pw1, BIPS: bips1, TargetBIPS: 3},
+		}
+	}
+	// 60 W cannot fund two members whose efficiency says the targets
+	// need hundreds of watts.
+	first := rebalance(t, arb, 60, mk(1, 1, 30, 30))
+	for epoch := 0; epoch < 10; epoch++ {
+		jitter := float64(epoch%3) * 0.4
+		got := rebalance(t, arb, 60, mk(1+jitter, 1-0.1*jitter, 30+5*jitter, 30-3*jitter))
+		for i := range got {
+			if got[i] != first[i] {
+				t.Fatalf("epoch %d grant[%d] = %g, want fixed point %g", epoch, i, got[i], first[i])
+			}
+		}
+	}
+	// The fixed point splits the budget proportionally to the declared
+	// targets (floors non-binding here): member 0 (6 BIPS) gets twice
+	// member 1's (3 BIPS) share.
+	if math.Abs(first[0]-2*first[1]) > 1e-9 {
+		t.Errorf("degraded grants %v, want 2:1 by target", first)
+	}
+	if math.Abs(first[0]+first[1]-60) > 1e-9 {
+		t.Errorf("degraded grants %v do not place the 60 W budget", first)
+	}
+}
+
+// Hysteresis on the regime switch: demands just below the budget must
+// not leave the degraded regime; demands clearly below must.
+func TestSLOArbiterRegimeHysteresis(t *testing.T) {
+	arb := cluster.NewSLOArbiter()
+	mk := func(target float64) []cluster.Observation {
+		// BIPS == target with 50 W draw: est = 50 × 1.15 = 57.5 W, and
+		// GrantW == 57.5 makes the demand an exact fixed point at
+		// 57.5 W per member — 115 W for two.
+		return []cluster.Observation{
+			{PeakW: 100, FloorW: 10, Weight: 1, GrantW: 57.5, PowerW: 50, BIPS: target, TargetBIPS: target},
+			{PeakW: 100, FloorW: 10, Weight: 1, GrantW: 57.5, PowerW: 50, BIPS: target, TargetBIPS: target},
+		}
+	}
+	degraded := rebalance(t, arb, 100, mk(4)) // 115 > 100: enter degraded
+	// 115 ≤ 116 but > 116×(1−0.05): inside the band, stay degraded.
+	inBand := rebalance(t, arb, 116, mk(4))
+	wantInBand := []float64{10 + 48, 10 + 48} // floors + target-split of 96
+	for i := range inBand {
+		if inBand[i] != wantInBand[i] {
+			t.Errorf("in-band grant[%d] = %g, want degraded %g", i, inBand[i], wantInBand[i])
+		}
+	}
+	_ = degraded
+	// 115 ≤ 130×(1−0.05) = 123.5: clearly feasible, regime flips back
+	// and demands become funded floors again.
+	feasible := rebalance(t, arb, 130, mk(4))
+	if feasible[0] < 57.5-1e-9 {
+		t.Errorf("post-recovery grant %g W, want >= the 57.5 W demand", feasible[0])
+	}
+}
+
+// The tracker's per-member hysteresis: violated below target×(1−band),
+// restored only at the full target, transitions reported exactly once.
+func TestSLOTrackerHysteresis(t *testing.T) {
+	tr := cluster.NewSLOTracker()
+	rec := func(bips float64) *cluster.EpochRecord {
+		return &cluster.EpochRecord{Members: []cluster.MemberGrant{
+			{ID: "a", BIPS: bips, TargetBIPS: 4},
+			{ID: "b", Instr: 1}, // no contract: never tracked
+		}}
+	}
+
+	r := rec(3.9) // inside the 5% band: not a violation
+	if v, sat, tracked := tr.Apply(r); v != 0 || sat != 1 || tracked != 1 {
+		t.Fatalf("in-band Apply = (%d,%d,%d), want (0,1,1)", v, sat, tracked)
+	}
+	if len(r.Events) != 0 || r.Members[0].SLOViolated {
+		t.Fatalf("in-band epoch produced events %v", r.Events)
+	}
+
+	r = rec(3.0) // clearly below: violation transition
+	if v, sat, _ := tr.Apply(r); v != 1 || sat != 0 {
+		t.Fatalf("violation Apply = (%d,%d), want (1,0)", v, sat)
+	}
+	if len(r.Events) != 1 || r.Events[0].Type != cluster.SLOViolated || r.Events[0].Member != "a" {
+		t.Fatalf("violation events = %+v", r.Events)
+	}
+	if !r.Members[0].SLOViolated {
+		t.Fatal("violated member line not marked")
+	}
+
+	r = rec(3.95) // recovered into the band: still violated, no event
+	if v, sat, _ := tr.Apply(r); v != 0 || sat != 0 {
+		t.Fatalf("band-recovery Apply = (%d,%d), want (0,0)", v, sat)
+	}
+	if len(r.Events) != 0 || !r.Members[0].SLOViolated {
+		t.Fatalf("band recovery flapped: events %v, violated %v", r.Events, r.Members[0].SLOViolated)
+	}
+
+	r = rec(4.0) // full target: restored exactly once
+	if v, sat, _ := tr.Apply(r); v != 0 || sat != 1 {
+		t.Fatalf("restore Apply = (%d,%d), want (0,1)", v, sat)
+	}
+	if len(r.Events) != 1 || r.Events[0].Type != cluster.SLORestored {
+		t.Fatalf("restore events = %+v", r.Events)
+	}
+	if r.Members[0].SLOViolated {
+		t.Fatal("restored member line still marked")
+	}
+
+	// Forget drops the state: a re-violation is a fresh transition.
+	tr.Apply(rec(3.0))
+	tr.Forget("a")
+	r = rec(3.0)
+	if v, _, _ := tr.Apply(r); v != 1 {
+		t.Fatalf("post-Forget Apply violations = %d, want 1", v)
+	}
+}
+
+// The arbiter registry is the single source of truth: every name
+// resolves, the instance reports the same name, and "slo" is in it.
+func TestArbiterRegistry(t *testing.T) {
+	names := cluster.ArbiterNames()
+	hasSLO := false
+	for _, n := range names {
+		arb, ok := cluster.ArbiterByName(n)
+		if !ok {
+			t.Fatalf("registered name %q does not resolve", n)
+		}
+		if arb.Name() != n {
+			t.Errorf("ArbiterByName(%q).Name() = %q", n, arb.Name())
+		}
+		if n == "slo" {
+			hasSLO = true
+		}
+	}
+	if !hasSLO {
+		t.Error("registry lacks the slo arbiter")
+	}
+	if _, ok := cluster.ArbiterByName("nonesuch"); ok {
+		t.Error("unknown arbiter name resolved")
+	}
+}
+
+// End-to-end churn + contracts under the SLO arbiter: a cluster whose
+// contracted member carries an unreachable target must stream a
+// violation event, mark the member's lines, and stay byte-identical
+// between worker pools of 1 and 8 under -race -shuffle=on — including
+// the deterministic infeasible degradation (tiny budget). A member
+// attaches and another detaches mid-run to exercise churn.
+func TestClusterSLODeterministicAcrossWorkers(t *testing.T) {
+	build := func(workers int) (*cluster.Coordinator, error) {
+		members := []cluster.Member{
+			// Unreachable target: 16 cores cannot retire 1e6 BIPS.
+			{ID: "slo-hot", TargetBIPS: 1e6, Session: sessionSpec{mix: "MEM4", cores: 8, epochs: 8, pol: fastcap}.build(t)},
+			{ID: "slo-easy", TargetBIPS: 1e-9, Session: sessionSpec{mix: "ILP1", cores: 8, epochs: 8, pol: fastcap}.build(t)},
+			{ID: "be", Session: sessionSpec{mix: "MIX3", cores: 4, epochs: 6, pol: fastcap}.build(t)},
+		}
+		// A budget far below what the hot member's efficiency demands:
+		// the arbiter must enter (and hold) the degraded regime.
+		return cluster.New(cluster.Config{BudgetW: 30, Arbiter: cluster.NewSLOArbiter(), Workers: workers}, members)
+	}
+	run := func(workers int) []byte {
+		c, err := build(workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var recs []cluster.EpochRecord
+		for epoch := 0; ; epoch++ {
+			if epoch == 2 {
+				if err := c.Attach(cluster.Member{ID: "late", TargetBIPS: 0.5,
+					Session: sessionSpec{mix: "MID1", cores: 4, epochs: 4, pol: fastcap}.build(t)}); err != nil {
+					t.Fatalf("Attach: %v", err)
+				}
+			}
+			if epoch == 4 {
+				if _, err := c.Detach("be"); err != nil {
+					t.Fatalf("Detach: %v", err)
+				}
+			}
+			rec, err := c.Step(context.Background())
+			if errors.Is(err, cluster.ErrDone) {
+				break
+			}
+			if err != nil {
+				t.Fatalf("Step: %v", err)
+			}
+			recs = append(recs, rec)
+		}
+		return mustJSON(t, recs)
+	}
+
+	b1 := run(1)
+	b8 := run(8)
+	if !bytes.Equal(b1, b8) {
+		t.Fatal("SLO cluster streams differ between Workers=1 and Workers=8")
+	}
+	if !bytes.Contains(b1, []byte(cluster.SLOViolated)) {
+		t.Error("unreachable target produced no slo_violated event")
+	}
+	if !bytes.Contains(b1, []byte(`"target_bips":1e+06`)) && !bytes.Contains(b1, []byte(`"target_bips":1000000`)) {
+		t.Error("contracted member lines carry no target")
+	}
+}
+
+// A contract-free cluster must not emit a single SLO byte: no bips, no
+// target, no events keys anywhere in the stream — the golden-stream
+// guarantee for pre-SLO clients.
+func TestClusterNoContractStreamUnchanged(t *testing.T) {
+	members := []cluster.Member{
+		{ID: "a", Session: sessionSpec{mix: "ILP1", cores: 4, epochs: 4, pol: fastcap}.build(t)},
+		{ID: "b", Session: sessionSpec{mix: "MEM2", cores: 4, epochs: 4, pol: fastcap}.build(t)},
+	}
+	c, err := cluster.New(cluster.Config{BudgetW: 60, Arbiter: cluster.NewSLOArbiter()}, members)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, _ := runCluster(t, c)
+	b := mustJSON(t, recs)
+	for _, key := range []string{`"bips"`, `"target_bips"`, `"slo_violated"`, `"events"`} {
+		if bytes.Contains(b, []byte(key)) {
+			t.Errorf("contract-free stream contains %s", key)
+		}
+	}
+}
+
+// Hostile member parameters fail typed through the refactored
+// MemberParams bundle.
+func TestMemberParamsNormalize(t *testing.T) {
+	cases := []struct {
+		name string
+		p    cluster.MemberParams
+		ok   bool
+	}{
+		{"defaults", cluster.MemberParams{}, true},
+		{"full", cluster.MemberParams{Weight: 2, FloorFrac: 0.2, TargetBIPS: 3}, true},
+		{"neg weight", cluster.MemberParams{Weight: -1}, false},
+		{"nan weight", cluster.MemberParams{Weight: math.NaN()}, false},
+		{"floor > 1", cluster.MemberParams{FloorFrac: 1.5}, false},
+		{"neg target", cluster.MemberParams{TargetBIPS: -2}, false},
+		{"nan target", cluster.MemberParams{TargetBIPS: math.NaN()}, false},
+		{"inf target", cluster.MemberParams{TargetBIPS: math.Inf(1)}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := tc.p.Normalize("m")
+			if tc.ok {
+				if err != nil {
+					t.Fatalf("Normalize: %v", err)
+				}
+				if got.Weight <= 0 || got.FloorFrac <= 0 {
+					t.Fatalf("normalized bundle %+v lacks defaults", got)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatal("hostile bundle accepted")
+			}
+		})
+	}
+}

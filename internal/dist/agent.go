@@ -16,10 +16,13 @@ import (
 // live runner.Session (the serving layer's request JSON over HTTP, a
 // test fixture handle under SimNet).
 type MemberSpec struct {
-	ID        string          `json:"id"`
-	Weight    float64         `json:"weight,omitempty"`
-	FloorFrac float64         `json:"floor_frac,omitempty"`
-	Spec      json.RawMessage `json:"spec,omitempty"`
+	ID        string  `json:"id"`
+	Weight    float64 `json:"weight,omitempty"`
+	FloorFrac float64 `json:"floor_frac,omitempty"`
+	// TargetBIPS is the member's optional throughput SLO in
+	// giga-instructions per second; 0 means no contract.
+	TargetBIPS float64         `json:"target_bips,omitempty"`
+	Spec       json.RawMessage `json:"spec,omitempty"`
 }
 
 // MemberJournal is one member's durable state: its spec and every grant
@@ -78,7 +81,8 @@ func cloneJournal(j AgentJournal) AgentJournal {
 		out.Members[i] = MemberJournal{
 			MemberSpec: MemberSpec{
 				ID: m.ID, Weight: m.Weight, FloorFrac: m.FloorFrac,
-				Spec: append(json.RawMessage(nil), m.Spec...),
+				TargetBIPS: m.TargetBIPS,
+				Spec:       append(json.RawMessage(nil), m.Spec...),
 			},
 			Grants: append([]float64(nil), m.Grants...),
 		}
@@ -154,6 +158,7 @@ type amember struct {
 	spec     MemberSpec
 	ses      *runner.Session
 	peak     float64
+	epochNs  float64 // announced so the coordinator can rate telemetry
 	maxSteps []int
 	total    int
 
@@ -251,7 +256,7 @@ func NewAgent(cfg AgentConfig) (*Agent, error) {
 	a.journal = AgentJournal{Agent: cfg.Name, Members: journaled}
 	for i := range a.journal.Members {
 		mj := &a.journal.Members[i]
-		if _, _, err := cluster.MemberParams(mj.ID, mj.Weight, mj.FloorFrac); err != nil {
+		if _, err := (cluster.MemberParams{Weight: mj.Weight, FloorFrac: mj.FloorFrac, TargetBIPS: mj.TargetBIPS}).Normalize(mj.ID); err != nil {
 			return nil, err
 		}
 		if mj.ID == "" || a.byID[mj.ID] != nil {
@@ -264,6 +269,7 @@ func NewAgent(cfg AgentConfig) (*Agent, error) {
 		m := &amember{
 			spec: mj.MemberSpec, ses: ses,
 			peak:     ses.PeakPowerW(),
+			epochNs:  ses.EpochNs(),
 			maxSteps: ses.MaxCoreSteps(),
 			total:    ses.TotalEpochs(),
 			state:    mAnnouncing,
@@ -362,6 +368,7 @@ func (a *Agent) announceLocked(m *amember, now int64) {
 	a.send(Msg{
 		Type: TypeAnnounce, Member: m.spec.ID,
 		PeakW: m.peak, Weight: m.spec.Weight, FloorFrac: m.spec.FloorFrac,
+		TargetBIPS: m.spec.TargetBIPS, EpochNs: m.epochNs,
 		TotalEpochs: m.total, DoneEpochs: m.local,
 	})
 	m.attempts++
@@ -385,6 +392,7 @@ func (a *Agent) announceDoneLocked(m *amember) {
 	a.send(Msg{
 		Type: TypeAnnounce, Member: m.spec.ID,
 		PeakW: m.peak, Weight: m.spec.Weight, FloorFrac: m.spec.FloorFrac,
+		TargetBIPS: m.spec.TargetBIPS, EpochNs: m.epochNs,
 		TotalEpochs: m.total, DoneEpochs: m.total,
 	})
 	a.send(Msg{Type: TypeResult, Member: m.spec.ID, Result: m.result})

@@ -97,19 +97,21 @@ func (s memberState) String() string {
 
 // dmember is the coordinator-side state of one remote member.
 type dmember struct {
-	id, agent string
-	weight    float64
-	floorFrac float64
-	peak      float64
-	floorW    float64
-	total     int
+	id, agent  string
+	weight     float64
+	floorFrac  float64
+	peak       float64
+	floorW     float64
+	targetBIPS float64 // declared throughput SLO (0 = no contract)
+	epochNs    float64 // announced control-epoch length (BIPS denominator)
+	total      int
 
 	state  memberState
 	joined bool // admitted at least once (join vs readmit events)
 	local  int  // member-local epochs completed
 	// Arbitration inputs from the last completed epoch, exactly the
 	// fields cluster.Coordinator keeps per member.
-	grantW, powerW, throttle float64
+	grantW, powerW, throttle, instr float64
 	// pendingDone is the member-local epoch count to adopt when the
 	// pending admission lands (the agent's journal length).
 	pendingDone int
@@ -118,6 +120,17 @@ type dmember struct {
 	rep      Msg
 
 	result *runner.Result
+}
+
+// bips converts the member's last-epoch instruction count to a rate
+// with the same division cluster.Coordinator uses — instr/epochNs is
+// numerically giga-instructions per second — keeping the distributed
+// grant stream byte-identical to the in-process one.
+func (m *dmember) bips() float64 {
+	if m.epochNs <= 0 {
+		return 0
+	}
+	return m.instr / m.epochNs
 }
 
 // Coordinator is the network-facing half of the cluster layer: it owns
@@ -147,6 +160,11 @@ type Coordinator struct {
 	ids    []string
 	obs    []cluster.Observation
 	grants []float64
+
+	// slo derives per-member SLO pressure events from each finished
+	// record — the same tracker the in-process Coordinator runs, over
+	// byte-identical records, so the event streams match too.
+	slo *cluster.SLOTracker
 }
 
 // MemberStatus describes one member of a coordinator snapshot.
@@ -193,7 +211,7 @@ func NewCoordinator(cfg Config) (*Coordinator, error) {
 	if cfg.MaxEpochs <= 0 {
 		cfg.MaxEpochs = 100_000
 	}
-	c := &Coordinator{cfg: cfg, arb: cfg.Arbiter, budgetW: cfg.BudgetW, byID: make(map[string]*dmember)}
+	c := &Coordinator{cfg: cfg, arb: cfg.Arbiter, budgetW: cfg.BudgetW, byID: make(map[string]*dmember), slo: cluster.NewSLOTracker()}
 	c.cond = sync.NewCond(&c.mu)
 	return c, nil
 }
@@ -290,7 +308,7 @@ func (c *Coordinator) applyBoundary(tr Transport, e int) {
 			continue
 		}
 		m.local = m.pendingDone
-		m.grantW, m.powerW, m.throttle = 0, 0, 0
+		m.grantW, m.powerW, m.throttle, m.instr = 0, 0, 0, 0
 		m.reported = false
 		typ := "join"
 		if m.joined {
@@ -394,6 +412,7 @@ func (c *Coordinator) runEpoch(tr Transport, e int, live []*dmember) error {
 		c.obs = append(c.obs, cluster.Observation{
 			PeakW: m.peak, FloorW: m.floorW, Weight: m.weight,
 			GrantW: m.grantW, PowerW: m.powerW, ThrottleFrac: m.throttle,
+			Instr: m.instr, BIPS: m.bips(), TargetBIPS: m.targetBIPS,
 		})
 		c.ids = append(c.ids, m.id)
 	}
@@ -448,16 +467,23 @@ func (c *Coordinator) runEpoch(tr Transport, e int, live []*dmember) error {
 		m.reported = false
 		m.powerW = rep.PowerW
 		m.throttle = rep.ThrottleFrac
+		m.instr = rep.Instr
 		m.local = rep.MemberEpoch + 1
 		if rep.Done {
 			m.state = stateDone
 		}
-		rec.Members = append(rec.Members, cluster.MemberGrant{
+		mg := cluster.MemberGrant{
 			ID: m.id, Epoch: rep.MemberEpoch,
 			GrantW: m.grantW, PowerW: rep.PowerW, SlackW: m.grantW - rep.PowerW,
 			ThrottleFrac: rep.ThrottleFrac, Instr: rep.Instr, Done: rep.Done,
-		})
+		}
+		if m.targetBIPS > 0 {
+			mg.BIPS = m.bips()
+			mg.TargetBIPS = m.targetBIPS
+		}
+		rec.Members = append(rec.Members, mg)
 	}
+	c.slo.Apply(&rec)
 	c.records = append(c.records, rec)
 	c.epoch = e + 1
 	c.cond.Broadcast()
@@ -535,7 +561,7 @@ func (c *Coordinator) dispatch(tr Transport, env Envelope, e int) {
 }
 
 func (c *Coordinator) handleAnnounce(tr Transport, agent string, m Msg, e int) {
-	weight, floorFrac, err := cluster.MemberParams(m.Member, m.Weight, m.FloorFrac)
+	p, err := cluster.MemberParams{Weight: m.Weight, FloorFrac: m.FloorFrac, TargetBIPS: m.TargetBIPS}.Normalize(m.Member)
 	if err != nil {
 		tr.Send(agent, Msg{Type: TypeError, Member: m.Member, Err: err.Error()})
 		return
@@ -546,8 +572,9 @@ func (c *Coordinator) handleAnnounce(tr Transport, agent string, m Msg, e int) {
 	if dm == nil {
 		dm = &dmember{
 			id: m.Member, agent: agent,
-			weight: weight, floorFrac: floorFrac,
-			peak: m.PeakW, floorW: floorFrac * m.PeakW,
+			weight: p.Weight, floorFrac: p.FloorFrac,
+			peak: m.PeakW, floorW: p.FloorFrac * m.PeakW,
+			targetBIPS: p.TargetBIPS, epochNs: m.EpochNs,
 			total: m.TotalEpochs, state: statePending, pendingDone: m.DoneEpochs,
 		}
 		c.members = append(c.members, dm)
@@ -615,6 +642,7 @@ func (c *Coordinator) handleDetach(agent string, m Msg, e int) {
 	switch dm.state {
 	case statePending, stateLive, stateEvicted:
 		dm.state = stateDetached
+		c.slo.Forget(dm.id)
 		c.eventLocked(Event{Epoch: e, Type: "detach", Member: dm.id, Agent: agent})
 	}
 }

@@ -111,6 +111,13 @@ type Msg struct {
 	// executed — non-zero when a restarted agent replayed its journal
 	// and rejoins mid-run.
 	DoneEpochs int `json:"done_epochs,omitempty"`
+	// TargetBIPS declares the member's optional throughput SLO
+	// (giga-instructions per second; 0 = no contract) and EpochNs its
+	// control-epoch length — the BIPS denominator, required alongside a
+	// target so the coordinator computes rates with the member's own
+	// epoch geometry.
+	TargetBIPS float64 `json:"target_bips,omitempty"`
+	EpochNs    float64 `json:"epoch_ns,omitempty"`
 
 	// Grant payload.
 	GrantW float64 `json:"grant_w,omitempty"`
@@ -204,6 +211,15 @@ func (m Msg) Validate() error {
 		}
 		if m.DoneEpochs < 0 || m.DoneEpochs > m.TotalEpochs {
 			return fail("announce done epochs %d outside [0, %d]", m.DoneEpochs, m.TotalEpochs)
+		}
+		if !finiteNonNeg(m.TargetBIPS) {
+			return fail("announce target %g BIPS, want finite and >= 0", m.TargetBIPS)
+		}
+		if !finiteNonNeg(m.EpochNs) {
+			return fail("announce epoch length %g ns, want finite and >= 0", m.EpochNs)
+		}
+		if m.TargetBIPS > 0 && m.EpochNs == 0 {
+			return fail("announce declares a %g BIPS target without an epoch length", m.TargetBIPS)
 		}
 	case TypeWelcome, TypeEvict, TypeDetach:
 		if err := needMember(); err != nil {

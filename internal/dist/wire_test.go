@@ -65,6 +65,9 @@ func FuzzDistMessage(f *testing.F) {
 		`{"type":"grant","member":"m1","grant_w":NaN}`,
 		`{"type":"grant","member":"m1","grant_w":1e999}`,
 		`{"type":"announce","member":"m1","peak_w":-40,"total_epochs":8}`,
+		`{"type":"announce","member":"m1","peak_w":40,"total_epochs":8,"target_bips":4,"epoch_ns":5e5}`,
+		`{"type":"announce","member":"m1","peak_w":40,"total_epochs":8,"target_bips":-4,"epoch_ns":5e5}`,
+		`{"type":"announce","member":"m1","peak_w":40,"total_epochs":8,"target_bips":4}`,
 		"",
 		"{",
 		"[1,2,3]",

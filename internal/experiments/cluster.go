@@ -39,7 +39,7 @@ type ClusterSweepRow struct {
 	// (same machine, mix and epoch count, uncapped): 1.0 means the
 	// arbiter's grant cost the member nothing. Baselines come from the
 	// process-wide runner.SharedBaselines cache, so the three members —
-	// shared by all six (arbiter, budget) jobs — are each simulated
+	// shared by every (arbiter, budget) job — are each simulated
 	// exactly once.
 	NormPerf float64
 }
@@ -74,7 +74,7 @@ func clusterFleet(o Options) []clusterMemberSpec {
 // the Lab's worker pool; rows are assembled in submission order, so
 // output is identical at any worker count.
 func (l *Lab) ClusterSweep() ([]ClusterSweepRow, error) {
-	arbiters := []string{"static", "slack", "priority"}
+	arbiters := cluster.ArbiterNames()
 	budgets := []float64{0.60, 0.75}
 
 	type job struct {
@@ -91,7 +91,7 @@ func (l *Lab) ClusterSweep() ([]ClusterSweepRow, error) {
 	specs := clusterFleet(l.Opt)
 
 	// All-max baselines for NormPerf, one per member spec. The shared
-	// cache dedups across the six jobs (and with any other Lab in the
+	// cache dedups across the jobs (and with any other Lab in the
 	// process), so each spec simulates at most once.
 	baseInstr := make([]float64, len(specs))
 	for k, sp := range specs {

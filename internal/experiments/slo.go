@@ -1,0 +1,247 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/policy"
+	"repro/internal/runner"
+	"repro/internal/workload"
+)
+
+// SLOSweepRow is one (arbiter, budget, member) cell of the SLO
+// arbitration sweep: how a throughput contract fares on a churning
+// fleet under a slack-reclaiming arbiter that is blind to the contract
+// versus the SLO-aware arbiter that funds it first.
+type SLOSweepRow struct {
+	Arbiter string
+	// BudgetFrac is the global budget as a fraction of the summed peaks
+	// of the two resident members (the mid-run arrival adds demand, not
+	// budget — that is the stress).
+	BudgetFrac float64
+	Member     string
+	Mix        string
+	// TargetBIPS is the member's contracted throughput (0 = best
+	// effort); AvgBIPS what it actually retired per epoch on average.
+	TargetBIPS float64
+	AvgBIPS    float64
+	// SatisfiedFrac is the fraction of the member's epochs spent meeting
+	// the contract (tracker hysteresis applied); 1 for uncontracted
+	// members. Violations counts transitions into violation.
+	SatisfiedFrac float64
+	Violations    int
+	// AvgGrantW / AvgSlackW average the member's grant and unused watts.
+	AvgGrantW float64
+	AvgSlackW float64
+}
+
+// sloChurnPoints shapes the churn timeline: the burst tenant arrives at
+// a third of the run and the best-effort donor departs at two thirds.
+func sloChurnPoints(epochs int) (arrive, depart int) {
+	arrive = epochs / 3
+	if arrive < 1 {
+		arrive = 1
+	}
+	depart = 2 * epochs / 3
+	if depart <= arrive {
+		depart = arrive + 1
+	}
+	return arrive, depart
+}
+
+// SLOSweep runs a churning three-tenant fleet under the slack and slo
+// arbiters at two global budgets. The contracted tenant ("gold", a
+// compute-bound machine with a diurnal phase schedule) holds a BIPS
+// target calibrated against its own uncapped baseline; a memory-bound
+// donor ("be") departs mid-run and a bursty tenant ("burst") arrives
+// mid-run without any budget increase. The slack arbiter reclaims
+// unused watts but is contract-blind; the slo arbiter funds the
+// contract's estimated demand first and water-fills the remainder, so
+// gold's satisfied fraction should dominate. Clusters fan out on the
+// Lab's worker pool; rows are assembled in submission order, so output
+// is identical at any worker count.
+func (l *Lab) SLOSweep() ([]SLOSweepRow, error) {
+	arbiters := []string{"slack", "slo"}
+	budgets := []float64{0.55, 0.70}
+	epochs := l.Opt.Epochs
+	arrive, depart := sloChurnPoints(epochs)
+
+	// The gold tenant's diurnal phase schedule: demand rises after the
+	// first quarter and relaxes in the last.
+	phases := workload.PhaseSchedule{
+		{Epoch: epochs / 4, Scale: 1.5},
+		{Epoch: 3 * epochs / 4, Scale: 0.75},
+	}
+	goldCfg := l.Opt.SimConfig(8)
+	goldCfg.PhaseSchedule = phases
+
+	// Calibrate the contract against gold's own uncapped baseline (same
+	// machine, mix, schedule), via the shared cache: the target is 70%
+	// of the throughput the machine retires with nobody throttling it.
+	goldMix, err := workload.MixByName("ILP1")
+	if err != nil {
+		return nil, err
+	}
+	base, err := runner.SharedBaselines.Run(runner.Config{
+		Sim: goldCfg, Mix: goldMix, BudgetFrac: 1, Epochs: epochs,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("slo baseline: %w", err)
+	}
+	baseInstr := 0.0
+	for _, v := range base.TotalInstr {
+		baseInstr += v
+	}
+	if baseInstr <= 0 {
+		return nil, errors.New("slo baseline made no progress")
+	}
+	target := 0.7 * baseInstr / float64(epochs) / goldCfg.EpochNs
+
+	type memberSpec struct {
+		id, mix string
+		target  float64
+		epochs  int
+	}
+	resident := []memberSpec{
+		{id: "gold", mix: "ILP1", target: target, epochs: epochs},
+		{id: "be", mix: "MEM4", epochs: epochs},
+	}
+	burst := memberSpec{id: "burst", mix: "MIX3", epochs: epochs - arrive}
+
+	newMember := func(sp memberSpec) (cluster.Member, error) {
+		mix, err := workload.MixByName(sp.mix)
+		if err != nil {
+			return cluster.Member{}, err
+		}
+		cfg := l.Opt.SimConfig(8)
+		if sp.id == "gold" {
+			cfg = goldCfg
+		}
+		ses, err := runner.NewSession(runner.Config{
+			Sim: cfg, Mix: mix, BudgetFrac: 1,
+			Epochs: sp.epochs, Policy: policy.NewFastCap(),
+		})
+		if err != nil {
+			return cluster.Member{}, fmt.Errorf("slo member %s: %w", sp.id, err)
+		}
+		return cluster.Member{ID: sp.id, Session: ses, TargetBIPS: sp.target}, nil
+	}
+
+	type job struct {
+		arb  string
+		frac float64
+	}
+	var jobs []job
+	for _, frac := range budgets {
+		for _, arb := range arbiters {
+			jobs = append(jobs, job{arb: arb, frac: frac})
+		}
+	}
+
+	specs := append(append([]memberSpec{}, resident...), burst)
+	rows := make([][]SLOSweepRow, len(jobs))
+	jobErr := l.parallelFor(len(jobs), func(i int) error {
+		j := jobs[i]
+		members := make([]cluster.Member, len(resident))
+		peaks := 0.0
+		for k, sp := range resident {
+			m, err := newMember(sp)
+			if err != nil {
+				return err
+			}
+			peaks += m.Session.PeakPowerW()
+			members[k] = m
+		}
+		arb, ok := cluster.ArbiterByName(j.arb)
+		if !ok {
+			return fmt.Errorf("unknown arbiter %q", j.arb)
+		}
+		coord, err := cluster.New(cluster.Config{
+			BudgetW: j.frac * peaks, Arbiter: arb, Workers: 1,
+		}, members)
+		if err != nil {
+			return err
+		}
+
+		type acc struct {
+			grant, slack, instr          float64
+			epochs, satisfied, violation int
+			target                       float64
+		}
+		accs := map[string]*acc{}
+		for e := 0; ; e++ {
+			if e == arrive {
+				m, err := newMember(burst)
+				if err != nil {
+					return err
+				}
+				if err := coord.Attach(m); err != nil {
+					return fmt.Errorf("%s@%.0f%%: attach burst: %w", j.arb, j.frac*100, err)
+				}
+			}
+			if e == depart {
+				if _, err := coord.Detach("be"); err != nil {
+					return fmt.Errorf("%s@%.0f%%: detach be: %w", j.arb, j.frac*100, err)
+				}
+			}
+			rec, err := coord.Step(context.Background())
+			if errors.Is(err, cluster.ErrDone) {
+				break
+			}
+			if err != nil {
+				return fmt.Errorf("%s@%.0f%%: %w", j.arb, j.frac*100, err)
+			}
+			for _, mg := range rec.Members {
+				a := accs[mg.ID]
+				if a == nil {
+					a = &acc{}
+					accs[mg.ID] = a
+				}
+				a.grant += mg.GrantW
+				a.slack += mg.SlackW
+				a.instr += mg.Instr
+				a.target = mg.TargetBIPS
+				a.epochs++
+				if mg.TargetBIPS <= 0 || !mg.SLOViolated {
+					a.satisfied++
+				}
+			}
+			for _, ev := range rec.Events {
+				if ev.Type == cluster.SLOViolated {
+					accs[ev.Member].violation++
+				}
+			}
+		}
+
+		out := make([]SLOSweepRow, 0, len(specs))
+		for _, sp := range specs {
+			a := accs[sp.id]
+			if a == nil || a.epochs == 0 {
+				return fmt.Errorf("%s@%.0f%%: member %s never ran", j.arb, j.frac*100, sp.id)
+			}
+			n := float64(a.epochs)
+			out = append(out, SLOSweepRow{
+				Arbiter: j.arb, BudgetFrac: j.frac,
+				Member: sp.id, Mix: sp.mix,
+				TargetBIPS: a.target, AvgBIPS: a.instr / n / l.Opt.EpochNs,
+				SatisfiedFrac: float64(a.satisfied) / n,
+				Violations:    a.violation,
+				AvgGrantW:     a.grant / n, AvgSlackW: a.slack / n,
+			})
+		}
+		rows[i] = out
+		l.log("ran slo %-6s budget=%.0f%%  gold satisfied %.0f%%",
+			j.arb, j.frac*100, out[0].SatisfiedFrac*100)
+		return nil
+	})
+	if jobErr != nil {
+		return nil, jobErr
+	}
+	var flat []SLOSweepRow
+	for _, r := range rows {
+		flat = append(flat, r...)
+	}
+	return flat, nil
+}

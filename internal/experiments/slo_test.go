@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+)
+
+// The acceptance assertion of the SLO layer: on the churning fleet the
+// contract-aware arbiter keeps the gold tenant inside its BIPS contract
+// for at least as many epochs as the contract-blind slack arbiter at
+// every budget, and strictly more at the tight one (where the mid-run
+// arrival squeezes the contract hardest).
+func TestSLOSweepContractBeatsSlack(t *testing.T) {
+	rows, err := clusterLab(0).SLOSweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 12 { // 2 arbiters × 2 budgets × 3 members
+		t.Fatalf("sweep produced %d rows, want 12", len(rows))
+	}
+	find := func(arb string, frac float64, member string) SLOSweepRow {
+		for _, r := range rows {
+			if r.Arbiter == arb && r.BudgetFrac == frac && r.Member == member {
+				return r
+			}
+		}
+		t.Fatalf("row %s/%.2f/%s missing", arb, frac, member)
+		return SLOSweepRow{}
+	}
+
+	for _, r := range rows {
+		if r.Member == "gold" && r.TargetBIPS <= 0 {
+			t.Errorf("%s@%.0f%%: gold row lost its contract", r.Arbiter, r.BudgetFrac*100)
+		}
+		if r.Member != "gold" && r.TargetBIPS != 0 {
+			t.Errorf("%s@%.0f%%: best-effort member %s has a target", r.Arbiter, r.BudgetFrac*100, r.Member)
+		}
+		if r.SatisfiedFrac < 0 || r.SatisfiedFrac > 1 {
+			t.Errorf("%s@%.0f%%/%s: satisfied fraction %.3f outside [0, 1]", r.Arbiter, r.BudgetFrac*100, r.Member, r.SatisfiedFrac)
+		}
+	}
+	for _, frac := range []float64{0.55, 0.70} {
+		slo := find("slo", frac, "gold")
+		slack := find("slack", frac, "gold")
+		if slo.SatisfiedFrac < slack.SatisfiedFrac {
+			t.Errorf("budget %.0f%%: slo satisfied %.3f < slack %.3f — contract-aware arbiter lost to the blind one",
+				frac*100, slo.SatisfiedFrac, slack.SatisfiedFrac)
+		}
+	}
+	sloTight := find("slo", 0.55, "gold")
+	slackTight := find("slack", 0.55, "gold")
+	if sloTight.SatisfiedFrac <= slackTight.SatisfiedFrac {
+		t.Errorf("tight budget: slo satisfied %.3f, slack %.3f — want a strict win",
+			sloTight.SatisfiedFrac, slackTight.SatisfiedFrac)
+	}
+}
+
+// The sweep is deterministic across Lab worker counts, like every other
+// figure.
+func TestSLOSweepDeterministicAcrossWorkers(t *testing.T) {
+	serial, err := clusterLab(1).SLOSweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := clusterLab(8).SLOSweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Error("SLOSweep output differs between Workers=1 and Workers=8")
+	}
+}

@@ -186,6 +186,12 @@ func validateConfig(cfg Config, hasTrace bool) error {
 	if cfg.Sim.Cores <= 0 {
 		return fmt.Errorf("%w: core count %d, want > 0", ErrInvalidConfig, cfg.Sim.Cores)
 	}
+	// sim.New re-validates, but a session built on an injected platform
+	// (WithPlatform) never reaches it — check here so a malformed
+	// schedule always fails typed before the run starts.
+	if err := cfg.Sim.PhaseSchedule.Validate(); err != nil {
+		return fmt.Errorf("%w: %w", ErrInvalidConfig, err)
+	}
 	return nil
 }
 
@@ -295,6 +301,12 @@ func (s *Session) Epoch() int { return int(s.epoch.Load()) }
 // cluster coordinator) size buffers and detect natural completion from
 // it without consuming a Step call.
 func (s *Session) TotalEpochs() int { return s.cfg.Epochs }
+
+// EpochNs returns the configured control-epoch length in nanoseconds.
+// Progress telemetry needs it to turn instructions-per-epoch into a
+// rate: instr/EpochNs is numerically giga-instructions per second
+// (BIPS), the unit SLO targets are declared in.
+func (s *Session) EpochNs() float64 { return s.cfg.Sim.EpochNs }
 
 // MaxCoreSteps returns each core's top DVFS ladder step — the operating
 // point of an unthrottled core. Compared against an EpochRecord's

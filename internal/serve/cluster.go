@@ -8,6 +8,7 @@ import (
 	"math"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 
 	"repro/internal/cluster"
@@ -29,8 +30,10 @@ type ClusterRequest struct {
 	// the peaks up front.
 	BudgetFrac float64 `json:"budget_frac,omitempty"`
 	// Arbiter picks the arbitration policy: "static" (proportional to
-	// peak, the default), "slack" (slack-reclaiming with hysteresis) or
-	// "priority" (proportional to weight × peak).
+	// peak, the default), "slack" (slack-reclaiming with hysteresis),
+	// "priority" (proportional to weight × peak) or "slo"
+	// (throughput-contract driven; see ClusterMemberRequest.TargetBIPS).
+	// The authoritative list is cluster.ArbiterNames.
 	Arbiter string `json:"arbiter,omitempty"`
 	// Members are the group's tenants, in arbitration order.
 	Members []ClusterMemberRequest `json:"members"`
@@ -48,6 +51,12 @@ type ClusterMemberRequest struct {
 	// FloorFrac is the member's guaranteed minimum grant as a fraction
 	// of its machine peak. Defaults to cluster.DefaultFloorFrac.
 	FloorFrac float64 `json:"floor_frac,omitempty"`
+	// TargetBIPS declares an optional throughput SLO in
+	// giga-instructions per second. Contracted members report bips and
+	// slo_violated in their grant lines, surface slo_violated/
+	// slo_restored events in the stream, and steer the "slo" arbiter.
+	// 0 (the default) means no contract.
+	TargetBIPS float64 `json:"target_bips,omitempty"`
 	// Session configures the member's capping run — the same payload as
 	// POST /sessions, except Record (members are not individually
 	// addressable, so a recording would be unreachable).
@@ -60,6 +69,7 @@ type resolvedMember struct {
 	id     string
 	weight float64
 	floor  float64
+	target float64
 	cfg    runner.Config
 }
 
@@ -73,13 +83,14 @@ func resolveMember(req ClusterMemberRequest, idx int, seen map[string]bool) (res
 	if seen[rm.id] {
 		return rm, fmt.Errorf("%w: duplicate cluster member id %q", runner.ErrInvalidConfig, rm.id)
 	}
-	// Weight/floor normalization and bounds live in the cluster layer —
-	// one source of truth, so a rejected request here is exactly what
-	// the Coordinator would have refused.
-	var err error
-	if rm.weight, rm.floor, err = cluster.MemberParams(rm.id, req.Weight, req.FloorFrac); err != nil {
+	// Parameter normalization and bounds live in the cluster layer — one
+	// source of truth, so a rejected request here is exactly what the
+	// Coordinator would have refused.
+	p, err := cluster.MemberParams{Weight: req.Weight, FloorFrac: req.FloorFrac, TargetBIPS: req.TargetBIPS}.Normalize(rm.id)
+	if err != nil {
 		return rm, err
 	}
+	rm.weight, rm.floor, rm.target = p.Weight, p.FloorFrac, p.TargetBIPS
 	if req.Session.Record {
 		return rm, fmt.Errorf("%w: member %q requests a recording; cluster members cannot record", runner.ErrInvalidConfig, rm.id)
 	}
@@ -132,7 +143,7 @@ func (r ClusterRequest) resolve(maxMembers int) (resolvedCluster, error) {
 	}
 	arb, ok := cluster.ArbiterByName(name)
 	if !ok {
-		return rc, fmt.Errorf("%w: unknown arbiter %q (want static, slack or priority)", runner.ErrInvalidConfig, name)
+		return rc, fmt.Errorf("%w: unknown arbiter %q (want %s)", runner.ErrInvalidConfig, name, strings.Join(cluster.ArbiterNames(), ", "))
 	}
 	rc.arb = arb
 	if len(r.Members) == 0 {
@@ -161,7 +172,9 @@ type ClusterMemberStatus struct {
 	Epochs    int     `json:"epochs"`
 	Weight    float64 `json:"weight"`
 	FloorFrac float64 `json:"floor_frac"`
-	PeakW     float64 `json:"peak_w"`
+	// TargetBIPS is the member's declared throughput SLO (0 = none).
+	TargetBIPS float64 `json:"target_bips,omitempty"`
+	PeakW      float64 `json:"peak_w"`
 }
 
 // ClusterStatus is the externally visible snapshot of one group.
@@ -302,14 +315,15 @@ func memberStatus(rm resolvedMember, ses *runner.Session) ClusterMemberStatus {
 		polName = rm.cfg.Policy.Name()
 	}
 	return ClusterMemberStatus{
-		ID:        rm.id,
-		Mix:       mixName,
-		Policy:    polName,
-		Cores:     rm.cfg.Sim.Cores,
-		Epochs:    rm.cfg.Epochs,
-		Weight:    rm.weight,
-		FloorFrac: rm.floor,
-		PeakW:     ses.PeakPowerW(),
+		ID:         rm.id,
+		Mix:        mixName,
+		Policy:     polName,
+		Cores:      rm.cfg.Sim.Cores,
+		Epochs:     rm.cfg.Epochs,
+		Weight:     rm.weight,
+		FloorFrac:  rm.floor,
+		TargetBIPS: rm.target,
+		PeakW:      ses.PeakPowerW(),
 	}
 }
 
@@ -340,7 +354,7 @@ func (m *Manager) CreateCluster(req ClusterRequest) (ClusterStatus, error) {
 			return ClusterStatus{}, fmt.Errorf("member %q: %w", rm.id, err)
 		}
 		peaks += ses.PeakPowerW()
-		members[i] = cluster.Member{ID: rm.id, Weight: rm.weight, FloorFrac: rm.floor, Session: ses}
+		members[i] = cluster.Member{ID: rm.id, Weight: rm.weight, FloorFrac: rm.floor, TargetBIPS: rm.target, Session: ses}
 		info[i] = memberStatus(rm, ses)
 	}
 	budget := rc.budgetW
@@ -521,7 +535,7 @@ func (m *Manager) AttachMember(id string, req ClusterMemberRequest) (ClusterStat
 		unreserve()
 		return ClusterStatus{}, fmt.Errorf("%w: cluster %q is %s", ErrFinished, id, st)
 	}
-	if err := g.coord.Attach(cluster.Member{ID: rm.id, Weight: rm.weight, FloorFrac: rm.floor, Session: ses}); err != nil {
+	if err := g.coord.Attach(cluster.Member{ID: rm.id, Weight: rm.weight, FloorFrac: rm.floor, TargetBIPS: rm.target, Session: ses}); err != nil {
 		g.mu.Unlock()
 		unreserve()
 		if errors.Is(err, cluster.ErrDone) {

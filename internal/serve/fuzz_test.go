@@ -38,6 +38,17 @@ func FuzzClusterRequest(f *testing.F) {
 	f.Add([]byte(`{"budget_w":50,"members":[{"session":{"mix":"MIX3","budget_frac":0.6,` +
 		`"machine":{"classes":[{"name":"big","count":2},{"name":"little","count":2,"ladder":"efficiency"}]},"cores":4}}]}`))
 	f.Add([]byte(`{"id":"late","session":{"mix":"MEM2","budget_frac":0.6}}`))
+	f.Add([]byte(`{"budget_w":120,"arbiter":"slo","members":[` +
+		`{"id":"gold","target_bips":4,"session":{"mix":"ILP1","budget_frac":0.6,"cores":8,"epochs":6}},` +
+		`{"id":"be","session":{"mix":"MEM3","budget_frac":0.6,"cores":8,"epochs":6}}]}`))
+	f.Add([]byte(`{"budget_w":50,"members":[{"target_bips":-2,"session":{"mix":"MIX3","budget_frac":0.6}}]}`))
+	f.Add([]byte(`{"budget_w":50,"members":[{"target_bips":NaN,"session":{"mix":"MIX3","budget_frac":0.6}}]}`))
+	f.Add([]byte(`{"budget_w":50,"members":[{"session":{"mix":"MIX3","budget_frac":0.6,` +
+		`"phases":[{"epoch":2,"scale":2},{"epoch":4,"scale":0.25}]}}]}`))
+	f.Add([]byte(`{"budget_w":50,"members":[{"session":{"mix":"MIX3","budget_frac":0.6,` +
+		`"phases":[{"epoch":3,"scale":-1}]}}]}`))
+	f.Add([]byte(`{"budget_w":50,"members":[{"session":{"mix":"MIX3","budget_frac":0.6,` +
+		`"phases":[{"epoch":5,"scale":1},{"epoch":5,"scale":2}]}}]}`))
 	f.Add([]byte(`{}`))
 	f.Add([]byte(`not json at all`))
 

@@ -53,6 +53,8 @@ type Metrics struct {
 	clMembers *metrics.GaugeVec
 	clArb     *metrics.HistogramVec
 	clFill    *metrics.CounterVec
+	clSLOViol *metrics.CounterVec
+	clSLOSat  *metrics.GaugeVec
 }
 
 // arbitrationBuckets spans 100ns to ~0.4s: the water-fill runs in
@@ -116,6 +118,10 @@ func NewMetrics(reg *metrics.Registry) *Metrics {
 			"Latency of one arbitration round (ComputeGrants).", arbitrationBuckets, "cluster"),
 		clFill: reg.CounterVec("fastcap_cluster_waterfill_passes_total",
 			"Water-fill redistribution passes accumulated across epochs.", "cluster"),
+		clSLOViol: reg.CounterVec("fastcap_cluster_slo_violations_total",
+			"Member transitions into SLO violation (throughput fell below the contracted band).", "cluster"),
+		clSLOSat: reg.GaugeVec("fastcap_cluster_slo_satisfied_members",
+			"Contracted members meeting their BIPS target at the cluster's last epoch.", "cluster"),
 	}
 }
 
@@ -156,6 +162,8 @@ func (mt *Metrics) clusterMetrics(id string) cluster.Metrics {
 		Members:            mt.clMembers.With(id),
 		ArbitrationSeconds: mt.clArb.With(id),
 		FillPasses:         mt.clFill.With(id),
+		SLOViolations:      mt.clSLOViol.With(id),
+		SLOSatisfied:       mt.clSLOSat.With(id),
 	}
 }
 
@@ -171,6 +179,8 @@ func (mt *Metrics) dropCluster(id string) {
 	mt.clMembers.Delete(id)
 	mt.clArb.Delete(id)
 	mt.clFill.Delete(id)
+	mt.clSLOViol.Delete(id)
+	mt.clSLOSat.Delete(id)
 }
 
 // countSessions snapshots how many resident solo sessions sit in state

@@ -35,6 +35,10 @@ const (
 	// per-session allocations on an unauthenticated surface.
 	MaxCoreClasses = 16
 	MaxLadderSteps = 64
+	// MaxPhaseShifts bounds a request's phase schedule; the workload
+	// layer validates the entries themselves (ascending epochs, finite
+	// positive scales).
+	MaxPhaseShifts = 64
 )
 
 // Request describes one capping session to create — the JSON body of
@@ -76,6 +80,11 @@ type Request struct {
 	// classes instead of the homogeneous default; class counts must sum
 	// to Cores. When every class pins apps, Mix may be omitted.
 	Machine *MachineRequest `json:"machine,omitempty"`
+	// Phases shifts the workload's intensity mid-run: each entry scales
+	// every app's phase multiplier from its epoch on (diurnal load,
+	// batch-window surges). Epochs strictly ascending within [0,
+	// MaxEpochs), at most MaxPhaseShifts entries.
+	Phases workload.PhaseSchedule `json:"phases,omitempty"`
 }
 
 // MachineRequest is the JSON form of a heterogeneous machine spec.
@@ -314,6 +323,18 @@ func (r Request) Config() (runner.Config, error) {
 		}
 		sc.Machine = spec
 	}
+	if len(r.Phases) > MaxPhaseShifts {
+		return runner.Config{}, fmt.Errorf("%w: %d phase shifts above the serving limit %d", runner.ErrInvalidConfig, len(r.Phases), MaxPhaseShifts)
+	}
+	if err := r.Phases.Validate(); err != nil {
+		return runner.Config{}, fmt.Errorf("%w: %w", runner.ErrInvalidConfig, err)
+	}
+	for _, sh := range r.Phases {
+		if sh.Epoch >= MaxEpochs {
+			return runner.Config{}, fmt.Errorf("%w: phase shift at epoch %d above the serving limit %d", runner.ErrInvalidConfig, sh.Epoch, MaxEpochs)
+		}
+	}
+	sc.PhaseSchedule = r.Phases
 	return runner.Config{
 		Sim:        sc,
 		Mix:        mix,

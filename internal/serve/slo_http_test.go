@@ -1,0 +1,139 @@
+package serve_test
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/serve"
+)
+
+// The one-table registry sync: cluster.ArbiterNames is the single
+// source of truth the serve layer (create + error hint) and the
+// experiments sweep (which fastcap-tables -cluster renders) all consume
+// directly. This test pins the canonical table and proves the serve
+// surface accepts exactly it — adding an arbiter to the registry must
+// come back here, to the request docs and to the CI smokes.
+func TestArbiterRegistrySync(t *testing.T) {
+	canonical := []string{"static", "slack", "priority", "slo"}
+	if got := cluster.ArbiterNames(); !reflect.DeepEqual(got, canonical) {
+		t.Fatalf("cluster.ArbiterNames() = %v, want %v (update the canonical table and every consumer)", got, canonical)
+	}
+
+	m := serve.NewManager(serve.Options{Workers: 1, MaxSessions: 2 * len(canonical)})
+	defer m.Shutdown(context.Background())
+	for _, name := range canonical {
+		st, err := m.CreateCluster(serve.ClusterRequest{
+			BudgetFrac: 0.6,
+			Arbiter:    name,
+			Members:    []serve.ClusterMemberRequest{quickMember("m1", "MIX3", 4, 2)},
+		})
+		if err != nil {
+			t.Fatalf("serve rejected registry arbiter %q: %v", name, err)
+		}
+		if st.Arbiter != name {
+			t.Errorf("create with arbiter %q reported %q", name, st.Arbiter)
+		}
+	}
+
+	// The rejection hint lists the registry verbatim, so clients learn
+	// the same table the registry holds.
+	_, err := m.CreateCluster(serve.ClusterRequest{
+		BudgetFrac: 0.6,
+		Arbiter:    "chaos",
+		Members:    []serve.ClusterMemberRequest{quickMember("m1", "MIX3", 4, 2)},
+	})
+	if err == nil {
+		t.Fatal("unknown arbiter accepted")
+	}
+	for _, name := range canonical {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("unknown-arbiter error %q does not mention registry arbiter %q", err, name)
+		}
+	}
+}
+
+// The SLO surface over HTTP: a contracted member's target survives into
+// the status, its grant lines carry bips/target_bips/slo_violated, and
+// the stream surfaces typed slo events; hostile contract and phase
+// payloads map to 4xx, never 5xx.
+func TestClusterSLOMemberHTTP(t *testing.T) {
+	m := serve.NewManager(serve.Options{Workers: 2, MaxSessions: 4})
+	defer m.Shutdown(context.Background())
+	srv := httptest.NewServer(serve.NewHandler(m))
+	defer srv.Close()
+
+	post := func(path, body string) (*http.Response, string) {
+		t.Helper()
+		resp, err := http.Post(srv.URL+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return resp, string(b)
+	}
+
+	for name, body := range map[string]string{
+		"negative target": `{"budget_w":50,"arbiter":"slo","members":[{"target_bips":-1,"session":{"mix":"MIX3","budget_frac":0.6,"cores":2,"epochs":2,"epoch_ms":0.5}}]}`,
+		"nan target":      `{"budget_w":50,"arbiter":"slo","members":[{"target_bips":"x","session":{"mix":"MIX3","budget_frac":0.6,"cores":2,"epochs":2,"epoch_ms":0.5}}]}`,
+		"bad phase scale": `{"budget_w":50,"members":[{"session":{"mix":"MIX3","budget_frac":0.6,"cores":2,"epochs":2,"epoch_ms":0.5,"phases":[{"epoch":1,"scale":-2}]}}]}`,
+		"phase dup epoch": `{"budget_w":50,"members":[{"session":{"mix":"MIX3","budget_frac":0.6,"cores":2,"epochs":2,"epoch_ms":0.5,"phases":[{"epoch":1,"scale":1},{"epoch":1,"scale":2}]}}]}`,
+		"phase past run":  `{"budget_w":50,"members":[{"session":{"mix":"MIX3","budget_frac":0.6,"cores":2,"epochs":2,"epoch_ms":0.5,"phases":[{"epoch":100001,"scale":2}]}}]}`,
+	} {
+		resp, b := post("/clusters", body)
+		if resp.StatusCode < 400 || resp.StatusCode >= 500 {
+			t.Errorf("%s: status %d (%s), want 4xx", name, resp.StatusCode, b)
+		}
+	}
+
+	// An unreachable contract on a phase-shifting member: violations are
+	// guaranteed, so the stream must carry the typed telemetry.
+	resp, body := post("/clusters", `{"budget_frac":0.6,"arbiter":"slo","members":[
+		{"id":"gold","target_bips":1000000,"session":{"mix":"ILP1","budget_frac":0.6,"cores":4,"epochs":6,"epoch_ms":0.5,"phases":[{"epoch":2,"scale":1.5}]}},
+		{"id":"be","session":{"mix":"MEM2","budget_frac":0.6,"cores":4,"epochs":6,"epoch_ms":0.5}}]}`)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create: %d (%s)", resp.StatusCode, body)
+	}
+	if !strings.Contains(body, `"target_bips":1000000`) {
+		t.Errorf("create status lost the contract: %s", body)
+	}
+
+	var id string
+	if i := strings.Index(body, `"id":"`); i >= 0 {
+		id = body[i+6:]
+		id = id[:strings.Index(id, `"`)]
+	}
+	streamResp, err := http.Get(srv.URL + "/clusters/" + id + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream, _ := io.ReadAll(streamResp.Body)
+	streamResp.Body.Close()
+	for _, want := range []string{`"slo_violated":true`, `"target_bips":1000000`, `"bips":`, `"events":[`, `"type":"slo_violated"`} {
+		if !strings.Contains(string(stream), want) {
+			t.Errorf("stream missing %s", want)
+		}
+	}
+	// The best-effort member never reports contract telemetry.
+	for _, line := range strings.Split(string(stream), "\n") {
+		if !strings.Contains(line, `"members"`) {
+			continue
+		}
+		var rec cluster.EpochRecord
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("stream line %q: %v", line, err)
+		}
+		for _, mg := range rec.Members {
+			if mg.ID == "be" && (mg.BIPS != 0 || mg.TargetBIPS != 0 || mg.SLOViolated) {
+				t.Errorf("best-effort member carries contract telemetry: %+v", mg)
+			}
+		}
+	}
+}

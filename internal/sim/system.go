@@ -41,6 +41,13 @@ type Config struct {
 	EpochNs   float64
 	ProfileNs float64
 
+	// PhaseSchedule, when non-empty, scales every app's per-epoch phase
+	// multiplier by a step function of the epoch index — diurnal load,
+	// batch-window surges and other mid-run intensity changes the
+	// per-app sinusoidal drift cannot express. Nil keeps runs
+	// byte-identical to builds without the field.
+	PhaseSchedule workload.PhaseSchedule
+
 	CorePower cpusim.PowerConfig
 	MemPower  memsim.PowerConfig
 	// PsW is the frequency-independent power of everything else (disks,
@@ -125,6 +132,9 @@ func New(cfg Config, wl *workload.Workload) (*System, error) {
 	if cfg.MemLadder == nil {
 		return nil, fmt.Errorf("sim: missing memory DVFS ladder")
 	}
+	if err := cfg.PhaseSchedule.Validate(); err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
 	layout, err := cfg.Layout()
 	if err != nil {
 		return nil, err
@@ -207,8 +217,16 @@ func (s *System) Start() {
 }
 
 func (s *System) applyPhases() {
+	// Multiply only when a shift is in force: the scale==1 fast path
+	// preserves the exact float sequence (and goldens) of schedule-free
+	// runs.
+	scale := s.Cfg.PhaseSchedule.ScaleAt(s.epoch)
 	for _, c := range s.Cores {
-		c.SetPhase(c.App.Phase(s.epoch))
+		p := c.App.Phase(s.epoch)
+		if scale != 1 {
+			p *= scale
+		}
+		c.SetPhase(p)
 	}
 }
 

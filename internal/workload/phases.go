@@ -1,0 +1,66 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// PhaseShift is one step of a PhaseSchedule: from Epoch on, every app's
+// memory-intensity multiplier is additionally scaled by Scale.
+type PhaseShift struct {
+	// Epoch is the control epoch the shift takes effect at. Shifts must
+	// be listed in strictly ascending epoch order, epochs >= 0.
+	Epoch int `json:"epoch"`
+	// Scale multiplies the per-app phase factor (App.Phase) from Epoch
+	// on — >1 makes the workload more memory-intensive (a traffic
+	// surge), <1 calmer (the overnight lull). Must be positive and
+	// finite.
+	Scale float64 `json:"scale"`
+}
+
+// PhaseSchedule shifts a workload's intensity at epoch boundaries — the
+// workload-side twin of a budget schedule, modeling diurnal load,
+// batch-window surges and other mid-run behavior changes that the
+// per-app sinusoidal drift (App.Phase) cannot express. It is a step
+// function: the scale in force at an epoch is the last shift at or
+// before it, 1 before the first shift. Nil (or empty) means no shifts —
+// byte-identical behavior to a run without a schedule.
+type PhaseSchedule []PhaseShift
+
+// maxPhaseScale bounds the per-shift multiplier: beyond it the
+// simulated machine is no longer meaningfully the same workload, and an
+// unauthenticated request could use an enormous factor to distort
+// per-epoch cost.
+const maxPhaseScale = 1e3
+
+// Validate checks the schedule's shape: strictly ascending non-negative
+// epochs and positive, finite, bounded scales.
+func (s PhaseSchedule) Validate() error {
+	prev := -1
+	for i, sh := range s {
+		if sh.Epoch < 0 {
+			return fmt.Errorf("workload: phase shift %d at negative epoch %d", i, sh.Epoch)
+		}
+		if sh.Epoch <= prev {
+			return fmt.Errorf("workload: phase shift %d at epoch %d not after epoch %d", i, sh.Epoch, prev)
+		}
+		if math.IsNaN(sh.Scale) || math.IsInf(sh.Scale, 0) || sh.Scale <= 0 || sh.Scale > maxPhaseScale {
+			return fmt.Errorf("workload: phase shift %d scale %g outside (0, %g]", i, sh.Scale, float64(maxPhaseScale))
+		}
+		prev = sh.Epoch
+	}
+	return nil
+}
+
+// ScaleAt returns the scale in force at epoch: the last shift at or
+// before it, 1 before the first shift (and for a nil schedule).
+func (s PhaseSchedule) ScaleAt(epoch int) float64 {
+	// The schedule is ascending (Validate), so binary-search the first
+	// shift strictly after epoch; its predecessor is in force.
+	i := sort.Search(len(s), func(i int) bool { return s[i].Epoch > epoch })
+	if i == 0 {
+		return 1
+	}
+	return s[i-1].Scale
+}

@@ -1,0 +1,55 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPhaseScheduleValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		s    PhaseSchedule
+		ok   bool
+	}{
+		{"nil", nil, true},
+		{"empty", PhaseSchedule{}, true},
+		{"single", PhaseSchedule{{Epoch: 0, Scale: 1.5}}, true},
+		{"ascending", PhaseSchedule{{Epoch: 2, Scale: 2}, {Epoch: 5, Scale: 0.5}}, true},
+		{"negative epoch", PhaseSchedule{{Epoch: -1, Scale: 1}}, false},
+		{"duplicate epoch", PhaseSchedule{{Epoch: 3, Scale: 1}, {Epoch: 3, Scale: 2}}, false},
+		{"descending", PhaseSchedule{{Epoch: 5, Scale: 1}, {Epoch: 2, Scale: 2}}, false},
+		{"zero scale", PhaseSchedule{{Epoch: 0, Scale: 0}}, false},
+		{"negative scale", PhaseSchedule{{Epoch: 0, Scale: -2}}, false},
+		{"nan scale", PhaseSchedule{{Epoch: 0, Scale: math.NaN()}}, false},
+		{"inf scale", PhaseSchedule{{Epoch: 0, Scale: math.Inf(1)}}, false},
+		{"huge scale", PhaseSchedule{{Epoch: 0, Scale: 1e9}}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.s.Validate()
+			if tc.ok && err != nil {
+				t.Fatalf("Validate() = %v, want nil", err)
+			}
+			if !tc.ok && err == nil {
+				t.Fatalf("Validate() = nil, want error")
+			}
+		})
+	}
+}
+
+func TestPhaseScheduleScaleAt(t *testing.T) {
+	s := PhaseSchedule{{Epoch: 3, Scale: 2}, {Epoch: 8, Scale: 0.25}}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	want := map[int]float64{0: 1, 2: 1, 3: 2, 7: 2, 8: 0.25, 100: 0.25}
+	for epoch, scale := range want {
+		if got := s.ScaleAt(epoch); got != scale {
+			t.Errorf("ScaleAt(%d) = %g, want %g", epoch, got, scale)
+		}
+	}
+	var nilSched PhaseSchedule
+	if got := nilSched.ScaleAt(5); got != 1 {
+		t.Errorf("nil ScaleAt(5) = %g, want 1", got)
+	}
+}

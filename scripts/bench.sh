@@ -16,7 +16,9 @@
 # second through the batch Run wrapper. Compare them across snapshots to
 # catch session-layer overhead creeping into the hot loop.
 # BenchmarkClusterArbitration{8,64} track the cluster coordinator's
-# per-epoch rebalance (target: O(members), zero steady-state allocs).
+# per-epoch rebalance (target: O(members), zero steady-state allocs);
+# BenchmarkSLOArbitration{8,64} track the contract-aware arbiter's
+# demand-estimation pass on a partially contracted fleet, same bar.
 #
 # After the Go benchmarks the script boots a real fastcapd and measures
 # serving capacity with fastcap-loadgen at increasing closed-loop tenant
