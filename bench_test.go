@@ -298,6 +298,7 @@ func benchClusterArbitration(b *testing.B, arb cluster.Arbiter, n int) {
 			Weight: 1 + float64(i%3),
 			GrantW: 60 + float64(i%17),
 			PowerW: 50 + float64(i%23),
+			Warm:   true,
 			// A mixed fleet: every other member pressed against its cap.
 			ThrottleFrac: float64(i%2) * 0.5,
 		}
@@ -340,6 +341,7 @@ func sloObs(n int) []cluster.Observation {
 			PowerW: 50 + float64(i%23),
 			Instr:  1e6 + float64(i)*1e4,
 			BIPS:   2 + float64(i%5)*0.25,
+			Warm:   true,
 			// A mixed fleet: every other member pressed against its cap.
 			ThrottleFrac: float64(i%2) * 0.5,
 		}
@@ -369,6 +371,34 @@ func benchSLOArbitration(b *testing.B, n int) {
 func BenchmarkSLOArbitration8(b *testing.B)  { benchSLOArbitration(b, 8) }
 func BenchmarkSLOArbitration64(b *testing.B) { benchSLOArbitration(b, 64) }
 
+// benchPredictiveArbitration measures the forecasting arbiter on its
+// realistic path — id-keyed RebalanceIDs, so the per-member predictor
+// map lookup is part of the cost. The warm-up loop runs the model past
+// WarmEpochs so the steady state measured is the forecast-driven
+// pre-allocation, not the reactive fallback. Flat names so the bench.sh
+// snapshot schema can anchor on them.
+func benchPredictiveArbitration(b *testing.B, n int) {
+	arb := cluster.NewPredictiveArbiter()
+	obs := sloObs(n)
+	ids := make([]string, n)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("m%02d", i)
+	}
+	grants := make([]float64, n)
+	budget := 80.0 * float64(n)
+	for i := 0; i < arb.WarmEpochs+1; i++ { // warm scratch and model
+		arb.RebalanceIDs(budget, ids, obs, grants)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		arb.RebalanceIDs(budget, ids, obs, grants)
+	}
+}
+
+func BenchmarkPredictiveArbitration8(b *testing.B)  { benchPredictiveArbitration(b, 8) }
+func BenchmarkPredictiveArbitration64(b *testing.B) { benchPredictiveArbitration(b, 64) }
+
 // --- Instrumented arbitration: the observability tax ------------------
 
 // benchClusterMetrics builds the full per-cluster handle set a serving
@@ -386,6 +416,8 @@ func benchClusterMetrics() cluster.Metrics {
 		FillPasses:         reg.Counter("bench_fill_passes_total", "bench"),
 		SLOViolations:      reg.Counter("bench_slo_violations_total", "bench"),
 		SLOSatisfied:       reg.Gauge("bench_slo_satisfied", "bench"),
+		PredictionErrW:     reg.Gauge("bench_prediction_error_w", "bench"),
+		PredictionAbsErrW:  reg.Histogram("bench_prediction_abs_error_w", "bench", metrics.DefLatencyBuckets),
 	}
 }
 
@@ -393,12 +425,17 @@ func benchClusterMetrics() cluster.Metrics {
 // the metric writes cluster.Coordinator.Step wraps around it: the
 // latency histogram, the water-fill pass counter, the epoch counter and
 // the budget/grant/draw/slack/member gauges.
-func instrumentedRebalance(arb cluster.Arbiter, rep cluster.FillPassReporter, met cluster.Metrics, budget float64, obs []cluster.Observation, grants []float64) {
+func instrumentedRebalance(arb cluster.Arbiter, rep cluster.FillPassReporter, predRep cluster.PredictionErrorReporter, met cluster.Metrics, budget float64, obs []cluster.Observation, grants []float64) {
 	start := time.Now()
 	arb.Rebalance(budget, obs, grants)
 	met.ArbitrationSeconds.Observe(time.Since(start).Seconds())
 	if rep != nil {
 		met.FillPasses.Add(uint64(rep.FillPasses()))
+	}
+	if predRep != nil {
+		e := predRep.PredictionErrorW()
+		met.PredictionErrW.Set(e)
+		met.PredictionAbsErrW.Observe(e)
 	}
 	met.Epochs.Inc()
 	var draw, grant float64
@@ -419,7 +456,7 @@ func instrumentedRebalance(arb cluster.Arbiter, rep cluster.FillPassReporter, me
 // pre-resolved atomics, so the contract is zero additional allocations —
 // enforced by TestInstrumentedArbitrationZeroAlloc, not just eyeballed.
 func BenchmarkClusterArbitrationInstrumented(b *testing.B) {
-	for _, name := range []string{"static", "slack", "priority", "slo"} {
+	for _, name := range []string{"static", "slack", "priority", "slo", "predictive"} {
 		arb, _ := cluster.ArbiterByName(name)
 		b.Run(name, func(b *testing.B) {
 			const n = 64
@@ -428,11 +465,12 @@ func BenchmarkClusterArbitrationInstrumented(b *testing.B) {
 			budget := 80.0 * n
 			met := benchClusterMetrics()
 			rep, _ := arb.(cluster.FillPassReporter)
-			instrumentedRebalance(arb, rep, met, budget, obs, grants) // warm the scratch
+			predRep, _ := arb.(cluster.PredictionErrorReporter)
+			instrumentedRebalance(arb, rep, predRep, met, budget, obs, grants) // warm the scratch
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				instrumentedRebalance(arb, rep, met, budget, obs, grants)
+				instrumentedRebalance(arb, rep, predRep, met, budget, obs, grants)
 			}
 		})
 	}
@@ -441,16 +479,17 @@ func BenchmarkClusterArbitrationInstrumented(b *testing.B) {
 // TestInstrumentedArbitrationZeroAlloc pins the acceptance bar: the
 // steady-state arbitration epoch, metrics included, allocates nothing.
 func TestInstrumentedArbitrationZeroAlloc(t *testing.T) {
-	for _, name := range []string{"static", "slack", "priority", "slo"} {
+	for _, name := range []string{"static", "slack", "priority", "slo", "predictive"} {
 		arb, _ := cluster.ArbiterByName(name)
 		const n = 64
 		obs := sloObs(n)
 		grants := make([]float64, n)
 		met := benchClusterMetrics()
 		rep, _ := arb.(cluster.FillPassReporter)
-		instrumentedRebalance(arb, rep, met, 80*n, obs, grants) // warm the scratch
+		predRep, _ := arb.(cluster.PredictionErrorReporter)
+		instrumentedRebalance(arb, rep, predRep, met, 80*n, obs, grants) // warm the scratch
 		if avg := testing.AllocsPerRun(200, func() {
-			instrumentedRebalance(arb, rep, met, 80*n, obs, grants)
+			instrumentedRebalance(arb, rep, predRep, met, 80*n, obs, grants)
 		}); avg != 0 {
 			t.Errorf("%s: instrumented arbitration allocates %.1f per epoch, want 0", name, avg)
 		}

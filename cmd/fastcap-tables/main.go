@@ -35,6 +35,7 @@ func main() {
 		hetero   = flag.Bool("hetero", false, "heterogeneous-machine sweep (big.LITTLE and binned cores)")
 		clusterS = flag.Bool("cluster", false, "cluster-coordination sweep (budget arbitration across machines)")
 		sloS     = flag.Bool("slo", false, "SLO arbitration sweep (throughput contracts on a churning fleet)")
+		predS    = flag.Bool("predictive", false, "predictive arbitration sweep (forecast-driven hand-off on phase changes)")
 		cacheCmp = flag.Bool("cache", false, "shared-L2 contention model vs Table III calibration")
 		cores    = flag.Int("cores", 16, "default core count")
 		epochs   = flag.Int("epochs", 20, "epochs per run")
@@ -72,7 +73,7 @@ func main() {
 		}
 	}
 	if *all {
-		for _, k := range []string{"table1", "table2", "table3", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "overhead", "epochs-study", "validate", "ablation", "cache", "hetero", "cluster", "slo"} {
+		for _, k := range []string{"table1", "table2", "table3", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "overhead", "epochs-study", "validate", "ablation", "cache", "hetero", "cluster", "slo", "predictive"} {
 			want[k] = true
 		}
 	}
@@ -93,6 +94,9 @@ func main() {
 	}
 	if *sloS {
 		want["slo"] = true
+	}
+	if *predS {
+		want["predictive"] = true
 	}
 	if *cacheCmp {
 		want["cache"] = true
@@ -132,6 +136,7 @@ func main() {
 		{"hetero", g.hetero},
 		{"cluster", g.cluster},
 		{"slo", g.slo},
+		{"predictive", g.predictive},
 	}
 	done := map[string]bool{}
 	for _, s := range steps {
@@ -547,6 +552,33 @@ func (g *generator) slo() error {
 	}
 	return g.writeCSV("slo.csv",
 		[]string{"arbiter", "budget", "member", "workload", "target_bips", "avg_bips", "satisfied_frac", "violations", "avg_grant_w", "avg_slack_w"}, csvRows)
+}
+
+func (g *generator) predictive() error {
+	rows, err := g.lab.PredictiveSweep()
+	if err != nil {
+		return err
+	}
+	tbl := &report.Table{
+		Title:   "Predictive arbitration — forecast-driven hand-off on phase changes",
+		Headers: []string{"scenario", "arbiter", "budget", "member", "workload", "reclaim epochs", "overshoot W·e", "avg grant W", "avg power W", "ginstr", "violations"},
+	}
+	var csvRows [][]string
+	for _, r := range rows {
+		tbl.AddRow(r.Scenario, r.Arbiter, report.Pct(r.BudgetFrac), r.Member, r.Mix,
+			fmt.Sprint(r.TimeToReclaim), report.F(r.OvershootWEpochs, 1),
+			report.F(r.AvgGrantW, 1), report.F(r.AvgPowerW, 1), report.F(r.GInstr, 2),
+			fmt.Sprint(r.FloorViolations+r.ClampViolations))
+		csvRows = append(csvRows, []string{r.Scenario, r.Arbiter, report.F(r.BudgetFrac, 3), r.Member, r.Mix,
+			fmt.Sprint(r.TimeToReclaim), report.F(r.OvershootWEpochs, 5),
+			report.F(r.AvgGrantW, 5), report.F(r.AvgPowerW, 5), report.F(r.GInstr, 5),
+			fmt.Sprint(r.FloorViolations), fmt.Sprint(r.ClampViolations)})
+	}
+	if err := tbl.Render(os.Stdout); err != nil {
+		return err
+	}
+	return g.writeCSV("predictive.csv",
+		[]string{"scenario", "arbiter", "budget", "member", "workload", "reclaim_epochs", "overshoot_w_epochs", "avg_grant_w", "avg_power_w", "ginstr", "floor_violations", "clamp_violations"}, csvRows)
 }
 
 func (g *generator) epochStudy() error {

@@ -20,7 +20,8 @@
 //     NewSessionManager, NewServeHandler;
 //   - cluster-level budget coordination (one global watt budget
 //     arbitrated across many sessions): NewClusterCoordinator with the
-//     static / slack-reclaiming / priority-weighted arbiters;
+//     static / slack-reclaiming / priority-weighted / SLO /
+//     predictive arbiters;
 //   - the simulated platform: DefaultSystemConfig, NewSystem;
 //   - Table III workloads: Workloads, WorkloadByName;
 //   - the figure-level experiment harness: NewLab.
@@ -458,8 +459,15 @@ func NewPriorityWeightedArbiter() ClusterArbiter { return cluster.NewPriorityWei
 // sets degrade deterministically in proportion to the targets.
 func NewSLOArbiter() ClusterArbiter { return cluster.NewSLOArbiter() }
 
+// NewPredictiveArbiter pre-allocates each epoch's budget to a
+// per-member forecast of next-epoch draw (EWMA level + trend),
+// clamped to [floor, peak]; until every member's model is warm it
+// behaves exactly like the slack reclaimer.
+func NewPredictiveArbiter() ClusterArbiter { return cluster.NewPredictiveArbiter() }
+
 // ClusterArbiterByName resolves an arbiter registry name ("static",
-// "slack", "priority", "slo") to a fresh arbiter instance.
+// "slack", "priority", "slo", "predictive") to a fresh arbiter
+// instance.
 func ClusterArbiterByName(name string) (ClusterArbiter, bool) { return cluster.ArbiterByName(name) }
 
 // ClusterArbiterNames lists the arbiter registry in resolution order —

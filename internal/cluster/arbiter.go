@@ -17,12 +17,27 @@ import (
 // runner.ErrInvalidConfig. grants[i] holds member i's next-epoch budget
 // in watts on return.
 //
+// Observations are validated before the arbiter sees them: a non-finite
+// or negative-count telemetry field (a zero-duration epoch dividing
+// into a rate, a corrupted wire frame) is rejected typed at this seam,
+// so Inf/NaN can never reach an arbiter's state, the SLO tracker, or
+// the NDJSON stream.
+//
 // This is the single arbitration core shared by the in-process
 // Coordinator and the distributed coordinator (internal/dist): both
 // feed it identical (budgetW, obs) sequences, which is what makes the
-// remote grant stream byte-identical to the local one.
+// remote grant stream byte-identical to the local one. Arbiters that
+// additionally implement IDRebalancer receive the member ids and can
+// key per-member state on identity rather than position.
 func ComputeGrants(arb Arbiter, budgetW float64, ids []string, obs []Observation, grants []float64) error {
-	arb.Rebalance(budgetW, obs, grants)
+	if err := ValidateObservations(ids, obs); err != nil {
+		return err
+	}
+	if ir, ok := arb.(IDRebalancer); ok {
+		ir.RebalanceIDs(budgetW, ids, obs, grants)
+	} else {
+		arb.Rebalance(budgetW, obs, grants)
+	}
 	for i := range grants {
 		g := grants[i]
 		if math.IsNaN(g) {
@@ -43,7 +58,10 @@ func ComputeGrants(arb Arbiter, budgetW float64, ids []string, obs []Observation
 // arbiter knows about the member when it re-partitions the global
 // budget. GrantW and PowerW describe the epoch just completed; a member
 // with no completed epoch yet (epoch 0, or freshly attached) reports
-// GrantW == 0, which every arbiter treats as "seed me proportionally".
+// Warm == false, which every arbiter treats as "seed me proportionally".
+// Warm is an explicit flag, not a GrantW sentinel: a legitimately
+// granted ~0 W member (floor 0, budget exhausted) must not silently
+// re-trigger proportional reseeding.
 type Observation struct {
 	// PeakW is the member machine's nameplate peak — the most a grant
 	// can ever be worth to it.
@@ -82,6 +100,57 @@ type Observation struct {
 	// means the member carries no contract and is arbitrated on watts
 	// alone. Watt-only arbiters ignore it.
 	TargetBIPS float64
+
+	// Warm reports that GrantW/PowerW/ThrottleFrac describe a really
+	// completed epoch. False for a member that has not run one yet
+	// (epoch 0, freshly attached, or readmitted after an eviction) —
+	// the arbiters reseed proportionally and history-keeping arbiters
+	// restart the member's model cold.
+	Warm bool
+}
+
+// DeriveBIPS converts an instruction count over an epoch into a BIPS
+// rate (instructions per nanosecond ≡ giga-instructions per second),
+// guarding the degenerate inputs that would otherwise mint Inf/NaN: a
+// zero or negative epoch duration, a negative instruction count, or
+// non-finite inputs all derive to 0 — "no measured progress" — instead
+// of poisoning downstream consumers. Both coordinators derive member
+// BIPS through this one division, which keeps the distributed grant
+// stream byte-identical to the local one.
+func DeriveBIPS(instr, epochNs float64) float64 {
+	if !(epochNs > 0) || math.IsInf(epochNs, 0) {
+		return 0
+	}
+	if !(instr > 0) || math.IsInf(instr, 0) {
+		return 0
+	}
+	return instr / epochNs
+}
+
+// ValidateObservations rejects telemetry no arbiter should ever see:
+// any non-finite float field, or a negative progress count. The error
+// wraps runner.ErrInvalidConfig and names the offending member (ids is
+// indexed alongside obs; it may be nil, degrading the name to the
+// position). ComputeGrants calls it on every round, so the check sits
+// once at the seam instead of inside every arbiter.
+func ValidateObservations(ids []string, obs []Observation) error {
+	name := func(i int) string {
+		if i < len(ids) {
+			return ids[i]
+		}
+		return fmt.Sprintf("#%d", i)
+	}
+	for i, o := range obs {
+		for _, v := range [...]float64{o.PeakW, o.FloorW, o.Weight, o.GrantW, o.PowerW, o.ThrottleFrac, o.Instr, o.BIPS, o.TargetBIPS} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("%w: member %q reported non-finite telemetry %+v", runner.ErrInvalidConfig, name(i), o)
+			}
+		}
+		if o.Instr < 0 || o.BIPS < 0 {
+			return fmt.Errorf("%w: member %q reported negative progress (instr %g, bips %g)", runner.ErrInvalidConfig, name(i), o.Instr, o.BIPS)
+		}
+	}
+	return nil
 }
 
 // Arbiter re-partitions the global watt budget across cluster members
@@ -131,6 +200,28 @@ type fillScratch struct {
 // custom arbiters stay valid.
 type FillPassReporter interface {
 	FillPasses() int
+}
+
+// IDRebalancer is the optional identity-aware arbitration seam: an
+// arbiter that keeps per-member history keyed by member id (so state
+// survives positional churn from attach/detach) implements RebalanceIDs
+// and receives the same ids slice ComputeGrants validates against.
+// ids[i] names obs[i]; the contract is otherwise identical to
+// Rebalance, which such arbiters must still implement (falling back to
+// positional state) for direct callers. Kept out of the Arbiter
+// interface so existing custom arbiters stay valid.
+type IDRebalancer interface {
+	RebalanceIDs(budgetW float64, ids []string, obs []Observation, grants []float64)
+}
+
+// MemberForgetter is the optional per-member state-lifecycle seam,
+// mirroring SLOTracker.Forget: arbiters that accumulate per-member
+// history implement Forget and both coordinators call it when a member
+// leaves the pool for any reason — detach, eviction, or abandonment —
+// so a later readmission starts with a cold model instead of stale
+// history. Forgetting an unknown id is a no-op.
+type MemberForgetter interface {
+	Forget(id string)
 }
 
 func (f *fillScratch) grow(n int) {
@@ -248,10 +339,13 @@ func (f *fillScratch) proportional(budgetW float64, obs []Observation, grants []
 
 // coldStart reports whether any member has no completed epoch yet — the
 // signal to reseed every grant proportionally instead of arbitrating on
-// stale (or absent) slack measurements.
+// stale (or absent) slack measurements. The signal is the explicit
+// Warm flag, not a GrantW == 0 sentinel: a member legitimately granted
+// ~0 W (floor 0, budget exhausted by other members' demands) has real
+// telemetry and must not silently re-trigger proportional reseeding.
 func coldStart(obs []Observation) bool {
 	for _, o := range obs {
-		if o.GrantW <= 0 {
+		if !o.Warm {
 			return true
 		}
 	}
@@ -413,6 +507,7 @@ var arbiterRegistry = []struct {
 	{"slack", func() Arbiter { return NewSlackReclaim() }},
 	{"priority", func() Arbiter { return NewPriorityWeighted() }},
 	{"slo", func() Arbiter { return NewSLOArbiter() }},
+	{"predictive", func() Arbiter { return NewPredictiveArbiter() }},
 }
 
 // ArbiterNames returns the registered arbiter names in presentation

@@ -154,13 +154,11 @@ type member struct {
 }
 
 // bips converts the member's last-epoch instruction count to a rate.
-// instr/epochNs is numerically giga-instructions per second; both
-// coordinators use this same division, keeping streams byte-identical.
+// Both coordinators derive it through cluster.DeriveBIPS — the same
+// guarded division — keeping streams byte-identical and Inf/NaN-free
+// even for degenerate epoch durations.
 func (m *member) bips() float64 {
-	if m.epochNs <= 0 {
-		return 0
-	}
-	return m.instr / m.epochNs
+	return DeriveBIPS(m.instr, m.epochNs)
 }
 
 // throttleFrac measures how many of the member's cores the epoch's
@@ -221,10 +219,16 @@ type Coordinator struct {
 	grantOff int
 
 	// met holds the instrumentation handles (zero value: disabled);
-	// fillRep is the arbiter's pass reporter, type-asserted once in
-	// SetMetrics rather than per epoch.
+	// fillRep and predRep are the arbiter's optional reporters,
+	// type-asserted once in SetMetrics rather than per epoch.
 	met     Metrics
 	fillRep FillPassReporter
+	predRep PredictionErrorReporter
+
+	// forgetter is the arbiter's optional per-member state reset
+	// (type-asserted once in New): called alongside slo.Forget when a
+	// member detaches, so history-keeping arbiters drop its model.
+	forgetter MemberForgetter
 
 	// slo derives per-member SLO pressure events from each finished
 	// record (no-op for contract-free clusters).
@@ -337,6 +341,7 @@ func New(cfg Config, members []Member) (*Coordinator, error) {
 	seen := make(map[string]bool, len(members))
 	sessions := make(map[*runner.Session]bool, len(members))
 	c := &Coordinator{cfg: cfg, arb: cfg.Arbiter, budgetW: cfg.BudgetW, slo: NewSLOTracker()}
+	c.forgetter, _ = cfg.Arbiter.(MemberForgetter)
 	maxTotal := 0
 	for i := range members {
 		m := members[i]
@@ -488,6 +493,9 @@ func (c *Coordinator) applyPending() (attached bool) {
 				m.detached = true
 				m.Session.Result() // finalize the prefix
 				c.slo.Forget(id)
+				if c.forgetter != nil {
+					c.forgetter.Forget(id)
+				}
 			}
 		}
 	}
@@ -583,6 +591,7 @@ func (c *Coordinator) Step(ctx context.Context) (EpochRecord, error) {
 			PeakW: m.peak, FloorW: m.floorW, Weight: m.Weight,
 			GrantW: g, PowerW: m.powerW, ThrottleFrac: m.throttle,
 			Instr: m.instr, BIPS: m.bips(), TargetBIPS: m.TargetBIPS,
+			Warm: m.local > 0,
 		})
 		c.ids = append(c.ids, m.ID)
 	}
@@ -602,6 +611,11 @@ func (c *Coordinator) Step(ctx context.Context) (EpochRecord, error) {
 	c.met.ArbitrationSeconds.Observe(time.Since(arbStart).Seconds())
 	if c.fillRep != nil {
 		c.met.FillPasses.Add(uint64(c.fillRep.FillPasses()))
+	}
+	if c.predRep != nil {
+		e := c.predRep.PredictionErrorW()
+		c.met.PredictionErrW.Set(e)
+		c.met.PredictionAbsErrW.Observe(e)
 	}
 
 	// Push the caps, then step everyone's epoch under them.

@@ -279,7 +279,7 @@ func TestSetBudgetW(t *testing.T) {
 // to exactly its floor — a stable fixed point, not an oscillation —
 // under every arbiter.
 func TestBudgetBelowFloorsDegradesToFloors(t *testing.T) {
-	for _, arbName := range []string{"static", "slack", "priority"} {
+	for _, arbName := range []string{"static", "slack", "priority", "slo", "predictive"} {
 		arb, ok := cluster.ArbiterByName(arbName)
 		if !ok {
 			t.Fatalf("unknown arbiter %q", arbName)
@@ -586,7 +586,7 @@ func TestCoordinatorClampsCustomArbiterGrants(t *testing.T) {
 // Arbiters must handle an empty member list without panicking (the
 // transient state between the last detach and ErrDone).
 func TestArbitersEmptyObservations(t *testing.T) {
-	for _, name := range []string{"static", "slack", "priority"} {
+	for _, name := range []string{"static", "slack", "priority", "slo", "predictive"} {
 		arb, _ := cluster.ArbiterByName(name)
 		arb.Rebalance(100, nil, nil) // must not panic
 	}
@@ -681,11 +681,11 @@ func TestArbitersSteadyStateAllocationFree(t *testing.T) {
 		obs[i] = cluster.Observation{
 			PeakW: 100, FloorW: 10, Weight: 1 + float64(i%3),
 			GrantW: 50 + float64(i), PowerW: 40 + float64(i%7),
-			ThrottleFrac: float64(i%2) * 0.5,
+			ThrottleFrac: float64(i%2) * 0.5, Warm: true,
 		}
 	}
 	grants := make([]float64, len(obs))
-	for _, name := range []string{"static", "slack", "priority"} {
+	for _, name := range []string{"static", "slack", "priority", "slo", "predictive"} {
 		arb, _ := cluster.ArbiterByName(name)
 		arb.Rebalance(3000, obs, grants) // warm the scratch
 		allocs := testing.AllocsPerRun(100, func() {

@@ -33,6 +33,13 @@ type Metrics struct {
 	// contracted members currently meeting their target.
 	SLOViolations *metrics.Counter
 	SLOSatisfied  *metrics.Gauge
+	// PredictionErrW is the forecasting arbiter's mean absolute
+	// one-epoch-ahead prediction error over the last round, in watts;
+	// PredictionAbsErrW accumulates the same values as a distribution.
+	// Only updated when the arbiter reports predictions (see
+	// PredictionErrorReporter).
+	PredictionErrW    *metrics.Gauge
+	PredictionAbsErrW *metrics.Histogram
 }
 
 // SetMetrics installs the instrumentation handles. It must be called
@@ -44,4 +51,5 @@ type Metrics struct {
 func (c *Coordinator) SetMetrics(m Metrics) {
 	c.met = m
 	c.fillRep, _ = c.arb.(FillPassReporter)
+	c.predRep, _ = c.arb.(PredictionErrorReporter)
 }

@@ -1,0 +1,247 @@
+package cluster
+
+import "math"
+
+// predState is one member's online forecaster: a Holt-style double
+// exponential smoother over the member's measured draw. level tracks
+// the EWMA of PowerW, trend the AR(1)-smoothed per-epoch delta of the
+// level, and forecast their one-epoch-ahead extrapolation. n counts the
+// epochs folded in since the last cold start — the warm-up gate.
+type predState struct {
+	n        int
+	level    float64
+	trend    float64
+	forecast float64
+}
+
+// observe folds one epoch's measured draw into the model and refreshes
+// the one-epoch-ahead forecast. The first sample initializes the level
+// directly (no trend), so the model never extrapolates off nothing.
+func (st *predState) observe(alpha, beta, powerW float64) {
+	if st.n == 0 {
+		st.level, st.trend = powerW, 0
+	} else {
+		prev := st.level
+		st.level += alpha * (powerW - st.level)
+		st.trend = beta*(st.level-prev) + (1-beta)*st.trend
+	}
+	st.n++
+	st.forecast = math.Max(0, st.level+st.trend)
+}
+
+// PredictiveArbiter pre-allocates budget to *predicted* demand instead
+// of reacting to last epoch's throttle signal. Per member it fits a
+// deterministic, allocation-free online forecaster — an EWMA level plus
+// an AR(1)-style trend term over the member's draw history, no external
+// deps — and grants next epoch's forecast (with headroom), clamped into
+// [floor, peak], water-filling any surplus by weight × peak.
+//
+// The reactive slack arbiter moves a donor's grant toward its draw one
+// Gain-step per epoch; the predictive arbiter's demand *is* the
+// forecast, so a phase change propagates into the grants as fast as the
+// smoother tracks it — freed watts reach the bound member epochs
+// sooner. A throttled member's draw is cap-limited (the forecast learns
+// the ceiling, not the appetite), so while ThrottleFrac sits above
+// ThrottleBand the demand is floored at GrantW × Headroom, which
+// compounds like the slack arbiter's growth path.
+//
+// Until a member has WarmEpochs of history — and whenever any member is
+// cold (epoch 0, fresh attach, readmission after eviction) — the
+// arbiter falls back to slack-reclaiming behavior, so a short history
+// window can never whipsaw the fleet. A mispredicting model is further
+// contained by the [floor, peak] clamp net every demand passes through.
+//
+// Per-member history is keyed by member id via the IDRebalancer seam
+// (positional when driven through plain Rebalance) and dropped through
+// MemberForgetter when a member detaches, is evicted, or is abandoned —
+// a readmitted member provably restarts cold. The arbiter reports its
+// trailing absolute prediction error (|forecast − draw| averaged over
+// the last round's warm members) through PredictionErrorReporter, which
+// the serving layer exports as fastcap_cluster_prediction_error_w.
+type PredictiveArbiter struct {
+	// Alpha is the EWMA gain on the level term, in (0, 1]. Default 0.5.
+	Alpha float64
+	// Beta is the AR(1) smoothing gain on the trend term, in [0, 1].
+	// Default 0.4.
+	Beta float64
+	// Headroom is the demand cushion multiplied onto the forecast (and
+	// onto GrantW for throttled members). Default 1.15 — tighter than
+	// the slack arbiter's 1.25, because the forecast already anticipates
+	// growth the reactive cushion has to buy blind.
+	Headroom float64
+	// ThrottleBand is the ThrottleFrac above which a member counts as
+	// power-bound (its draw is cap-limited, so the forecast is a lower
+	// bound on appetite). Default 0.10.
+	ThrottleBand float64
+	// Gain is the warm-up fallback's reactive gain, matching
+	// SlackReclaim. Default 0.5.
+	Gain float64
+	// WarmEpochs is how many epochs of history a member needs before
+	// its forecast drives its demand; below it the member is funded by
+	// the reactive fallback rule. Default 3.
+	WarmEpochs int
+
+	f      fillScratch
+	demand []float64
+	hist   map[string]*predState // id-keyed state (RebalanceIDs path)
+	pos    []predState           // positional state (plain Rebalance path)
+
+	errSum float64 // Σ |forecast − draw| over the last round's
+	errN   int     // warm members, for PredictionErrorW
+}
+
+// NewPredictiveArbiter returns the forecast-driven arbiter with its
+// default model parameters.
+func NewPredictiveArbiter() *PredictiveArbiter {
+	return &PredictiveArbiter{
+		Alpha: 0.5, Beta: 0.4, Headroom: 1.15,
+		ThrottleBand: 0.10, Gain: 0.5, WarmEpochs: 3,
+		hist: make(map[string]*predState),
+	}
+}
+
+// Name implements Arbiter.
+func (*PredictiveArbiter) Name() string { return "predictive" }
+
+// FillPasses implements FillPassReporter.
+func (a *PredictiveArbiter) FillPasses() int { return a.f.passes }
+
+// Forget implements MemberForgetter: drop the member's history so a
+// readmission restarts its model cold. Unknown ids are a no-op.
+func (a *PredictiveArbiter) Forget(id string) { delete(a.hist, id) }
+
+// PredictionErrorW reports the mean absolute one-epoch-ahead prediction
+// error, in watts, over the warm members of the last rebalance round
+// (0 when no member had a standing forecast to score).
+func (a *PredictiveArbiter) PredictionErrorW() float64 {
+	if a.errN == 0 {
+		return 0
+	}
+	return a.errSum / float64(a.errN)
+}
+
+// PredictionErrorReporter is the optional introspection seam for
+// forecasting arbiters: PredictionErrorW reports the mean absolute
+// prediction error of the last rebalance round in watts. The serving
+// layer exports it per cluster as a gauge and an error histogram.
+type PredictionErrorReporter interface {
+	PredictionErrorW() float64
+}
+
+// state returns member i's forecaster: id-keyed when ids are known,
+// positional otherwise. The map insert only happens the first time a
+// member id is seen, so the steady state stays allocation-free.
+func (a *PredictiveArbiter) state(ids []string, i int) *predState {
+	if ids == nil {
+		return &a.pos[i]
+	}
+	st := a.hist[ids[i]]
+	if st == nil {
+		st = &predState{}
+		if a.hist == nil {
+			a.hist = make(map[string]*predState)
+		}
+		a.hist[ids[i]] = st
+	}
+	return st
+}
+
+// Rebalance implements Arbiter, keying history by position. Prefer
+// driving the arbiter through ComputeGrants, which supplies member ids
+// and makes history churn-proof.
+func (a *PredictiveArbiter) Rebalance(budgetW float64, obs []Observation, grants []float64) {
+	if cap(a.pos) < len(obs) {
+		a.pos = make([]predState, len(obs))
+	}
+	a.pos = a.pos[:len(obs)]
+	a.rebalance(budgetW, nil, obs, grants)
+}
+
+// RebalanceIDs implements IDRebalancer, keying history by member id.
+func (a *PredictiveArbiter) RebalanceIDs(budgetW float64, ids []string, obs []Observation, grants []float64) {
+	a.rebalance(budgetW, ids, obs, grants)
+}
+
+func (a *PredictiveArbiter) rebalance(budgetW float64, ids []string, obs []Observation, grants []float64) {
+	n := len(obs)
+	a.f.passes = 0
+	a.errSum, a.errN = 0, 0
+
+	// Model pass: score the standing forecast against the measured
+	// draw, then fold the epoch in. Cold members reset explicitly —
+	// belt and braces under the coordinators' Forget calls, and the
+	// only lifecycle hook the positional path has.
+	cold := false
+	for i := range obs {
+		st := a.state(ids, i)
+		if !obs[i].Warm {
+			*st = predState{}
+			cold = true
+			continue
+		}
+		if st.n > 0 {
+			a.errSum += math.Abs(st.forecast - obs[i].PowerW)
+			a.errN++
+		}
+		st.observe(a.Alpha, a.Beta, obs[i].PowerW)
+	}
+	if cold {
+		// Same cold-start seed as every other arbiter: plain
+		// proportional-to-peak until the whole fleet has telemetry.
+		a.f.proportional(budgetW, obs, grants, false)
+		return
+	}
+
+	if cap(a.demand) < n {
+		a.demand = make([]float64, n)
+	}
+	a.demand = a.demand[:n]
+	sumFloor, sumDemand := 0.0, 0.0
+	for i, o := range obs {
+		st := a.state(ids, i)
+		var d float64
+		if st.n >= a.WarmEpochs {
+			d = st.forecast * a.Headroom
+			if o.ThrottleFrac > a.ThrottleBand {
+				// Cap-limited draw: the forecast learned the ceiling,
+				// not the appetite. Keep growing off the grant.
+				d = math.Max(d, o.GrantW*a.Headroom)
+			}
+		} else {
+			// Warm-up fallback: the slack arbiter's reactive rule.
+			target := o.PowerW * a.Headroom
+			if o.ThrottleFrac > a.ThrottleBand {
+				target = o.GrantW * a.Headroom
+			}
+			d = o.GrantW + a.Gain*(target-o.GrantW)
+		}
+		d = math.Min(math.Max(d, o.FloorW), o.PeakW)
+		a.demand[i] = d
+		sumFloor += o.FloorW
+		sumDemand += d
+	}
+	if sumDemand >= budgetW {
+		// Demands outstrip the budget: fund floors, scale the rest —
+		// identical degradation to SlackReclaim.
+		if budgetW <= sumFloor {
+			for i, o := range obs {
+				grants[i] = o.FloorW
+			}
+			return
+		}
+		lambda := (budgetW - sumFloor) / (sumDemand - sumFloor)
+		for i, o := range obs {
+			grants[i] = o.FloorW + lambda*(a.demand[i]-o.FloorW)
+		}
+		return
+	}
+	// Budget covers every demand: demands floor a proportional fill, so
+	// the surplus lands by weight × peak, bounded by the peaks.
+	a.f.grow(n)
+	for i, o := range obs {
+		a.f.lo[i] = a.demand[i]
+		a.f.hi[i] = o.PeakW
+		a.f.share[i] = o.Weight * o.PeakW
+	}
+	a.f.fill(budgetW, grants)
+}

@@ -15,8 +15,8 @@ import (
 func sloObs(bips0 float64) []cluster.Observation {
 	return []cluster.Observation{
 		{PeakW: 100, FloorW: 10, Weight: 1, GrantW: 50, PowerW: 40,
-			Instr: bips0 * 5e5, BIPS: bips0, TargetBIPS: 4},
-		{PeakW: 100, FloorW: 10, Weight: 1, GrantW: 50, PowerW: 30, BIPS: 1.5},
+			Instr: bips0 * 5e5, BIPS: bips0, TargetBIPS: 4, Warm: true},
+		{PeakW: 100, FloorW: 10, Weight: 1, GrantW: 50, PowerW: 30, BIPS: 1.5, Warm: true},
 	}
 }
 
@@ -62,7 +62,7 @@ func TestSLOArbiterFeasibleFundsContract(t *testing.T) {
 // and telemetry.
 func TestSLOArbiterColdStartMatchesStatic(t *testing.T) {
 	obs := sloObs(2)
-	obs[1].GrantW = 0 // freshly attached
+	obs[1].Warm = false // freshly attached
 	got := rebalance(t, cluster.NewSLOArbiter(), 120, obs)
 	want := rebalance(t, cluster.NewStaticProportional(), 120, obs)
 	for i := range got {
@@ -81,8 +81,8 @@ func TestSLOArbiterInfeasibleFixedPoint(t *testing.T) {
 	arb := cluster.NewSLOArbiter()
 	mk := func(bips0, bips1, pw0, pw1 float64) []cluster.Observation {
 		return []cluster.Observation{
-			{PeakW: 100, FloorW: 10, Weight: 1, GrantW: 30, PowerW: pw0, BIPS: bips0, TargetBIPS: 6},
-			{PeakW: 100, FloorW: 10, Weight: 1, GrantW: 30, PowerW: pw1, BIPS: bips1, TargetBIPS: 3},
+			{PeakW: 100, FloorW: 10, Weight: 1, GrantW: 30, PowerW: pw0, BIPS: bips0, TargetBIPS: 6, Warm: true},
+			{PeakW: 100, FloorW: 10, Weight: 1, GrantW: 30, PowerW: pw1, BIPS: bips1, TargetBIPS: 3, Warm: true},
 		}
 	}
 	// 60 W cannot fund two members whose efficiency says the targets
@@ -117,8 +117,8 @@ func TestSLOArbiterRegimeHysteresis(t *testing.T) {
 		// GrantW == 57.5 makes the demand an exact fixed point at
 		// 57.5 W per member — 115 W for two.
 		return []cluster.Observation{
-			{PeakW: 100, FloorW: 10, Weight: 1, GrantW: 57.5, PowerW: 50, BIPS: target, TargetBIPS: target},
-			{PeakW: 100, FloorW: 10, Weight: 1, GrantW: 57.5, PowerW: 50, BIPS: target, TargetBIPS: target},
+			{PeakW: 100, FloorW: 10, Weight: 1, GrantW: 57.5, PowerW: 50, BIPS: target, TargetBIPS: target, Warm: true},
+			{PeakW: 100, FloorW: 10, Weight: 1, GrantW: 57.5, PowerW: 50, BIPS: target, TargetBIPS: target, Warm: true},
 		}
 	}
 	degraded := rebalance(t, arb, 100, mk(4)) // 115 > 100: enter degraded

@@ -112,6 +112,11 @@ type dmember struct {
 	// Arbitration inputs from the last completed epoch, exactly the
 	// fields cluster.Coordinator keeps per member.
 	grantW, powerW, throttle, instr float64
+	// warm marks those inputs as describing a really completed epoch:
+	// false from admission (join or readmit) until the member's first
+	// report folds in, mirroring the in-process m.local > 0 signal, so
+	// a readmitted member arbitrates cold.
+	warm bool
 	// pendingDone is the member-local epoch count to adopt when the
 	// pending admission lands (the agent's journal length).
 	pendingDone int
@@ -123,14 +128,12 @@ type dmember struct {
 }
 
 // bips converts the member's last-epoch instruction count to a rate
-// with the same division cluster.Coordinator uses — instr/epochNs is
-// numerically giga-instructions per second — keeping the distributed
-// grant stream byte-identical to the in-process one.
+// through cluster.DeriveBIPS — the same guarded division the in-process
+// Coordinator uses — keeping the distributed grant stream byte-identical
+// to the local one and Inf/NaN-free even for a degenerate announced
+// epoch length.
 func (m *dmember) bips() float64 {
-	if m.epochNs <= 0 {
-		return 0
-	}
-	return m.instr / m.epochNs
+	return cluster.DeriveBIPS(m.instr, m.epochNs)
 }
 
 // Coordinator is the network-facing half of the cluster layer: it owns
@@ -165,6 +168,11 @@ type Coordinator struct {
 	// record — the same tracker the in-process Coordinator runs, over
 	// byte-identical records, so the event streams match too.
 	slo *cluster.SLOTracker
+	// forgetter is the arbiter's optional per-member state reset
+	// (type-asserted once in NewCoordinator): called with slo.Forget
+	// whenever a member leaves the pool — detach, eviction, or
+	// abandonment — so a readmission starts its model cold.
+	forgetter cluster.MemberForgetter
 }
 
 // MemberStatus describes one member of a coordinator snapshot.
@@ -212,6 +220,7 @@ func NewCoordinator(cfg Config) (*Coordinator, error) {
 		cfg.MaxEpochs = 100_000
 	}
 	c := &Coordinator{cfg: cfg, arb: cfg.Arbiter, budgetW: cfg.BudgetW, byID: make(map[string]*dmember), slo: cluster.NewSLOTracker()}
+	c.forgetter, _ = cfg.Arbiter.(cluster.MemberForgetter)
 	c.cond = sync.NewCond(&c.mu)
 	return c, nil
 }
@@ -309,6 +318,7 @@ func (c *Coordinator) applyBoundary(tr Transport, e int) {
 		}
 		m.local = m.pendingDone
 		m.grantW, m.powerW, m.throttle, m.instr = 0, 0, 0, 0
+		m.warm = false
 		m.reported = false
 		typ := "join"
 		if m.joined {
@@ -392,8 +402,22 @@ func (c *Coordinator) abandonStragglers(e int, reason string) {
 		switch m.state {
 		case stateLive, stateEvicted, statePending:
 			m.state = stateAbandoned
+			c.forgetLocked(m.id)
 			c.eventLocked(Event{Epoch: e, Type: "abandon", Member: m.id, Agent: m.agent, Reason: reason})
 		}
+	}
+}
+
+// forgetLocked drops a departing member's per-member model state: the
+// SLO tracker's hysteresis and the arbiter's history (when it keeps
+// any). Called on every pool-departure path — detach, eviction and
+// abandonment alike — so a member readmitted later provably restarts
+// cold instead of inheriting state from a previous incarnation.
+// Callers hold c.mu.
+func (c *Coordinator) forgetLocked(id string) {
+	c.slo.Forget(id)
+	if c.forgetter != nil {
+		c.forgetter.Forget(id)
 	}
 }
 
@@ -404,8 +428,8 @@ func (c *Coordinator) runEpoch(tr Transport, e int, live []*dmember) error {
 	c.mu.Lock()
 	budget := c.budgetW
 	// Arbitrate on the completed epoch's observations, exactly as the
-	// in-process Coordinator does. A boundary admission zeroed its own
-	// grant, which is the cold-start signal every arbiter reseeds on.
+	// in-process Coordinator does. A boundary admission cleared its own
+	// warm flag, which is the cold-start signal every arbiter reseeds on.
 	c.ids = c.ids[:0]
 	c.obs = c.obs[:0]
 	for _, m := range live {
@@ -413,6 +437,7 @@ func (c *Coordinator) runEpoch(tr Transport, e int, live []*dmember) error {
 			PeakW: m.peak, FloorW: m.floorW, Weight: m.weight,
 			GrantW: m.grantW, PowerW: m.powerW, ThrottleFrac: m.throttle,
 			Instr: m.instr, BIPS: m.bips(), TargetBIPS: m.targetBIPS,
+			Warm: m.warm,
 		})
 		c.ids = append(c.ids, m.id)
 	}
@@ -451,6 +476,7 @@ func (c *Coordinator) runEpoch(tr Transport, e int, live []*dmember) error {
 	for _, m := range live {
 		if m.state == stateLive && !m.reported {
 			m.state = stateEvicted
+			c.forgetLocked(m.id)
 			c.eventLocked(Event{Epoch: e, Type: "evict", Member: m.id, Agent: m.agent, Reason: "missed the epoch straggler deadline"})
 			tr.Send(m.agent, Msg{Type: TypeEvict, Member: m.id, Epoch: e})
 		}
@@ -468,6 +494,7 @@ func (c *Coordinator) runEpoch(tr Transport, e int, live []*dmember) error {
 		m.powerW = rep.PowerW
 		m.throttle = rep.ThrottleFrac
 		m.instr = rep.Instr
+		m.warm = true
 		m.local = rep.MemberEpoch + 1
 		if rep.Done {
 			m.state = stateDone
@@ -604,6 +631,7 @@ func (c *Coordinator) handleAnnounce(tr Transport, agent string, m Msg, e int) {
 		// An evicted member contributes no line to the epoch it left,
 		// even if the dead incarnation's report already landed.
 		dm.reported = false
+		c.forgetLocked(dm.id)
 		c.eventLocked(Event{Epoch: e, Type: "evict", Member: dm.id, Agent: agent, Reason: "agent re-announced mid-epoch"})
 	case stateDone, stateDetached:
 		// Nothing to rejoin; ack so the agent stops retrying.
@@ -642,7 +670,7 @@ func (c *Coordinator) handleDetach(agent string, m Msg, e int) {
 	switch dm.state {
 	case statePending, stateLive, stateEvicted:
 		dm.state = stateDetached
-		c.slo.Forget(dm.id)
+		c.forgetLocked(dm.id)
 		c.eventLocked(Event{Epoch: e, Type: "detach", Member: dm.id, Agent: agent})
 	}
 }

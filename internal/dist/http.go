@@ -285,7 +285,8 @@ type ClusterCreateRequest struct {
 	ID string `json:"id,omitempty"`
 	// BudgetW is the global budget in watts. Required.
 	BudgetW float64 `json:"budget_w"`
-	// Arbiter is "static", "slack" or "priority" (default static).
+	// Arbiter picks the arbitration policy by registered name (default
+	// "static"); the authoritative list is cluster.ArbiterNames.
 	Arbiter string `json:"arbiter,omitempty"`
 	// Expect is how many members to gather before epoch 0. Required.
 	Expect          int   `json:"expect"`
@@ -333,7 +334,7 @@ func (s *Server) create(w http.ResponseWriter, r *http.Request) {
 	if req.Arbiter != "" {
 		a, ok := cluster.ArbiterByName(req.Arbiter)
 		if !ok {
-			writeErr(w, fmt.Errorf("%w: unknown arbiter %q (want static, slack or priority)", runner.ErrInvalidConfig, req.Arbiter))
+			writeErr(w, fmt.Errorf("%w: unknown arbiter %q (want %s)", runner.ErrInvalidConfig, req.Arbiter, strings.Join(cluster.ArbiterNames(), ", ")))
 			return
 		}
 		arb = a

@@ -25,8 +25,8 @@ func TestClusterSweepSlackShiftsTowardBottleneck(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rows) != 24 { // 4 arbiters × 2 budgets × 3 members
-		t.Fatalf("sweep produced %d rows, want 24", len(rows))
+	if len(rows) != 30 { // 5 arbiters × 2 budgets × 3 members
+		t.Fatalf("sweep produced %d rows, want 30", len(rows))
 	}
 	find := func(arb string, frac float64, member string) ClusterSweepRow {
 		for _, r := range rows {

@@ -1,0 +1,253 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/policy"
+	"repro/internal/runner"
+	"repro/internal/workload"
+)
+
+// PredictiveSweepRow is one (scenario, arbiter, budget, member) cell of
+// the predictive-arbitration sweep: how fast freed watts reach a
+// power-bound tenant after a phase change under the reactive slack
+// reclaimer versus the forecast-driven predictive arbiter.
+type PredictiveSweepRow struct {
+	// Scenario names the phase-change shape: "step" (the donor's demand
+	// collapses at one epoch) or "diurnal" (the surge tenant's demand
+	// rises then relaxes on a day-like schedule).
+	Scenario string
+	Arbiter  string
+	// BudgetFrac is the global budget as a fraction of the two members'
+	// summed peaks.
+	BudgetFrac float64
+	Member     string
+	Mix        string
+	// TimeToReclaim counts the member's post-shift epochs spent
+	// throttled (ThrottleFrac above the arbiters' 0.10 band): how long
+	// the member waited for the watts the phase change freed. The
+	// headline number for the surge tenant.
+	TimeToReclaim int
+	// OvershootWEpochs integrates max(0, GrantW − PowerW) over the run —
+	// watt-epochs granted above measured draw, the cost of a cushion or
+	// a misprediction.
+	OvershootWEpochs float64
+	// GInstr is the member's total retired work, in giga-instructions.
+	GInstr    float64
+	AvgGrantW float64
+	AvgPowerW float64
+	// FloorViolations / ClampViolations count epochs whose grant left
+	// the member's [floor, peak] corridor. Must be zero: the clamp net
+	// is what contains a mispredicting model.
+	FloorViolations int
+	ClampViolations int
+}
+
+// predScenario is one phase-change shape of the sweep.
+type predScenario struct {
+	name string
+	// shift is the epoch of the first phase change — TimeToReclaim
+	// counts throttled epochs from here on.
+	shift func(epochs int) int
+	// surgePhases/donorPhases build each member's schedule.
+	surgePhases func(epochs int) workload.PhaseSchedule
+	donorPhases func(epochs int) workload.PhaseSchedule
+}
+
+// PredictiveSweep runs a three-tenant fleet — a compute-bound surge
+// tenant ("surge", ILP1) pressed against its cap and two donors
+// ("don1" MIX3, "don2" MID1) whose phases go hard memory-bound —
+// through two phase-changing scenarios at two global budgets, under
+// the reactive slack arbiter and the predictive one:
+//
+//   - "step": both donors go memory-bound at a third of the run and
+//     their draw collapses. The watts they stop drawing are the surge
+//     tenant's to claim; TimeToReclaim measures the hand-off.
+//   - "diurnal": the donors run a day shape — an overnight lull at a
+//     quarter of the run, demand returning at three quarters.
+//
+// Budgets sit in the hand-off window, where the freed watts are both
+// necessary and sufficient to unthrottle the surge tenant: tight
+// enough that it is power-bound before the shift, loose enough that
+// the donors' post-shift draw leaves it whole. The reactive arbiter
+// walks a donor's grant toward its draw one gain-step per epoch; the
+// predictive arbiter's demand is the forecast, whose trend term
+// extrapolates the collapse, so the hand-off lands epochs earlier.
+// Clusters fan out on the Lab's worker pool; rows are assembled in
+// submission order, so output is identical at any worker count.
+func (l *Lab) PredictiveSweep() ([]PredictiveSweepRow, error) {
+	arbiters := []string{"slack", "predictive"}
+	budgets := []float64{0.69, 0.705}
+	epochs := l.Opt.Epochs
+
+	// Phase Scale multiplies memory intensity: a large scale stalls the
+	// donors' cores on memory, so their power draw — and therefore
+	// their demand — collapses, freeing watts the throttled surge
+	// tenant is waiting for. Even at Scale 1000 an 8-core member's
+	// uncapped draw only falls ~10 W (frequency-driven power dominates
+	// a stalled core's budget), which is why the sweep fields two
+	// donors: together they free enough to unthrottle the surge tenant
+	// outright.
+	scenarios := []predScenario{
+		{
+			name:        "step",
+			shift:       func(e int) int { return e / 3 },
+			surgePhases: func(int) workload.PhaseSchedule { return nil },
+			donorPhases: func(e int) workload.PhaseSchedule {
+				return workload.PhaseSchedule{{Epoch: e / 3, Scale: 1000}}
+			},
+		},
+		{
+			name:        "diurnal",
+			shift:       func(e int) int { return e / 4 },
+			surgePhases: func(int) workload.PhaseSchedule { return nil },
+			donorPhases: func(e int) workload.PhaseSchedule {
+				return workload.PhaseSchedule{
+					{Epoch: e / 4, Scale: 1000},  // overnight lull: draw drops
+					{Epoch: 3 * e / 4, Scale: 1}, // morning: demand returns
+				}
+			},
+		},
+	}
+
+	type memberSpec struct {
+		id, mix string
+		phases  workload.PhaseSchedule
+	}
+	newMember := func(sp memberSpec) (cluster.Member, float64, error) {
+		mix, err := workload.MixByName(sp.mix)
+		if err != nil {
+			return cluster.Member{}, 0, err
+		}
+		cfg := l.Opt.SimConfig(8)
+		cfg.PhaseSchedule = sp.phases
+		ses, err := runner.NewSession(runner.Config{
+			Sim: cfg, Mix: mix, BudgetFrac: 1,
+			Epochs: epochs, Policy: policy.NewFastCap(),
+		})
+		if err != nil {
+			return cluster.Member{}, 0, fmt.Errorf("predictive member %s: %w", sp.id, err)
+		}
+		return cluster.Member{ID: sp.id, Session: ses}, ses.PeakPowerW(), nil
+	}
+
+	type job struct {
+		sc   predScenario
+		arb  string
+		frac float64
+	}
+	var jobs []job
+	for _, sc := range scenarios {
+		for _, frac := range budgets {
+			for _, arb := range arbiters {
+				jobs = append(jobs, job{sc: sc, arb: arb, frac: frac})
+			}
+		}
+	}
+
+	const throttleBand = 0.10 // both arbiters' power-bound threshold
+	rows := make([][]PredictiveSweepRow, len(jobs))
+	jobErr := l.parallelFor(len(jobs), func(i int) error {
+		j := jobs[i]
+		specs := []memberSpec{
+			{id: "surge", mix: "ILP1", phases: j.sc.surgePhases(epochs)},
+			{id: "don1", mix: "MIX3", phases: j.sc.donorPhases(epochs)},
+			{id: "don2", mix: "MID1", phases: j.sc.donorPhases(epochs)},
+		}
+		members := make([]cluster.Member, len(specs))
+		peaks := make(map[string]float64, len(specs))
+		sumPeak := 0.0
+		for k, sp := range specs {
+			m, peak, err := newMember(sp)
+			if err != nil {
+				return err
+			}
+			members[k] = m
+			peaks[sp.id] = peak
+			sumPeak += peak
+		}
+		arb, ok := cluster.ArbiterByName(j.arb)
+		if !ok {
+			return fmt.Errorf("unknown arbiter %q", j.arb)
+		}
+		coord, err := cluster.New(cluster.Config{
+			BudgetW: j.frac * sumPeak, Arbiter: arb, Workers: 1,
+		}, members)
+		if err != nil {
+			return err
+		}
+
+		type acc struct {
+			grant, power, instr, overshoot float64
+			epochs, reclaim, floor, clamp  int
+		}
+		accs := map[string]*acc{}
+		shift := j.sc.shift(epochs)
+		for e := 0; ; e++ {
+			rec, err := coord.Step(context.Background())
+			if errors.Is(err, cluster.ErrDone) {
+				break
+			}
+			if err != nil {
+				return fmt.Errorf("%s/%s@%.0f%%: %w", j.sc.name, j.arb, j.frac*100, err)
+			}
+			for _, mg := range rec.Members {
+				a := accs[mg.ID]
+				if a == nil {
+					a = &acc{}
+					accs[mg.ID] = a
+				}
+				a.grant += mg.GrantW
+				a.power += mg.PowerW
+				a.instr += mg.Instr
+				if over := mg.GrantW - mg.PowerW; over > 0 {
+					a.overshoot += over
+				}
+				a.epochs++
+				if rec.Epoch >= shift && mg.ThrottleFrac > throttleBand {
+					a.reclaim++
+				}
+				floor := cluster.DefaultFloorFrac * peaks[mg.ID]
+				if mg.GrantW < floor-1e-9 {
+					a.floor++
+				}
+				if mg.GrantW > peaks[mg.ID]+1e-9 {
+					a.clamp++
+				}
+			}
+		}
+
+		out := make([]PredictiveSweepRow, 0, len(specs))
+		for _, sp := range specs {
+			a := accs[sp.id]
+			if a == nil || a.epochs == 0 {
+				return fmt.Errorf("%s/%s@%.0f%%: member %s never ran", j.sc.name, j.arb, j.frac*100, sp.id)
+			}
+			n := float64(a.epochs)
+			out = append(out, PredictiveSweepRow{
+				Scenario: j.sc.name, Arbiter: j.arb, BudgetFrac: j.frac,
+				Member: sp.id, Mix: sp.mix,
+				TimeToReclaim:    a.reclaim,
+				OvershootWEpochs: a.overshoot,
+				GInstr:           a.instr / 1e9,
+				AvgGrantW:        a.grant / n, AvgPowerW: a.power / n,
+				FloorViolations: a.floor, ClampViolations: a.clamp,
+			})
+		}
+		rows[i] = out
+		l.log("ran predictive %-7s %-10s budget=%.0f%%  surge reclaim %d epochs",
+			j.sc.name, j.arb, j.frac*100, out[0].TimeToReclaim)
+		return nil
+	})
+	if jobErr != nil {
+		return nil, jobErr
+	}
+	var flat []PredictiveSweepRow
+	for _, r := range rows {
+		flat = append(flat, r...)
+	}
+	return flat, nil
+}

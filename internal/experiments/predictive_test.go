@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+)
+
+// predictiveLab mirrors the probe fidelity the sweep was tuned at:
+// 8-core members (fixed by the sweep itself), 15 epochs so the step
+// scenario has ten post-shift epochs to resolve the hand-off.
+func predictiveLab(workers int) *Lab {
+	return NewLab(Options{
+		Epochs: 15, EpochNs: 5e5, Workers: workers,
+	})
+}
+
+// The acceptance assertion of the predictive arbiter: on the step
+// scenario — donors' draw collapses mid-run — the forecast-driven
+// arbiter hands the freed watts to the power-bound surge tenant
+// strictly faster than the reactive slack reclaimer, at both budgets,
+// and no grant ever leaves a member's [floor, peak] corridor.
+func TestPredictiveSweepReclaimsFaster(t *testing.T) {
+	rows, err := predictiveLab(0).PredictiveSweep()
+	if err != nil {
+		t.Fatalf("PredictiveSweep: %v", err)
+	}
+	if len(rows) != 24 { // 2 scenarios × 2 budgets × 2 arbiters × 3 members
+		t.Fatalf("got %d rows, want 24", len(rows))
+	}
+
+	// No grant may leave [floor, peak], under either arbiter: the
+	// clamp net is what makes a mispredicting forecaster safe to run.
+	ttr := map[[3]string]int{}
+	for _, r := range rows {
+		if r.FloorViolations != 0 || r.ClampViolations != 0 {
+			t.Errorf("%s/%s@%.1f%% member %s: %d floor / %d clamp violations, want none",
+				r.Scenario, r.Arbiter, r.BudgetFrac*100, r.Member,
+				r.FloorViolations, r.ClampViolations)
+		}
+		if r.AvgPowerW <= 0 || r.GInstr <= 0 {
+			t.Errorf("%s/%s@%.1f%% member %s: degenerate row %+v",
+				r.Scenario, r.Arbiter, r.BudgetFrac*100, r.Member, r)
+		}
+		key := [3]string{r.Scenario, r.Arbiter, r.Member}
+		if r.Scenario == "step" && r.Member == "surge" {
+			// Two budgets per (scenario, arbiter); sum the surge
+			// tenant's throttled epochs across them.
+			ttr[key] += r.TimeToReclaim
+		}
+	}
+	slack := ttr[[3]string{"step", "slack", "surge"}]
+	pred := ttr[[3]string{"step", "predictive", "surge"}]
+	if pred >= slack {
+		t.Errorf("step scenario: predictive time-to-reclaim %d epochs, slack %d — want strictly fewer", pred, slack)
+	}
+	if slack == 0 {
+		t.Errorf("step scenario: slack surge tenant never throttled post-shift — budgets are outside the hand-off window")
+	}
+}
+
+// The sweep's rows are identical at any worker count: parallelFor
+// assembles results in submission order and every cluster runs with
+// its own single-worker coordinator.
+func TestPredictiveSweepDeterministicAcrossWorkers(t *testing.T) {
+	serial, err := predictiveLab(1).PredictiveSweep()
+	if err != nil {
+		t.Fatalf("serial: %v", err)
+	}
+	parallel, err := predictiveLab(8).PredictiveSweep()
+	if err != nil {
+		t.Fatalf("parallel: %v", err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Errorf("rows differ between 1 and 8 workers:\n serial: %+v\nparallel: %+v", serial, parallel)
+	}
+}

@@ -31,9 +31,10 @@ type ClusterRequest struct {
 	BudgetFrac float64 `json:"budget_frac,omitempty"`
 	// Arbiter picks the arbitration policy: "static" (proportional to
 	// peak, the default), "slack" (slack-reclaiming with hysteresis),
-	// "priority" (proportional to weight × peak) or "slo"
-	// (throughput-contract driven; see ClusterMemberRequest.TargetBIPS).
-	// The authoritative list is cluster.ArbiterNames.
+	// "priority" (proportional to weight × peak), "slo"
+	// (throughput-contract driven; see ClusterMemberRequest.TargetBIPS)
+	// or "predictive" (forecast-driven pre-allocation). The
+	// authoritative list is cluster.ArbiterNames.
 	Arbiter string `json:"arbiter,omitempty"`
 	// Members are the group's tenants, in arbitration order.
 	Members []ClusterMemberRequest `json:"members"`

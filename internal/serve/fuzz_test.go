@@ -41,6 +41,13 @@ func FuzzClusterRequest(f *testing.F) {
 	f.Add([]byte(`{"budget_w":120,"arbiter":"slo","members":[` +
 		`{"id":"gold","target_bips":4,"session":{"mix":"ILP1","budget_frac":0.6,"cores":8,"epochs":6}},` +
 		`{"id":"be","session":{"mix":"MEM3","budget_frac":0.6,"cores":8,"epochs":6}}]}`))
+	f.Add([]byte(`{"budget_w":120,"arbiter":"predictive","members":[` +
+		`{"id":"surge","session":{"mix":"ILP1","budget_frac":0.6,"cores":8,"epochs":6,` +
+		`"phases":[{"epoch":2,"scale":2}]}},` +
+		`{"id":"donor","session":{"mix":"MEM3","budget_frac":0.6,"cores":8,"epochs":6}}]}`))
+	f.Add([]byte(`{"budget_frac":0.55,"arbiter":"predictive","members":[` +
+		`{"id":"a","weight":2,"floor_frac":0.2,"session":{"mix":"MIX3","budget_frac":0.6}},` +
+		`{"id":"b","session":{"mix":"MID1","budget_frac":0.6}}]}`))
 	f.Add([]byte(`{"budget_w":50,"members":[{"target_bips":-2,"session":{"mix":"MIX3","budget_frac":0.6}}]}`))
 	f.Add([]byte(`{"budget_w":50,"members":[{"target_bips":NaN,"session":{"mix":"MIX3","budget_frac":0.6}}]}`))
 	f.Add([]byte(`{"budget_w":50,"members":[{"session":{"mix":"MIX3","budget_frac":0.6,` +

@@ -46,21 +46,28 @@ type Metrics struct {
 	// Per-cluster families, labeled by group id; series are dropped when
 	// the group is deleted so a long-lived daemon's scrape stays bounded
 	// by resident groups, not by every group that ever existed.
-	clBudget  *metrics.GaugeVec
-	clGrant   *metrics.GaugeVec
-	clDraw    *metrics.GaugeVec
-	clSlack   *metrics.GaugeVec
-	clMembers *metrics.GaugeVec
-	clArb     *metrics.HistogramVec
-	clFill    *metrics.CounterVec
-	clSLOViol *metrics.CounterVec
-	clSLOSat  *metrics.GaugeVec
+	clBudget   *metrics.GaugeVec
+	clGrant    *metrics.GaugeVec
+	clDraw     *metrics.GaugeVec
+	clSlack    *metrics.GaugeVec
+	clMembers  *metrics.GaugeVec
+	clArb      *metrics.HistogramVec
+	clFill     *metrics.CounterVec
+	clSLOViol  *metrics.CounterVec
+	clSLOSat   *metrics.GaugeVec
+	clPredErr  *metrics.GaugeVec
+	clPredErrH *metrics.HistogramVec
 }
 
 // arbitrationBuckets spans 100ns to ~0.4s: the water-fill runs in
 // microseconds for realistic member counts, and the histogram should
 // resolve that, not lump it under the first latency bucket.
 var arbitrationBuckets = stats.ExpBuckets(1e-7, 4, 11)
+
+// predictionErrorBuckets spans 0.01 W to ~2.6 kW of mean absolute
+// prediction error — sub-watt buckets resolve a well-fitted forecast,
+// the top buckets catch a model tracking a phase change.
+var predictionErrorBuckets = stats.ExpBuckets(0.01, 4, 10)
 
 // NewMetrics registers the serving-layer families on reg and returns
 // the resolved handles. A nil registry returns nil — instrumentation
@@ -122,6 +129,10 @@ func NewMetrics(reg *metrics.Registry) *Metrics {
 			"Member transitions into SLO violation (throughput fell below the contracted band).", "cluster"),
 		clSLOSat: reg.GaugeVec("fastcap_cluster_slo_satisfied_members",
 			"Contracted members meeting their BIPS target at the cluster's last epoch.", "cluster"),
+		clPredErr: reg.GaugeVec("fastcap_cluster_prediction_error_w",
+			"Forecasting arbiter's mean absolute one-epoch-ahead prediction error at the cluster's last epoch, in watts.", "cluster"),
+		clPredErrH: reg.HistogramVec("fastcap_cluster_prediction_abs_error_w",
+			"Distribution of per-epoch mean absolute prediction error, in watts.", predictionErrorBuckets, "cluster"),
 	}
 }
 
@@ -164,6 +175,8 @@ func (mt *Metrics) clusterMetrics(id string) cluster.Metrics {
 		FillPasses:         mt.clFill.With(id),
 		SLOViolations:      mt.clSLOViol.With(id),
 		SLOSatisfied:       mt.clSLOSat.With(id),
+		PredictionErrW:     mt.clPredErr.With(id),
+		PredictionAbsErrW:  mt.clPredErrH.With(id),
 	}
 }
 
@@ -181,6 +194,8 @@ func (mt *Metrics) dropCluster(id string) {
 	mt.clFill.Delete(id)
 	mt.clSLOViol.Delete(id)
 	mt.clSLOSat.Delete(id)
+	mt.clPredErr.Delete(id)
+	mt.clPredErrH.Delete(id)
 }
 
 // countSessions snapshots how many resident solo sessions sit in state

@@ -21,7 +21,7 @@ import (
 // surface accepts exactly it — adding an arbiter to the registry must
 // come back here, to the request docs and to the CI smokes.
 func TestArbiterRegistrySync(t *testing.T) {
-	canonical := []string{"static", "slack", "priority", "slo"}
+	canonical := []string{"static", "slack", "priority", "slo", "predictive"}
 	if got := cluster.ArbiterNames(); !reflect.DeepEqual(got, canonical) {
 		t.Fatalf("cluster.ArbiterNames() = %v, want %v (update the canonical table and every consumer)", got, canonical)
 	}

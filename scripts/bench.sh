@@ -18,7 +18,9 @@
 # BenchmarkClusterArbitration{8,64} track the cluster coordinator's
 # per-epoch rebalance (target: O(members), zero steady-state allocs);
 # BenchmarkSLOArbitration{8,64} track the contract-aware arbiter's
-# demand-estimation pass on a partially contracted fleet, same bar.
+# demand-estimation pass on a partially contracted fleet, same bar;
+# BenchmarkPredictiveArbitration{8,64} track the forecast-driven
+# arbiter's observe+predict+fund pass on a warm fleet, same bar.
 #
 # After the Go benchmarks the script boots a real fastcapd and measures
 # serving capacity with fastcap-loadgen at increasing closed-loop tenant
